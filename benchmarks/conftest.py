@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artefacts (generated datasets, trained models, simulated scenarios)
+are produced once per session and cached on disk under ``.repro_cache/``,
+so benchmark timings measure the experiment regeneration itself rather
+than the one-off setup. Delete ``.repro_cache/`` for a fully cold run.
+
+Scale knobs: the ``REPRO_BENCH_SCALE`` environment variable multiplies the
+default workload sizes (1 = single-core-friendly defaults; the paper-scale
+runs are driven from ``examples/``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.ais.datasets import proximity_scenario
+from repro.evaluation.table2 import train_table2_model
+
+#: Where benchmark outputs (the regenerated tables/series) are written.
+RESULTS_DIR = Path("benchmarks/results")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def svrf_model():
+    """The S-VRF model used by the event-forecasting benchmarks (trained on
+    the mixed fleet + manoeuvre-dense stream, cached on disk)."""
+    return train_table2_model()
+
+
+@pytest.fixture(scope="session")
+def eval_scenario():
+    """The Table 2 evaluation scenario (seed disjoint from training)."""
+    return proximity_scenario(seed=11)

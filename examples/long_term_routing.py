@@ -1,0 +1,83 @@
+"""Long-term route forecasting (L-VRF / EnvClus*) — Figures 4a and 4b.
+
+Builds a small historical trip corpus between Aegean ports by simulation,
+fits the EnvClus*-style model (pathway clustering, weighted transition
+graph, junction classifiers) and produces a route forecast with ETAs plus
+the Patterns-of-Life statistics of the traversed area.
+
+Run:  python examples/long_term_routing.py
+"""
+
+import random
+
+from repro.ais import ScenarioSimulator, VesselAgent, make_route, random_statics
+from repro.ais.ports import PORTS
+from repro.geo import Position, haversine_m
+from repro.geo.bbox import AEGEAN_BBOX
+from repro.models.envclus import LVRFModel, Trip
+
+_BY_NAME = {p.name: p for p in PORTS}
+
+
+def simulate_historical_trips(origin: str, destination: str, n: int = 8,
+                              seed: int = 1) -> list[Trip]:
+    """Voyage history for one port pair (the corpus EnvClus* learns from)."""
+    rng = random.Random(seed)
+    trips = []
+    for k in range(n):
+        statics = random_statics(rng, 500_000_000 + k)
+        route = make_route(_BY_NAME[origin], _BY_NAME[destination], rng)
+        agent = VesselAgent(statics=statics, route=route)
+        sim = ScenarioSimulator([agent], dt_s=60.0, seed=seed * 100 + k)
+        result = sim.run(48 * 3600.0)
+        track = result.truth[statics.mmsi][::5]
+        if len(track) >= 2:
+            trips.append(Trip(mmsi=statics.mmsi, origin=origin,
+                              destination=destination, track=track,
+                              statics=statics))
+    return trips
+
+
+def main() -> None:
+    origin, destination = "Piraeus", "Heraklion"
+    print(f"Simulating historical voyages {origin} -> {destination}...")
+    trips = simulate_historical_trips(origin, destination)
+    print(f"  {len(trips)} voyages, "
+          f"{sum(len(t.track) for t in trips)} positions")
+
+    model = LVRFModel().fit(trips)
+    graph = model.graph_for(origin, destination)
+    print(f"Transition graph: {graph.n_nodes} pathway cells, "
+          f"{graph.n_edges} transitions, "
+          f"{len(graph.junctions())} junctions")
+
+    query = Position(t=0.0, lat=_BY_NAME[origin].lat,
+                     lon=_BY_NAME[origin].lon, sog=13.0)
+    forecast = model.forecast(query, origin, destination,
+                              statics=trips[0].statics)
+
+    print(f"\nRoute forecast ({len(forecast.waypoints)} pathway nodes, "
+          f"{forecast.distance_m / 1852:.0f} NM, "
+          f"ETA {forecast.eta_total_s / 3600:.1f} h):")
+    step = max(1, len(forecast.waypoints) // 8)
+    for i in range(0, len(forecast.waypoints), step):
+        lat, lon = forecast.waypoints[i]
+        print(f"  node {i:>3}: ({lat:7.3f}, {lon:7.3f})  "
+              f"ETA +{forecast.etas_s[i] / 3600:5.2f} h")
+    end = forecast.waypoints[-1]
+    dest_port = _BY_NAME[destination]
+    print(f"  terminal node is "
+          f"{haversine_m(end[0], end[1], dest_port.lat, dest_port.lon) / 1000:.1f}"
+          f" km from {destination} harbour")
+
+    # Patterns of Life for the crossed area (Figure 4b).
+    print("\nPatterns of Life — busiest cells on this corridor:")
+    for stats in model.patterns.in_bbox(AEGEAN_BBOX)[:6]:
+        print(f"  cell {stats.cell}: {stats.visits:>4} positions, "
+              f"{stats.distinct_vessels} vessels, "
+              f"mean speed {stats.mean_speed_kn:4.1f} kn, "
+              f"dominant heading {stats.dominant_heading_deg:5.1f} deg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Regenerate Table 2 (vessel collision forecasting evaluation).
+
+Trains (or loads the cached) S-VRF model, builds the synthetic Aegean
+proximity scenario and evaluates both forecasting models across the paper's
+eight configurations.
+
+Run:  python examples/run_table2.py [--event-pairs N] [--seed S]
+"""
+
+import argparse
+
+from repro.ais.datasets import proximity_scenario
+from repro.evaluation import run_table2
+from repro.evaluation.reporting import format_table2
+from repro.evaluation.table2 import train_table2_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--event-pairs", type=int, default=80,
+                        help="converging vessel pairs (default yields "
+                             "a dataset sized like the paper's [2])")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print("Preparing the S-VRF model (cached after the first run)...")
+    model = train_table2_model()
+
+    print("Building the evaluation scenario...")
+    scenario = proximity_scenario(n_event_pairs=args.event_pairs,
+                                  seed=args.seed)
+    print(f"  {scenario.n_vessels} vessels, {scenario.n_messages} messages, "
+          f"{len(scenario.events)} ground-truth proximity events")
+
+    result = run_table2(scenario, model)
+    print()
+    print(format_table2(result))
+    print()
+    print(f"S-VRF recall >= linear everywhere: {result.svrf_recall_wins()}")
+    print(f"Linear has more false negatives  : "
+          f"{result.linear_more_false_negatives()}")
+    print("Paper reference: S-VRF recall 0.90-0.98 vs linear 0.85-0.96; "
+          "S-VRF trades a few extra FPs for fewer FNs.")
+
+
+if __name__ == "__main__":
+    main()

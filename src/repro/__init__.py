@@ -1,0 +1,36 @@
+"""Reproduction of *A Scalable System for Maritime Route and Event Forecasting*
+(EDBT 2024).
+
+The package is organised bottom-up:
+
+``repro.geo``
+    WGS84 geodesy primitives (distances, bearings, destination points).
+``repro.hexgrid``
+    A hierarchical hexagonal spatial index playing the role of Uber H3.
+``repro.ais``
+    AIS message model, synthetic global fleet simulator and dataset builders.
+``repro.streams``
+    An in-memory partitioned log broker playing the role of Apache Kafka.
+``repro.kvstore``
+    An in-memory key-value store playing the role of Redis.
+``repro.actors``
+    An actor runtime (mailboxes, supervision, routing) playing the role of Akka.
+``repro.ml``
+    A from-scratch numpy neural-network stack (LSTM/BiLSTM with manual BPTT).
+``repro.models``
+    The paper's forecasting models: the linear kinematic baseline, the
+    short-term BiLSTM model (S-VRF) and the EnvClus*-style long-term model
+    (L-VRF) with Patterns-of-Life statistics.
+``repro.events``
+    Maritime event functions: proximity detection, AIS switch-off detection,
+    collision forecasting and vessel traffic flow forecasting (VTFF).
+``repro.platform``
+    The integrated digital-twin platform: vessel / cell / collision / writer
+    actors, stream ingestion and the middleware API.
+``repro.evaluation``
+    Metrics and the drivers that regenerate Table 1, Table 2 and Figure 6.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

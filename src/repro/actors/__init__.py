@@ -1,0 +1,50 @@
+"""An actor runtime (the platform's Akka substitute).
+
+The paper's platform is "based on the actor model [7]" with Akka supplying
+lightweight isolated actors, asynchronous message passing, supervision and
+dynamic scaling (Section 3). This package implements those semantics:
+
+* :class:`~repro.actors.actor.Actor` — user behaviour with run-to-completion
+  message handling and lifecycle hooks,
+* :class:`~repro.actors.system.ActorSystem` — spawning, dispatch, stopping,
+  dead letters and a virtual-time scheduler; two dispatchers are provided,
+  a deterministic single-threaded one (tests, benchmarks, reproducible
+  Figure 6 runs) and a thread-pool one,
+* :mod:`~repro.actors.supervision` — restart/stop/resume strategies applied
+  when an actor's receive raises,
+* :class:`~repro.actors.router.KeyRouter` — the "core partitioning
+  functionality" that lazily creates one actor per key (per MMSI, per H3
+  cell) and routes messages by key,
+* :mod:`~repro.actors.metrics` — the per-message processing-time samples
+  behind Figure 6.
+"""
+
+from repro.actors.actor import Actor, ActorContext, ActorRef, Envelope
+from repro.actors.mailbox import Mailbox
+from repro.actors.metrics import MetricsRecorder, MovingAverage
+from repro.actors.router import KeyRouter
+from repro.actors.supervision import (
+    RestartStrategy,
+    ResumeStrategy,
+    StopStrategy,
+    SupervisionStrategy,
+)
+from repro.actors.system import ActorSystem, AskTimeoutError, Future
+
+__all__ = [
+    "Actor",
+    "ActorContext",
+    "ActorRef",
+    "ActorSystem",
+    "AskTimeoutError",
+    "Envelope",
+    "Future",
+    "KeyRouter",
+    "Mailbox",
+    "MetricsRecorder",
+    "MovingAverage",
+    "RestartStrategy",
+    "ResumeStrategy",
+    "StopStrategy",
+    "SupervisionStrategy",
+]

@@ -1,0 +1,54 @@
+"""Supervision strategies: what the system does when ``receive`` raises.
+
+Mirrors Akka's one-for-one supervision decisions:
+
+* **restart** — discard the failed instance, build a fresh one from the
+  actor's factory, keep the mailbox (bounded by ``max_restarts``),
+* **stop** — terminate the actor; subsequent messages become dead letters,
+* **resume** — drop the failing message, keep state and continue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Directive(enum.Enum):
+    RESTART = "restart"
+    STOP = "stop"
+    RESUME = "resume"
+
+
+@dataclass(frozen=True)
+class SupervisionStrategy:
+    """A supervision decision plus its restart budget."""
+
+    directive: Directive
+    max_restarts: int = 3
+
+    def decide(self, restarts_so_far: int) -> Directive:
+        """The directive to apply given how many restarts happened already.
+
+        A restart budget overrun escalates to STOP, as Akka does when
+        ``maxNrOfRetries`` is exceeded.
+        """
+        if (self.directive is Directive.RESTART
+                and restarts_so_far >= self.max_restarts):
+            return Directive.STOP
+        return self.directive
+
+
+def RestartStrategy(max_restarts: int = 3) -> SupervisionStrategy:
+    """Restart the actor on failure, up to ``max_restarts`` times."""
+    return SupervisionStrategy(Directive.RESTART, max_restarts=max_restarts)
+
+
+def StopStrategy() -> SupervisionStrategy:
+    """Stop the actor on first failure."""
+    return SupervisionStrategy(Directive.STOP)
+
+
+def ResumeStrategy() -> SupervisionStrategy:
+    """Skip the failing message and keep going."""
+    return SupervisionStrategy(Directive.RESUME)

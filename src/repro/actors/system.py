@@ -1,0 +1,388 @@
+"""The actor system: spawning, dispatch, scheduling, supervision, metrics.
+
+Two dispatchers are provided:
+
+* ``deterministic`` (default) — a single-threaded run-to-idle loop. Message
+  interleaving is reproducible, which the evaluation relies on; this is also
+  the honest way to measure per-message processing time on a shared host.
+* ``threaded`` — a pool of worker threads with the classic
+  one-actor-never-runs-twice-concurrently scheduling discipline, for
+  exercising the concurrency semantics themselves.
+
+Time is virtual: :meth:`ActorSystem.advance_time` moves the clock and
+releases scheduled messages. The platform drives it from its stream clock,
+so a 24-hour replay runs as fast as the host allows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.actors.actor import Actor, ActorContext, ActorRef, Envelope
+from repro.actors.mailbox import Mailbox
+from repro.actors.metrics import MetricsRecorder
+from repro.actors.supervision import (
+    Directive,
+    RestartStrategy,
+    SupervisionStrategy,
+)
+
+
+class AskTimeoutError(TimeoutError):
+    """An ask future was awaited past its timeout without a reply."""
+
+
+class Future:
+    """A write-once container completed by the replying actor."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+
+    def complete(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The reply value; raises :class:`AskTimeoutError` if unavailable.
+
+        With the deterministic dispatcher, call
+        :meth:`ActorSystem.run_until_idle` before awaiting (or use
+        :meth:`ActorSystem.ask_sync`).
+        """
+        if not self._event.wait(timeout):
+            raise AskTimeoutError("ask future not completed")
+        return self._value
+
+
+class _Cell:
+    """Runtime state of one actor."""
+
+    __slots__ = ("name", "factory", "actor", "mailbox", "strategy",
+                 "restarts", "started", "stopped", "scheduled",
+                 "messages_processed")
+
+    def __init__(self, name: str, factory: Callable[[], Actor],
+                 strategy: SupervisionStrategy) -> None:
+        self.name = name
+        self.factory = factory
+        self.actor = factory()
+        self.mailbox = Mailbox()
+        self.strategy = strategy
+        self.restarts = 0
+        self.started = False
+        self.stopped = False
+        self.scheduled = False
+        self.messages_processed = 0
+
+
+class ActorSystem:
+    """Container and dispatcher for a set of actors."""
+
+    def __init__(self, name: str = "system", mode: str = "deterministic",
+                 workers: int = 4, record_metrics: bool = False,
+                 batch_size: int = 64) -> None:
+        if mode not in ("deterministic", "threaded"):
+            raise ValueError(f"unknown dispatch mode {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.batch_size = batch_size
+        self.metrics = MetricsRecorder() if record_metrics else None
+        #: Callable returning the population figure recorded with each
+        #: metric sample. Defaults to the live actor count; the platform
+        #: overrides it with the *vessel* actor count so the Figure 6 x
+        #: axis is "number of distinct MMSIs", as in the paper.
+        self.population_fn: Callable[[], int] | None = None
+        #: Optional predicate on actor names limiting which deliveries are
+        #: sampled into the metrics (e.g. only vessel actors, so the
+        #: Figure 6 series measures per-AIS-message processing time).
+        self.metrics_filter: Callable[[str], bool] | None = None
+        self.dead_letters: deque[tuple[str, Envelope]] = deque(maxlen=10_000)
+        self.dead_letter_count = 0
+
+        self._cells: dict[str, _Cell] = {}
+        self._lock = threading.RLock()
+        self._active_count = 0
+        self._now = 0.0
+        self._timer_seq = itertools.count()
+        self._timers: list[tuple[float, int, str, Any]] = []
+
+        self._ready: deque[str] = deque()
+        self._workers: list[threading.Thread] = []
+        self._work_q: "queue.Queue[str | None]" = queue.Queue()
+        self._shutdown = False
+        self._idle_cv = threading.Condition(self._lock)
+        self._in_flight = 0
+        if mode == "threaded":
+            for i in range(workers):
+                t = threading.Thread(target=self._worker_loop,
+                                     name=f"{name}-worker-{i}", daemon=True)
+                t.start()
+                self._workers.append(t)
+
+    # -- spawning / stopping ----------------------------------------------------
+
+    def spawn(self, factory: Callable[[], Actor], name: str,
+              strategy: SupervisionStrategy | None = None) -> ActorRef:
+        """Create an actor. ``factory`` must build a fresh instance each call
+        (it is reused by supervised restarts)."""
+        with self._lock:
+            existing = self._cells.get(name)
+            if existing is not None and not existing.stopped:
+                raise ValueError(f"actor {name!r} already exists")
+            cell = _Cell(name, factory, strategy or RestartStrategy())
+            self._cells[name] = cell
+            self._active_count += 1
+        return ActorRef(name, self)
+
+    def actor_ref(self, name: str) -> ActorRef:
+        return ActorRef(name, self)
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            cell = self._cells.get(name)
+            return cell is not None and not cell.stopped
+
+    @property
+    def active_count(self) -> int:
+        return self._active_count
+
+    def stop(self, ref: ActorRef) -> None:
+        with self._lock:
+            cell = self._cells.get(ref.name)
+            if cell is None or cell.stopped:
+                return
+            cell.stopped = True
+            self._active_count -= 1
+        cell.actor.post_stop()
+
+    def stop_all(self) -> None:
+        with self._lock:
+            names = [n for n, c in self._cells.items() if not c.stopped]
+        for n in names:
+            self.stop(ActorRef(n, self))
+
+    def shutdown(self) -> None:
+        """Stop all actors and terminate worker threads."""
+        self.stop_all()
+        if self.mode == "threaded":
+            self._shutdown = True
+            for _ in self._workers:
+                self._work_q.put(None)
+            for t in self._workers:
+                t.join(timeout=5.0)
+
+    # -- delivery ----------------------------------------------------------------
+
+    def _new_future(self) -> Future:
+        return Future()
+
+    def _deliver(self, name: str, envelope: Envelope) -> None:
+        with self._lock:
+            cell = self._cells.get(name)
+            if cell is None or cell.stopped:
+                self.dead_letters.append((name, envelope))
+                self.dead_letter_count += 1
+                return
+            cell.mailbox.put(envelope)
+            if not cell.scheduled:
+                cell.scheduled = True
+                if self.mode == "deterministic":
+                    self._ready.append(name)
+                else:
+                    self._in_flight += 1
+                    self._work_q.put(name)
+
+    # -- scheduling (virtual time) --------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay_s: float, target: ActorRef, message: Any) -> None:
+        """Deliver ``message`` to ``target`` once virtual time advances by
+        at least ``delay_s``."""
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        with self._lock:
+            heapq.heappush(self._timers,
+                           (self._now + delay_s, next(self._timer_seq),
+                            target.name, message))
+
+    def advance_time(self, dt_s: float) -> int:
+        """Move the virtual clock forward, firing due timers.
+
+        Returns the number of timer messages delivered.
+        """
+        if dt_s < 0:
+            raise ValueError("cannot move time backwards")
+        with self._lock:
+            self._now += dt_s
+            due = []
+            while self._timers and self._timers[0][0] <= self._now:
+                due.append(heapq.heappop(self._timers))
+        for _, _, name, message in due:
+            self._deliver(name, Envelope(message=message))
+        return len(due)
+
+    # -- deterministic dispatch --------------------------------------------------------
+
+    def run_until_idle(self, max_messages: int | None = None) -> int:
+        """Process mailboxes until empty (deterministic mode only).
+
+        Returns the number of messages processed. ``max_messages`` bounds the
+        run for livelock protection in tests.
+        """
+        if self.mode != "deterministic":
+            raise RuntimeError("run_until_idle requires deterministic mode")
+        processed = 0
+        while self._ready:
+            name = self._ready.popleft()
+            cell = self._cells.get(name)
+            if cell is None:
+                continue
+            processed += self._process_cell(cell)
+            if max_messages is not None and processed >= max_messages:
+                with self._lock:
+                    if len(cell.mailbox):
+                        # leave it scheduled for the next run
+                        self._ready.appendleft(name)
+                        return processed
+                break
+        return processed
+
+    def ask_sync(self, ref: ActorRef, message: Any, timeout: float = 5.0) -> Any:
+        """Ask and synchronously await the reply.
+
+        In deterministic mode this drives the dispatcher to idle first.
+        """
+        future = ref.ask(message)
+        if self.mode == "deterministic":
+            self.run_until_idle()
+            return future.result(timeout=0.0)
+        return future.result(timeout=timeout)
+
+    # -- threaded dispatch ----------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            name = self._work_q.get()
+            if name is None:
+                return
+            cell = self._cells.get(name)
+            if cell is not None:
+                try:
+                    self._process_cell(cell)
+                finally:
+                    with self._lock:
+                        self._in_flight -= 1
+                        if self._in_flight == 0:
+                            self._idle_cv.notify_all()
+
+    def await_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no work is queued or running (threaded mode)."""
+        if self.mode != "threaded":
+            return True
+        deadline = time.monotonic() + timeout
+        with self._idle_cv:
+            while self._in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle_cv.wait(remaining)
+        return True
+
+    # -- shared processing core -----------------------------------------------------------
+
+    def _process_cell(self, cell: _Cell) -> int:
+        """Drain one batch from a cell's mailbox, honouring supervision."""
+        batch = cell.mailbox.get_batch(self.batch_size)
+        processed = 0
+        for i, envelope in enumerate(batch):
+            if cell.stopped:
+                for leftover in batch[i:]:
+                    self.dead_letters.append((cell.name, leftover))
+                    self.dead_letter_count += 1
+                break
+            t0 = time.perf_counter()
+            ok = self._process_envelope(cell, envelope)
+            if self.metrics is not None and (
+                    self.metrics_filter is None
+                    or self.metrics_filter(cell.name)):
+                population = (self.population_fn()
+                              if self.population_fn is not None
+                              else self._active_count)
+                self.metrics.record(population, time.perf_counter() - t0)
+            processed += 1
+            if not ok:
+                # The cell stopped mid-batch: everything still queued becomes
+                # a dead letter, like a stopped Akka actor's mailbox.
+                leftovers = batch[i + 1:] + cell.mailbox.get_batch(2 ** 30)
+                for leftover in leftovers:
+                    self.dead_letters.append((cell.name, leftover))
+                    self.dead_letter_count += 1
+                break
+        # Reschedule if more messages arrived or remain.
+        with self._lock:
+            if not cell.stopped and len(cell.mailbox) > 0:
+                if self.mode == "deterministic":
+                    self._ready.append(cell.name)
+                else:
+                    self._in_flight += 1
+                    self._work_q.put(cell.name)
+            else:
+                cell.scheduled = False
+                # Race: a message may slip in after the emptiness check in
+                # threaded mode; re-check under the same lock.
+                if len(cell.mailbox) > 0 and not cell.stopped:
+                    cell.scheduled = True
+                    if self.mode == "deterministic":
+                        self._ready.append(cell.name)
+                    else:
+                        self._in_flight += 1
+                        self._work_q.put(cell.name)
+        return processed
+
+    def _process_envelope(self, cell: _Cell, envelope: Envelope) -> bool:
+        """Run one delivery; returns False if the cell can no longer process
+        (stopped by supervision)."""
+        ref = ActorRef(cell.name, self)
+        ctx = ActorContext(self, ref, envelope)
+        try:
+            if not cell.started:
+                cell.actor.pre_start(ctx)
+                cell.started = True
+            cell.actor.receive(envelope.message, ctx)
+            cell.messages_processed += 1
+            return True
+        except Exception as exc:  # supervision boundary
+            directive = cell.strategy.decide(cell.restarts)
+            if directive is Directive.RESUME:
+                cell.messages_processed += 1
+                return True
+            if directive is Directive.RESTART:
+                cell.restarts += 1
+                try:
+                    cell.actor.pre_restart(exc)
+                finally:
+                    cell.actor.post_stop()
+                cell.actor = cell.factory()
+                cell.started = False
+                return True
+            # STOP
+            with self._lock:
+                if not cell.stopped:
+                    cell.stopped = True
+                    self._active_count -= 1
+            cell.actor.post_stop()
+            return False

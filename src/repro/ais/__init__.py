@@ -1,0 +1,64 @@
+"""AIS substrate: message model, codec, synthetic fleet and datasets.
+
+The paper's platform consumes the MarineTraffic/Kpler real-time AIS feed
+(terrestrial receivers + satellite + third parties). That feed is proprietary,
+so this package provides the closest synthetic equivalent:
+
+* :mod:`repro.ais.message` — AIS position/static reports and an AIVDM-style
+  NMEA codec (6-bit ASCII armouring, checksums), so the ingestion path parses
+  real-looking sentences rather than convenient Python objects.
+* :mod:`repro.ais.vessel` — vessel static data (MMSI, type, dimensions,
+  draught, DWT) with realistic distributions per vessel class.
+* :mod:`repro.ais.ports` — a catalogue of real-world port coordinates used to
+  lay out routes.
+* :mod:`repro.ais.routes` — curved waypoint routes between ports.
+* :mod:`repro.ais.simulator` — an event-driven per-vessel scenario simulator
+  (used for the Aegean collision dataset and the examples) with SOLAS-like
+  adaptive reporting and channel irregularity.
+* :mod:`repro.ais.fleet` — a vectorised fleet-scale kinematics engine used to
+  generate the 24-hour European dataset (Table 1) and the global scalability
+  stream (Figure 6).
+* :mod:`repro.ais.preprocessing` — the 30-second downsampling, trajectory
+  segmentation and fixed-tensor construction of Section 4.2.
+* :mod:`repro.ais.datasets` — the experiment dataset builders.
+"""
+
+from repro.ais.message import (
+    AISMessage,
+    NavigationStatus,
+    StaticReport,
+    decode_nmea,
+    encode_nmea,
+)
+from repro.ais.vessel import VesselStatics, VesselType, random_statics
+from repro.ais.ports import PORTS, Port, ports_in_bbox
+from repro.ais.routes import Route, make_route
+from repro.ais.simulator import (
+    ChannelModel,
+    ScenarioSimulator,
+    VesselAgent,
+    solas_reporting_interval_s,
+)
+from repro.ais.fleet import FleetConfig, FleetEngine
+
+__all__ = [
+    "AISMessage",
+    "ChannelModel",
+    "FleetConfig",
+    "FleetEngine",
+    "NavigationStatus",
+    "PORTS",
+    "Port",
+    "Route",
+    "ScenarioSimulator",
+    "StaticReport",
+    "VesselAgent",
+    "VesselStatics",
+    "VesselType",
+    "decode_nmea",
+    "encode_nmea",
+    "make_route",
+    "ports_in_bbox",
+    "random_statics",
+    "solas_reporting_interval_s",
+]

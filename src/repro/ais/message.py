@@ -1,0 +1,310 @@
+"""AIS message types and an AIVDM-style NMEA codec.
+
+Real AIS transponders broadcast binary payloads that reach shore armoured as
+6-bit ASCII inside ``!AIVDM`` NMEA 0183 sentences. The platform's ingestion
+services must therefore *parse* sentences, not receive Python objects. This
+module implements the two message classes the system consumes:
+
+* **position reports** (ITU-R M.1371 type 1, 168 bits): MMSI, navigation
+  status, SOG, COG, lat/lon at 1/600000 degree resolution, heading,
+* **static & voyage reports** (type 5, abridged): MMSI, name, ship type,
+  dimensions, draught.
+
+The bit layouts follow the standard closely enough that values survive a
+round trip with the standard's quantisation (0.1 kn, 0.1°, 1/600000°) —
+tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class NavigationStatus(enum.IntEnum):
+    """Subset of ITU-R M.1371 navigation status codes used by the simulator."""
+
+    UNDER_WAY = 0
+    AT_ANCHOR = 1
+    NOT_UNDER_COMMAND = 2
+    RESTRICTED_MANEUVERABILITY = 3
+    MOORED = 5
+    FISHING = 7
+    UNDEFINED = 15
+
+
+@dataclass(frozen=True)
+class AISMessage:
+    """A decoded AIS position report.
+
+    ``t`` is the receiver epoch timestamp in seconds (the stream time used by
+    the platform); the on-air payload itself only carries the UTC second
+    within the minute, as in the real system.
+    """
+
+    mmsi: int
+    t: float
+    lat: float
+    lon: float
+    sog: float  #: speed over ground, knots
+    cog: float  #: course over ground, degrees
+    heading: int | None = None
+    status: NavigationStatus = NavigationStatus.UNDER_WAY
+    source: str = "terrestrial"  #: "terrestrial" | "satellite"
+
+    def with_time(self, t: float) -> "AISMessage":
+        """Copy of this message re-stamped at receiver time ``t``."""
+        return replace(self, t=t)
+
+
+@dataclass(frozen=True)
+class StaticReport:
+    """A decoded AIS static & voyage report (abridged type 5)."""
+
+    mmsi: int
+    t: float
+    name: str
+    ship_type: int
+    to_bow: int
+    to_stern: int
+    to_port: int
+    to_starboard: int
+    draught: float  #: metres
+
+    @property
+    def length(self) -> int:
+        return self.to_bow + self.to_stern
+
+    @property
+    def beam(self) -> int:
+        return self.to_port + self.to_starboard
+
+
+# --------------------------------------------------------------------------
+# Bit-level plumbing
+# --------------------------------------------------------------------------
+
+class _BitWriter:
+    """Append-only big-endian bit buffer."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        if value < 0:
+            value &= (1 << width) - 1  # two's complement
+        if value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def write_text(self, text: str, width_chars: int) -> None:
+        """Write 6-bit ASCII text, padded with ``@`` (0) to ``width_chars``."""
+        padded = text.upper().ljust(width_chars, "@")[:width_chars]
+        for ch in padded:
+            code = ord(ch)
+            if 64 <= code <= 95:       # '@'..'_' -> 0..31
+                six = code - 64
+            elif 32 <= code <= 63:     # ' '..'?' -> 32..63
+                six = code
+            else:
+                six = 0
+            self.write(six, 6)
+
+    def bits(self) -> list[int]:
+        return list(self._bits)
+
+
+class _BitReader:
+    """Sequential big-endian bit reader."""
+
+    def __init__(self, bits: list[int]) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    def read(self, width: int, signed: bool = False) -> int:
+        if self._pos + width > len(self._bits):
+            raise ValueError("payload truncated")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self._bits[self._pos]
+            self._pos += 1
+        if signed and value >= (1 << (width - 1)):
+            value -= 1 << width
+        return value
+
+    def read_text(self, width_chars: int) -> str:
+        chars = []
+        for _ in range(width_chars):
+            six = self.read(6)
+            if six < 32:
+                chars.append(chr(six + 64))
+            else:
+                chars.append(chr(six))
+        return "".join(chars).replace("@", "").rstrip()
+
+
+def _bits_to_sixbit_ascii(bits: list[int]) -> str:
+    """Armour a bit list as the 6-bit ASCII used in AIVDM payloads."""
+    if len(bits) % 6:
+        bits = bits + [0] * (6 - len(bits) % 6)
+    chars = []
+    for i in range(0, len(bits), 6):
+        v = 0
+        for b in bits[i:i + 6]:
+            v = (v << 1) | b
+        v += 48
+        if v > 87:
+            v += 8
+        chars.append(chr(v))
+    return "".join(chars)
+
+
+def _sixbit_ascii_to_bits(payload: str) -> list[int]:
+    bits: list[int] = []
+    for ch in payload:
+        v = ord(ch) - 48
+        if v > 40:
+            v -= 8
+        if not 0 <= v < 64:
+            raise ValueError(f"invalid 6-bit ASCII character {ch!r}")
+        for i in range(5, -1, -1):
+            bits.append((v >> i) & 1)
+    return bits
+
+
+def _nmea_checksum(body: str) -> int:
+    cs = 0
+    for ch in body:
+        cs ^= ord(ch)
+    return cs
+
+
+# --------------------------------------------------------------------------
+# Encoding
+# --------------------------------------------------------------------------
+
+_LATLON_SCALE = 600_000.0  # 1/10000 arc-minute, per ITU-R M.1371
+
+
+def _encode_position_bits(msg: AISMessage) -> list[int]:
+    w = _BitWriter()
+    w.write(1, 6)                       # message type 1
+    w.write(0, 2)                       # repeat indicator
+    w.write(msg.mmsi, 30)
+    w.write(int(msg.status), 4)
+    w.write(128, 8)                     # rate of turn: not available
+    sog = min(int(round(msg.sog * 10.0)), 1022)
+    w.write(max(sog, 0), 10)
+    w.write(1, 1)                       # position accuracy: high
+    w.write(int(round(msg.lon * _LATLON_SCALE)), 28)
+    w.write(int(round(msg.lat * _LATLON_SCALE)), 27)
+    w.write(int(round(msg.cog * 10.0)) % 3600, 12)
+    heading = 511 if msg.heading is None else int(msg.heading) % 360
+    w.write(heading, 9)
+    w.write(int(msg.t) % 60, 6)         # UTC second
+    w.write(0, 2)                       # maneuver indicator
+    w.write(0, 3)                       # spare
+    w.write(0, 1)                       # RAIM
+    w.write(0, 19)                      # radio status
+    return w.bits()
+
+
+def _encode_static_bits(rep: StaticReport) -> list[int]:
+    w = _BitWriter()
+    w.write(5, 6)                       # message type 5
+    w.write(0, 2)
+    w.write(rep.mmsi, 30)
+    w.write(0, 2)                       # AIS version
+    w.write(0, 30)                      # IMO number (unused)
+    w.write_text("", 7)                 # call sign
+    w.write_text(rep.name, 20)
+    w.write(rep.ship_type, 8)
+    w.write(min(rep.to_bow, 511), 9)
+    w.write(min(rep.to_stern, 511), 9)
+    w.write(min(rep.to_port, 63), 6)
+    w.write(min(rep.to_starboard, 63), 6)
+    w.write(int(round(rep.draught * 10.0)) & 0xFF, 8)
+    return w.bits()
+
+
+def encode_nmea(msg: AISMessage | StaticReport, channel: str = "A") -> str:
+    """Encode a message as a single ``!AIVDM`` NMEA sentence."""
+    if isinstance(msg, AISMessage):
+        bits = _encode_position_bits(msg)
+    elif isinstance(msg, StaticReport):
+        bits = _encode_static_bits(msg)
+    else:
+        raise TypeError(f"cannot encode {type(msg).__name__}")
+    payload = _bits_to_sixbit_ascii(bits)
+    body = f"AIVDM,1,1,,{channel},{payload},0"
+    return f"!{body}*{_nmea_checksum(body):02X}"
+
+
+# --------------------------------------------------------------------------
+# Decoding
+# --------------------------------------------------------------------------
+
+def decode_nmea(sentence: str, t: float = 0.0) -> AISMessage | StaticReport:
+    """Decode an ``!AIVDM`` sentence produced by :func:`encode_nmea`.
+
+    ``t`` supplies the receiver timestamp (the payload only carries the UTC
+    second, which is validated against ``t`` when decoding position reports).
+    Raises :class:`ValueError` on framing, checksum or payload errors.
+    """
+    sentence = sentence.strip()
+    if not sentence.startswith("!"):
+        raise ValueError("NMEA sentence must start with '!'")
+    try:
+        body, checksum_text = sentence[1:].rsplit("*", 1)
+    except ValueError as exc:
+        raise ValueError("NMEA sentence missing checksum") from exc
+    if _nmea_checksum(body) != int(checksum_text, 16):
+        raise ValueError("NMEA checksum mismatch")
+    fields = body.split(",")
+    if len(fields) != 7 or fields[0] != "AIVDM":
+        raise ValueError(f"not an AIVDM sentence: {sentence!r}")
+    payload = fields[5]
+
+    r = _BitReader(_sixbit_ascii_to_bits(payload))
+    msg_type = r.read(6)
+    if msg_type == 1:
+        return _decode_position(r, t)
+    if msg_type == 5:
+        return _decode_static(r, t)
+    raise ValueError(f"unsupported AIS message type {msg_type}")
+
+
+def _decode_position(r: _BitReader, t: float) -> AISMessage:
+    r.read(2)                           # repeat
+    mmsi = r.read(30)
+    status = NavigationStatus(r.read(4))
+    r.read(8)                           # rate of turn
+    sog = r.read(10) / 10.0
+    r.read(1)                           # accuracy
+    lon = r.read(28, signed=True) / _LATLON_SCALE
+    lat = r.read(27, signed=True) / _LATLON_SCALE
+    cog = r.read(12) / 10.0
+    heading_raw = r.read(9)
+    heading = None if heading_raw == 511 else heading_raw
+    r.read(6)                           # UTC second
+    return AISMessage(mmsi=mmsi, t=t, lat=lat, lon=lon, sog=sog, cog=cog,
+                      heading=heading, status=status)
+
+
+def _decode_static(r: _BitReader, t: float) -> StaticReport:
+    r.read(2)
+    mmsi = r.read(30)
+    r.read(2)                           # AIS version
+    r.read(30)                          # IMO
+    r.read_text(7)                      # call sign
+    name = r.read_text(20)
+    ship_type = r.read(8)
+    to_bow = r.read(9)
+    to_stern = r.read(9)
+    to_port = r.read(6)
+    to_starboard = r.read(6)
+    draught = r.read(8) / 10.0
+    return StaticReport(mmsi=mmsi, t=t, name=name, ship_type=ship_type,
+                        to_bow=to_bow, to_stern=to_stern, to_port=to_port,
+                        to_starboard=to_starboard, draught=draught)

@@ -1,0 +1,119 @@
+"""A catalogue of real-world ports used to lay out synthetic routes.
+
+Coordinates are approximate harbour-entrance positions. The catalogue spans
+the paper's evaluation regions (Europe and adjacent seas, with the Aegean
+well represented for the collision dataset) plus enough world coverage for
+the global scalability stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.bbox import BoundingBox
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named port with harbour coordinates and a coarse region tag."""
+
+    name: str
+    lat: float
+    lon: float
+    region: str
+    #: Relative traffic weight used when sampling origin/destination pairs.
+    weight: float = 1.0
+
+
+PORTS: tuple[Port, ...] = (
+    # --- Aegean & East Mediterranean -------------------------------------
+    Port("Piraeus", 37.942, 23.646, "aegean", 3.0),
+    Port("Thessaloniki", 40.632, 22.935, "aegean", 1.5),
+    Port("Heraklion", 35.345, 25.145, "aegean", 1.0),
+    Port("Ermoupolis", 37.444, 24.941, "aegean", 0.6),
+    Port("Izmir", 38.440, 27.140, "aegean", 1.2),
+    Port("Istanbul", 41.015, 28.955, "aegean", 2.5),
+    Port("Rhodes", 36.451, 28.227, "aegean", 0.6),
+    Port("Chania", 35.519, 24.018, "aegean", 0.5),
+    Port("Kavala", 40.934, 24.409, "aegean", 0.5),
+    Port("Mytilene", 39.108, 26.555, "aegean", 0.5),
+    Port("Limassol", 34.650, 33.030, "eastmed", 1.2),
+    Port("Port Said", 31.265, 32.302, "eastmed", 2.5),
+    Port("Haifa", 32.820, 35.000, "eastmed", 1.0),
+    # --- Central & West Mediterranean ------------------------------------
+    Port("Valletta", 35.897, 14.512, "med", 1.0),
+    Port("Genoa", 44.403, 8.924, "med", 1.8),
+    Port("Marseille", 43.330, 5.350, "med", 1.8),
+    Port("Barcelona", 41.350, 2.160, "med", 1.8),
+    Port("Valencia", 39.450, -0.320, "med", 1.6),
+    Port("Algeciras", 36.130, -5.430, "med", 2.0),
+    Port("Naples", 40.840, 14.260, "med", 1.2),
+    Port("Tunis", 36.820, 10.300, "med", 0.8),
+    Port("Alexandria", 31.190, 29.870, "med", 1.5),
+    # --- Atlantic Europe ---------------------------------------------------
+    Port("Lisbon", 38.700, -9.160, "atlantic", 1.2),
+    Port("Leixoes", 41.185, -8.700, "atlantic", 0.8),
+    Port("Bilbao", 43.350, -3.040, "atlantic", 0.8),
+    Port("Le Havre", 49.480, 0.110, "atlantic", 1.8),
+    Port("Southampton", 50.900, -1.400, "atlantic", 1.6),
+    Port("Dublin", 53.345, -6.200, "atlantic", 0.8),
+    Port("Bordeaux", 45.570, -1.060, "atlantic", 0.6),
+    # --- North Sea & Baltic -------------------------------------------------
+    Port("Rotterdam", 51.950, 4.050, "northsea", 3.0),
+    Port("Antwerp", 51.280, 4.300, "northsea", 2.5),
+    Port("Hamburg", 53.870, 8.710, "northsea", 2.2),
+    Port("Felixstowe", 51.950, 1.310, "northsea", 1.5),
+    Port("Bremerhaven", 53.560, 8.550, "northsea", 1.4),
+    Port("Gothenburg", 57.690, 11.850, "baltic", 1.0),
+    Port("Copenhagen", 55.700, 12.600, "baltic", 0.9),
+    Port("Gdansk", 54.400, 18.680, "baltic", 1.0),
+    Port("Stockholm", 59.320, 18.100, "baltic", 0.8),
+    Port("Helsinki", 60.150, 24.960, "baltic", 0.8),
+    Port("St Petersburg", 59.880, 30.200, "baltic", 1.2),
+    Port("Riga", 57.050, 24.030, "baltic", 0.6),
+    # --- Norwegian / Barents -------------------------------------------------
+    Port("Bergen", 60.400, 5.300, "norwegian", 0.8),
+    Port("Narvik", 68.430, 17.400, "norwegian", 0.5),
+    Port("Murmansk", 68.970, 33.050, "barents", 0.6),
+    # --- Black Sea ------------------------------------------------------------
+    Port("Constanta", 44.160, 28.660, "blacksea", 1.0),
+    Port("Odessa", 46.490, 30.740, "blacksea", 1.0),
+    Port("Novorossiysk", 44.720, 37.800, "blacksea", 1.0),
+    # --- Red Sea & Persian Gulf -----------------------------------------------
+    Port("Jeddah", 21.480, 39.170, "redsea", 1.5),
+    Port("Suez", 29.930, 32.560, "redsea", 1.8),
+    Port("Djibouti", 11.600, 43.140, "redsea", 0.8),
+    Port("Jebel Ali", 25.010, 55.060, "gulf", 2.0),
+    Port("Ras Tanura", 26.640, 50.160, "gulf", 1.2),
+    Port("Bandar Abbas", 27.150, 56.210, "gulf", 1.0),
+    # --- Caspian ---------------------------------------------------------------
+    Port("Baku", 40.370, 49.870, "caspian", 0.6),
+    Port("Aktau", 43.620, 51.220, "caspian", 0.4),
+    # --- World (scalability stream) --------------------------------------------
+    Port("New York", 40.500, -73.900, "world", 2.0),
+    Port("Houston", 29.300, -94.700, "world", 1.8),
+    Port("Santos", -24.040, -46.300, "world", 1.5),
+    Port("Cape Town", -33.900, 18.430, "world", 1.0),
+    Port("Lagos", 6.400, 3.400, "world", 1.0),
+    Port("Mumbai", 18.920, 72.830, "world", 1.6),
+    Port("Colombo", 6.950, 79.840, "world", 1.4),
+    Port("Singapore", 1.260, 103.840, "world", 3.0),
+    Port("Hong Kong", 22.280, 114.160, "world", 2.2),
+    Port("Shanghai", 31.000, 122.000, "world", 3.0),
+    Port("Busan", 35.050, 129.050, "world", 2.0),
+    Port("Tokyo", 35.500, 139.900, "world", 1.8),
+    Port("Sydney", -33.950, 151.230, "world", 1.0),
+    Port("Los Angeles", 33.700, -118.250, "world", 2.0),
+    Port("Vancouver", 49.280, -123.160, "world", 1.2),
+    Port("Panama Colon", 9.380, -79.900, "world", 1.8),
+)
+
+
+def ports_in_bbox(bbox: BoundingBox) -> list[Port]:
+    """All catalogue ports inside ``bbox``."""
+    return [p for p in PORTS if bbox.contains(p.lat, p.lon)]
+
+
+def ports_in_region(region: str) -> list[Port]:
+    """All catalogue ports tagged with ``region``."""
+    return [p for p in PORTS if p.region == region]

@@ -1,0 +1,100 @@
+"""Curved waypoint routes between ports.
+
+Real vessel paths between two ports are not great circles: traffic separation
+schemes, coastlines and weather bend them. The long-term forecasting model
+(EnvClus*) exists precisely because of that structure. The synthetic route
+generator reproduces the property that matters to every consumer: routes
+between the same port pair share a common curved corridor, with per-voyage
+lateral variation inside the corridor.
+
+A route is built by bending the great circle with a smooth lateral offset
+profile (sum of half-sine modes whose amplitudes are deterministic per port
+pair) plus a smaller per-voyage random profile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.ais.ports import Port
+from repro.geo.geodesy import destination_point, haversine_m, initial_bearing_deg
+
+
+@dataclass(frozen=True)
+class Route:
+    """A polyline route with the ports it connects."""
+
+    origin: Port
+    destination: Port
+    waypoints: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+
+    @property
+    def length_m(self) -> float:
+        total = 0.0
+        for (lat1, lon1), (lat2, lon2) in zip(self.waypoints, self.waypoints[1:]):
+            total += haversine_m(lat1, lon1, lat2, lon2)
+        return total
+
+
+def _corridor_seed(origin: Port, destination: Port) -> int:
+    """Deterministic seed shared by all voyages on one port pair, so the
+    corridor shape is a property of the pair (as in historical AIS data)."""
+    key = f"{origin.name}->{destination.name}".encode()
+    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+
+def make_route(origin: Port, destination: Port, rng: random.Random,
+               n_waypoints: int = 24, corridor_amplitude_m: float = 25_000.0,
+               voyage_amplitude_m: float = 6_000.0) -> Route:
+    """Build one voyage's route from ``origin`` to ``destination``.
+
+    The route interpolates the great circle at ``n_waypoints`` points and
+    displaces each laterally by
+
+    * a *corridor* profile — deterministic for the port pair (2 half-sine
+      modes, amplitude ``corridor_amplitude_m``), and
+    * a *voyage* profile — drawn from ``rng`` per call, amplitude
+      ``voyage_amplitude_m`` — modelling individual routing decisions.
+
+    Endpoints are never displaced (vessels do depart/arrive at the ports).
+    """
+    if n_waypoints < 2:
+        raise ValueError(f"need at least 2 waypoints, got {n_waypoints}")
+    total = haversine_m(origin.lat, origin.lon, destination.lat, destination.lon)
+    if total <= 0.0:
+        raise ValueError("origin and destination coincide")
+
+    pair_rng = random.Random(_corridor_seed(origin, destination))
+    corridor_modes = [(pair_rng.uniform(-1.0, 1.0), k + 1) for k in range(2)]
+    voyage_modes = [(rng.uniform(-1.0, 1.0), k + 1) for k in range(3)]
+
+    waypoints: list[tuple[float, float]] = []
+    for i in range(n_waypoints):
+        frac = i / (n_waypoints - 1)
+        lat, lon = destination_point(
+            origin.lat, origin.lon,
+            initial_bearing_deg(origin.lat, origin.lon,
+                                destination.lat, destination.lon),
+            total * frac)
+        offset = 0.0
+        for amp, k in corridor_modes:
+            offset += corridor_amplitude_m * amp * math.sin(math.pi * k * frac)
+        for amp, k in voyage_modes:
+            offset += voyage_amplitude_m * amp * math.sin(math.pi * k * frac)
+        # Taper ensures endpoints stay pinned even after mode summation.
+        offset *= math.sin(math.pi * frac)
+        if abs(offset) > 0.0:
+            heading = initial_bearing_deg(lat, lon,
+                                          destination.lat, destination.lon)
+            side = 90.0 if offset >= 0 else -90.0
+            lat, lon = destination_point(lat, lon, heading + side, abs(offset))
+        waypoints.append((lat, lon))
+
+    # Snap exact endpoints (floating point drift from the projections).
+    waypoints[0] = (origin.lat, origin.lon)
+    waypoints[-1] = (destination.lat, destination.lon)
+    return Route(origin=origin, destination=destination,
+                 waypoints=tuple(waypoints))

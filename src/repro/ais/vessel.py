@@ -1,0 +1,127 @@
+"""Vessel static data with realistic per-class distributions.
+
+Both forecasting models consume vessel-specific features (type, dimensions,
+draught, DWT — Section 4 of the paper); the simulator also derives cruise
+speeds and manoeuvring behaviour from the vessel class.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.ais.message import StaticReport
+
+
+class VesselType(enum.Enum):
+    """Coarse vessel classes with their AIS ship-type code range."""
+
+    CARGO = 70
+    TANKER = 80
+    PASSENGER = 60
+    FISHING = 30
+    TUG = 52
+    HIGH_SPEED_CRAFT = 40
+    PLEASURE = 37
+
+    @property
+    def ais_code(self) -> int:
+        return self.value
+
+
+#: Per-class (cruise speed knots (mean, sd), length m (mean, sd),
+#: draught m (mean, sd), max turn rate deg/s) parameters.
+_CLASS_PROFILES: dict[VesselType, tuple[tuple[float, float],
+                                        tuple[float, float],
+                                        tuple[float, float], float]] = {
+    VesselType.CARGO: ((13.0, 2.0), (190.0, 60.0), (10.0, 2.5), 0.35),
+    VesselType.TANKER: ((11.5, 1.5), (230.0, 70.0), (12.5, 3.0), 0.25),
+    VesselType.PASSENGER: ((17.0, 3.0), (140.0, 60.0), (6.0, 1.5), 0.6),
+    VesselType.FISHING: ((8.0, 2.0), (28.0, 10.0), (4.0, 1.0), 1.5),
+    VesselType.TUG: ((9.0, 2.0), (30.0, 8.0), (4.5, 1.0), 1.2),
+    VesselType.HIGH_SPEED_CRAFT: ((28.0, 5.0), (60.0, 20.0), (2.8, 0.8), 1.0),
+    VesselType.PLEASURE: ((10.0, 4.0), (18.0, 8.0), (2.2, 0.6), 2.0),
+}
+
+#: Global fleet mix used when sampling without an explicit type (roughly the
+#: AIS traffic composition MarineTraffic reports: mostly cargo/tanker).
+_FLEET_MIX: tuple[tuple[VesselType, float], ...] = (
+    (VesselType.CARGO, 0.38),
+    (VesselType.TANKER, 0.22),
+    (VesselType.FISHING, 0.16),
+    (VesselType.PASSENGER, 0.10),
+    (VesselType.TUG, 0.06),
+    (VesselType.HIGH_SPEED_CRAFT, 0.04),
+    (VesselType.PLEASURE, 0.04),
+)
+
+_NAME_PREFIXES = ("SEA", "OCEAN", "NORDIC", "AEGEAN", "ATLANTIC", "BALTIC",
+                  "IONIAN", "PACIFIC", "POLAR", "DELTA", "ASTRA", "MERIDIAN")
+_NAME_SUFFIXES = ("SPIRIT", "TRADER", "PIONEER", "STAR", "WAVE", "HORIZON",
+                  "GLORY", "EXPRESS", "CARRIER", "VOYAGER", "DAWN", "CREST")
+
+
+@dataclass(frozen=True)
+class VesselStatics:
+    """Static vessel attributes, the per-actor cached state of Section 3."""
+
+    mmsi: int
+    name: str
+    vessel_type: VesselType
+    length_m: float
+    beam_m: float
+    draught_m: float
+    dwt: float           #: deadweight tonnage
+    cruise_speed_kn: float
+    max_turn_rate_deg_s: float
+
+    def to_static_report(self, t: float = 0.0) -> StaticReport:
+        """The AIS type-5 report a transponder would broadcast."""
+        to_bow = int(self.length_m * 0.5)
+        to_stern = int(self.length_m - to_bow)
+        to_port = int(self.beam_m * 0.5)
+        to_starboard = int(max(self.beam_m - to_port, 0))
+        return StaticReport(mmsi=self.mmsi, t=t, name=self.name,
+                            ship_type=self.vessel_type.ais_code,
+                            to_bow=to_bow, to_stern=to_stern,
+                            to_port=to_port, to_starboard=to_starboard,
+                            draught=round(min(self.draught_m, 25.5), 1))
+
+    def feature_vector(self) -> list[float]:
+        """Numeric features consumed by the forecasting models."""
+        return [float(self.vessel_type.ais_code), self.length_m, self.beam_m,
+                self.draught_m, self.dwt, self.cruise_speed_kn]
+
+
+def _sample_type(rng: random.Random) -> VesselType:
+    u = rng.random()
+    acc = 0.0
+    for vtype, p in _FLEET_MIX:
+        acc += p
+        if u <= acc:
+            return vtype
+    return _FLEET_MIX[-1][0]
+
+
+def random_statics(rng: random.Random, mmsi: int,
+                   vessel_type: VesselType | None = None) -> VesselStatics:
+    """Sample plausible statics for one vessel.
+
+    MMSIs are caller-assigned (they partition the actor space, so collisions
+    must be impossible by construction, not by luck).
+    """
+    vtype = vessel_type or _sample_type(rng)
+    (spd_mu, spd_sd), (len_mu, len_sd), (drg_mu, drg_sd), turn = _CLASS_PROFILES[vtype]
+    length = max(10.0, rng.gauss(len_mu, len_sd))
+    beam = max(3.0, length / rng.uniform(5.5, 7.5))
+    draught = max(1.0, rng.gauss(drg_mu, drg_sd))
+    # Crude DWT from hull volume; only used as a model feature.
+    dwt = max(50.0, 0.55 * length * beam * draught)
+    cruise = max(4.0, rng.gauss(spd_mu, spd_sd))
+    name = (f"{rng.choice(_NAME_PREFIXES)} {rng.choice(_NAME_SUFFIXES)} "
+            f"{rng.randint(1, 99)}")
+    return VesselStatics(mmsi=mmsi, name=name, vessel_type=vtype,
+                         length_m=length, beam_m=beam, draught_m=draught,
+                         dwt=dwt, cruise_speed_kn=cruise,
+                         max_turn_rate_deg_s=turn)

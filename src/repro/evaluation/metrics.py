@@ -1,0 +1,68 @@
+"""Evaluation metrics: displacement errors and detection counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m
+
+
+def displacement_errors_m(pred_lat: np.ndarray, pred_lon: np.ndarray,
+                          true_lat: np.ndarray, true_lon: np.ndarray
+                          ) -> np.ndarray:
+    """Great-circle displacement error per segment per horizon, metres.
+
+    All inputs are ``(n, horizons)`` arrays.
+    """
+    if pred_lat.shape != true_lat.shape:
+        raise ValueError(
+            f"shape mismatch: {pred_lat.shape} vs {true_lat.shape}")
+    return haversine_m(pred_lat, pred_lon, true_lat, true_lon)
+
+
+def ade_per_horizon(errors_m: np.ndarray) -> np.ndarray:
+    """Average displacement error at each horizon (the Table 1 rows)."""
+    return errors_m.mean(axis=0)
+
+
+@dataclass
+class DetectionCounts:
+    """Confusion counts for event forecasting (no true negatives exist in
+    the open-world setting, as in the paper's Table 2)."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Event-level accuracy without true negatives:
+        ``TP / (TP + FP + FN)`` (Jaccard/critical-success index).
+
+        Note: the paper's Table 2 "Accuracy" column numerically tracks its
+        recall column (its TN-free accuracy definition is not spelled out);
+        EXPERIMENTS.md reports both this index and recall for comparison.
+        """
+        denom = self.tp + self.fp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    def merged(self, other: "DetectionCounts") -> "DetectionCounts":
+        return DetectionCounts(tp=self.tp + other.tp, fp=self.fp + other.fp,
+                               fn=self.fn + other.fn)

@@ -1,0 +1,88 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+Benchmarks print these so a run's output can be compared line by line with
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figure6 import Figure6Result
+from repro.evaluation.table1 import Table1Result
+from repro.evaluation.table2 import Table2Result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table 1: ADE per prediction horizon."""
+    lines = [
+        "Table 1: S-VRF performance (ADE in metres per prediction horizon)",
+        f"{'horizon':>10} {'Linear Kinematic':>18} {'S-VRF':>10} "
+        f"{'Difference %':>13}",
+    ]
+    for h, lin, svrf, diff in zip(result.horizons_min, result.linear_ade_m,
+                                  result.svrf_ade_m,
+                                  result.difference_pct()):
+        lines.append(f"{f't = {h}min':>10} {lin:>18.1f} {svrf:>10.1f} "
+                     f"{diff:>+13.1f}")
+    lines.append(f"{'Mean ADE':>10} {result.linear_mean_ade_m:>18.1f} "
+                 f"{result.svrf_mean_ade_m:>10.1f} "
+                 f"{result.mean_difference_pct:>+13.1f}")
+    return "\n".join(lines)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table 2: collision forecasting evaluation."""
+    lines = [
+        "Table 2: Evaluation of vessel collision forecasting",
+        f"{'Dataset':<15} {'Model':<17} {'Thr(min)':>8} {'Events':>7} "
+        f"{'TP':>5} {'FP':>5} {'FN':>5} {'Prec':>6} {'Rec':>6} "
+        f"{'F1':>6} {'Acc':>6}",
+    ]
+    for row in result.rows:
+        c = row.counts
+        lines.append(
+            f"{row.dataset:<15} {row.model:<17} "
+            f"{row.temporal_threshold_min:>8.0f} {row.total_events:>7} "
+            f"{c.tp:>5} {c.fp:>5} {c.fn:>5} {c.precision:>6.2f} "
+            f"{c.recall:>6.2f} {c.f1:>6.2f} {c.accuracy:>6.2f}")
+    return "\n".join(lines)
+
+
+def format_figure6(result: Figure6Result, n_points: int = 20) -> str:
+    """Render the Figure 6 series as a downsampled text table plus an
+    ASCII sparkline of processing time vs actor count."""
+    counts = result.actor_counts
+    times = result.avg_processing_time_s
+    if counts.size == 0:
+        return "Figure 6: no samples recorded"
+    idx = np.linspace(0, counts.size - 1, min(n_points, counts.size))
+    idx = np.unique(idx.astype(int))
+    lines = [
+        "Figure 6: average processing time vs number of vessel actors",
+        f"  vessels tracked: {result.total_vessels}, messages: "
+        f"{result.total_messages}, wall time: {result.wall_time_s:.1f}s, "
+        f"throughput: {result.throughput_msgs_per_s:.0f} msg/s",
+        f"  peak {result.peak_time_s * 1e3:.2f} ms at "
+        f"{result.peak_actor_count} actors; plateau "
+        f"{result.plateau_mean_s() * 1e3:.3f} ms",
+        f"{'actors':>10} {'avg time (ms)':>14}",
+    ]
+    for i in idx:
+        lines.append(f"{counts[i]:>10} {times[i] * 1e3:>14.3f}")
+    lines.append("  " + sparkline(times))
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """A one-line ASCII chart of a series."""
+    if values.size == 0:
+        return ""
+    blocks = " .:-=+*#%@"
+    idx = np.linspace(0, values.size - 1, min(width, values.size)).astype(int)
+    sampled = values[idx]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    chars = [blocks[int((v - lo) / span * (len(blocks) - 1))]
+             for v in sampled]
+    return "".join(chars)

@@ -1,0 +1,211 @@
+"""Vessel collision forecasting (Section 5.2).
+
+The algorithm the paper integrates at the actor level:
+
+1. each AIS message produces a 7-position forecast trajectory (present
+   position + six S-VRF predictions),
+2. every forecast position is assigned to its H3 cell *and the neighbouring
+   cells* so near-boundary encounters are not missed,
+3. vessels sharing a cell are checked pairwise: first **temporal
+   intersection** (two forecast positions within a system-defined time
+   interval threshold inside the 30-minute window), then **spatial
+   intersection** (those positions within a distance threshold),
+4. if both hold, a potential collision is detected and logged with the
+   estimated time, location and the MMSIs involved (Figure 4f).
+
+:func:`trajectories_intersect` is the pairwise core (used verbatim by the
+platform's collision actors); :class:`CollisionForecaster` adds the
+cell-indexed candidate generation and per-pair debouncing for standalone
+use by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.models.base import RouteForecast
+
+#: Default hex resolution for collision cells (~461 m edges, matching the
+#: spatial threshold scale).
+COLLISION_RESOLUTION = 8
+
+
+@dataclass(frozen=True)
+class CollisionForecast:
+    """A forecast close encounter between two vessels."""
+
+    mmsi_a: int
+    mmsi_b: int
+    #: Estimated encounter time (midpoint of the two forecast positions).
+    t_expected: float
+    lat: float
+    lon: float
+    min_distance_m: float
+    #: Stream time at which the forecast was made.
+    forecast_at: float
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return tuple(sorted((self.mmsi_a, self.mmsi_b)))
+
+    @property
+    def lead_time_s(self) -> float:
+        """Warning lead time: how far ahead the encounter is forecast."""
+        return self.t_expected - self.forecast_at
+
+
+def _densify(fc: RouteForecast, step_s: float
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Resample a forecast polyline at ``step_s`` (linear interpolation).
+
+    The forecast marks are 5 minutes apart; a 12-knot vessel covers ~1.8 km
+    between marks, so pointwise mark comparison would miss most genuine
+    path crossings. Densifying both trajectories turns the spatial-
+    intersection test into a closest-point-of-approach check along the
+    paths, which is what "the spatial intersection of the forecasted
+    trajectories is assessed" requires.
+    """
+    ts = np.array([p.t for p in fc.positions])
+    lats = np.array([p.lat for p in fc.positions])
+    lons = np.array([p.lon for p in fc.positions])
+    dense_t = np.arange(ts[0], ts[-1] + step_s / 2.0, step_s)
+    return dense_t, np.interp(dense_t, ts, lats), np.interp(dense_t, ts, lons)
+
+
+def trajectories_intersect(fc_a: RouteForecast, fc_b: RouteForecast,
+                           temporal_threshold_s: float = 120.0,
+                           spatial_threshold_m: float = 500.0,
+                           step_s: float = 30.0) -> CollisionForecast | None:
+    """Check two forecast trajectories for a predicted close encounter.
+
+    Implements the paper's two-stage test (Section 5.2): **temporal
+    intersection** first — trajectory samples within the system-defined
+    time-interval threshold of each other (the threshold "accounts for
+    close proximity vessel passes") — then **spatial intersection** of the
+    temporally matched samples. Trajectories are densified to ``step_s``
+    so path crossings between the 5-minute marks are not missed. Returns
+    the encounter at minimum predicted separation, or ``None``.
+    """
+    ta, lat_a, lon_a = _densify(fc_a, step_s)
+    tb, lat_b, lon_b = _densify(fc_b, step_s)
+
+    # Temporal intersection: |ta_i - tb_j| <= threshold, vectorised.
+    dt = np.abs(ta[:, None] - tb[None, :])
+    mask = dt <= temporal_threshold_s
+    if not mask.any():
+        return None
+    ia, ib = np.nonzero(mask)
+
+    # Spatial intersection on the matched samples (flat-Earth metres).
+    mean_lat = np.radians((lat_a.mean() + lat_b.mean()) / 2.0)
+    kx = 111_194.9266 * np.cos(mean_lat)
+    ky = 111_194.9266
+    dx = (lon_a[ia] - lon_b[ib]) * kx
+    dy = (lat_a[ia] - lat_b[ib]) * ky
+    d = np.hypot(dx, dy)
+    k = int(np.argmin(d))
+    if d[k] > spatial_threshold_m:
+        return None
+    i, j = int(ia[k]), int(ib[k])
+    return CollisionForecast(
+        mmsi_a=fc_a.mmsi, mmsi_b=fc_b.mmsi,
+        t_expected=float((ta[i] + tb[j]) / 2.0),
+        lat=float((lat_a[i] + lat_b[j]) / 2.0),
+        lon=float((lon_a[i] + lon_b[j]) / 2.0),
+        min_distance_m=float(d[k]),
+        forecast_at=max(fc_a.anchor.t, fc_b.anchor.t))
+
+
+class CollisionForecaster:
+    """Cell-indexed collision forecasting over a stream of route forecasts.
+
+    ``submit`` registers a vessel's newest forecast, finds candidate vessels
+    through shared (dilated) cells, and returns any new collision forecasts.
+    One event per vessel pair per ``debounce_s`` is emitted.
+    """
+
+    def __init__(self, resolution: int = COLLISION_RESOLUTION,
+                 temporal_threshold_s: float = 120.0,
+                 spatial_threshold_m: float = 500.0,
+                 neighbor_rings: int = 1,
+                 debounce_s: float = 900.0) -> None:
+        self.resolution = resolution
+        self.temporal_threshold_s = temporal_threshold_s
+        self.spatial_threshold_m = spatial_threshold_m
+        self.neighbor_rings = neighbor_rings
+        self.debounce_s = debounce_s
+        self._forecasts: dict[int, RouteForecast] = {}
+        #: cell -> set of MMSIs whose dilated forecast touches the cell.
+        self._cells: dict[int, set[int]] = {}
+        #: mmsi -> cells it currently occupies (for cleanup on update).
+        self._vessel_cells: dict[int, set[int]] = {}
+        self._last_event: dict[tuple[int, int], float] = {}
+        self.events: list[CollisionForecast] = []
+
+    def _dilated_cells(self, forecast: RouteForecast) -> set[int]:
+        cells: set[int] = set()
+        for pos in forecast.positions:
+            base = latlng_to_cell(pos.lat, pos.lon, self.resolution)
+            cells.update(grid_disk(base, self.neighbor_rings))
+        return cells
+
+    def _unregister(self, mmsi: int) -> None:
+        for cell in self._vessel_cells.pop(mmsi, ()):
+            members = self._cells.get(cell)
+            if members is not None:
+                members.discard(mmsi)
+                if not members:
+                    del self._cells[cell]
+
+    def submit(self, forecast: RouteForecast) -> list[CollisionForecast]:
+        """Register a new forecast; returns newly predicted collisions."""
+        mmsi = forecast.mmsi
+        self._unregister(mmsi)
+        cells = self._dilated_cells(forecast)
+        self._forecasts[mmsi] = forecast
+        self._vessel_cells[mmsi] = cells
+
+        candidates: set[int] = set()
+        for cell in cells:
+            members = self._cells.setdefault(cell, set())
+            candidates.update(members)
+            members.add(mmsi)
+        candidates.discard(mmsi)
+
+        new_events = []
+        for other in candidates:
+            other_fc = self._forecasts.get(other)
+            if other_fc is None:
+                continue
+            hit = trajectories_intersect(
+                forecast, other_fc,
+                temporal_threshold_s=self.temporal_threshold_s,
+                spatial_threshold_m=self.spatial_threshold_m)
+            if hit is None:
+                continue
+            last = self._last_event.get(hit.pair)
+            if last is not None and forecast.anchor.t - last < self.debounce_s:
+                continue
+            self._last_event[hit.pair] = forecast.anchor.t
+            self.events.append(hit)
+            new_events.append(hit)
+        return new_events
+
+    def prune(self, now: float, max_age_s: float = 900.0) -> int:
+        """Forget forecasts older than ``max_age_s``; returns how many."""
+        stale = [m for m, fc in self._forecasts.items()
+                 if now - fc.anchor.t > max_age_s]
+        for mmsi in stale:
+            self._unregister(mmsi)
+            del self._forecasts[mmsi]
+        return len(stale)
+
+    @property
+    def tracked_vessels(self) -> int:
+        return len(self._forecasts)
+
+    @property
+    def active_cells(self) -> int:
+        return len(self._cells)

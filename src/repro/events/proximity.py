@@ -1,0 +1,95 @@
+"""Close-proximity event detection.
+
+"AIS positional data are sent to the cell actors for proximity event
+detection" (Section 3): each H3 cell actor receives the positions falling in
+its cell (and, because positions are fanned out to neighbouring cells too,
+positions just across its borders) and flags vessel pairs closer than a
+threshold within a short time window. :class:`ProximityDetector` is that
+per-cell state machine; the platform instantiates one inside every cell
+actor, and the evaluation drives it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geodesy import equirectangular_distance_m
+
+
+@dataclass(frozen=True)
+class ProximityPairEvent:
+    """Two vessels observed within ``distance_m`` of each other."""
+
+    mmsi_a: int
+    mmsi_b: int
+    t: float
+    distance_m: float
+    lat: float       #: midpoint latitude
+    lon: float       #: midpoint longitude
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return tuple(sorted((self.mmsi_a, self.mmsi_b)))
+
+
+class ProximityDetector:
+    """Detects vessel pairs within a distance threshold.
+
+    ``observe`` ingests timestamped positions; any other vessel seen within
+    ``time_window_s`` whose position lies inside ``distance_threshold_m``
+    produces an event. Repeated detections of the same pair within
+    ``debounce_s`` are suppressed so one encounter logs one event.
+    """
+
+    def __init__(self, distance_threshold_m: float = 500.0,
+                 time_window_s: float = 120.0,
+                 debounce_s: float = 600.0) -> None:
+        if distance_threshold_m <= 0:
+            raise ValueError("distance threshold must be positive")
+        self.distance_threshold_m = distance_threshold_m
+        self.time_window_s = time_window_s
+        self.debounce_s = debounce_s
+        #: mmsi -> (t, lat, lon) most recent observation.
+        self._last_seen: dict[int, tuple[float, float, float]] = {}
+        #: pair -> time of last emitted event.
+        self._last_event: dict[tuple[int, int], float] = {}
+        self.events: list[ProximityPairEvent] = []
+
+    def observe(self, mmsi: int, t: float, lat: float, lon: float
+                ) -> list[ProximityPairEvent]:
+        """Ingest one position; returns newly detected events."""
+        new_events = []
+        for other, (ot, olat, olon) in self._last_seen.items():
+            if other == mmsi or t - ot > self.time_window_s:
+                continue
+            d = equirectangular_distance_m(lat, lon, olat, olon)
+            if d >= self.distance_threshold_m:
+                continue
+            pair = tuple(sorted((mmsi, other)))
+            last = self._last_event.get(pair)
+            if last is not None and t - last < self.debounce_s:
+                continue
+            event = ProximityPairEvent(
+                mmsi_a=pair[0], mmsi_b=pair[1], t=t, distance_m=float(d),
+                lat=(lat + olat) / 2.0, lon=(lon + olon) / 2.0)
+            self._last_event[pair] = t
+            self.events.append(event)
+            new_events.append(event)
+        self._last_seen[mmsi] = (t, lat, lon)
+        return new_events
+
+    def prune(self, now: float) -> int:
+        """Drop observations older than the time window; returns how many.
+
+        Cell actors call this periodically so memory stays bounded even in
+        the busiest cells.
+        """
+        stale = [m for m, (t, _, _) in self._last_seen.items()
+                 if now - t > self.time_window_s]
+        for m in stale:
+            del self._last_seen[m]
+        return len(stale)
+
+    @property
+    def tracked_vessels(self) -> int:
+        return len(self._last_seen)

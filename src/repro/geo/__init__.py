@@ -1,0 +1,53 @@
+"""WGS84 geodesy primitives used across the platform.
+
+All angles are degrees unless a function name says otherwise; all distances
+are metres; all speeds are knots where AIS semantics apply and m/s internally.
+"""
+
+from repro.geo.constants import (
+    EARTH_RADIUS_M,
+    KNOTS_TO_MPS,
+    MPS_TO_KNOTS,
+    NAUTICAL_MILE_M,
+)
+from repro.geo.geodesy import (
+    bearing_deg,
+    cross_track_distance_m,
+    destination_point,
+    equirectangular_distance_m,
+    haversine_m,
+    initial_bearing_deg,
+    normalize_lon,
+    wrap_bearing_deg,
+)
+from repro.geo.bbox import BoundingBox
+from repro.geo.track import (
+    Position,
+    cumulative_distances_m,
+    downsample_track,
+    interpolate_track,
+    resample_track,
+    track_length_m,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "KNOTS_TO_MPS",
+    "MPS_TO_KNOTS",
+    "NAUTICAL_MILE_M",
+    "BoundingBox",
+    "Position",
+    "bearing_deg",
+    "cross_track_distance_m",
+    "cumulative_distances_m",
+    "destination_point",
+    "downsample_track",
+    "equirectangular_distance_m",
+    "haversine_m",
+    "initial_bearing_deg",
+    "interpolate_track",
+    "normalize_lon",
+    "resample_track",
+    "track_length_m",
+    "wrap_bearing_deg",
+]

@@ -1,0 +1,75 @@
+"""Geographic bounding boxes.
+
+The paper defines its evaluation dataset by a WGS84 bounding box covering
+Europe, the North Atlantic and adjacent seas; :class:`BoundingBox` is the
+reusable form of that definition, used by dataset builders and by the fleet
+simulator to constrain scenario areas.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.geo.geodesy import normalize_lon
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned lat/lon box. ``lon_min`` may exceed ``lon_max`` to
+    describe a box crossing the antimeridian."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat_min <= self.lat_max <= 90.0):
+            raise ValueError(
+                f"invalid latitude range [{self.lat_min}, {self.lat_max}]")
+        if not (-180.0 <= self.lon_min <= 180.0 and -180.0 <= self.lon_max <= 180.0):
+            raise ValueError(
+                f"longitudes must be in [-180, 180], got [{self.lon_min}, {self.lon_max}]")
+
+    @property
+    def crosses_antimeridian(self) -> bool:
+        return self.lon_min > self.lon_max
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """True if the point lies inside the box (inclusive bounds)."""
+        if not self.lat_min <= lat <= self.lat_max:
+            return False
+        lon = float(normalize_lon(lon))
+        if self.crosses_antimeridian:
+            return lon >= self.lon_min or lon <= self.lon_max
+        return self.lon_min <= lon <= self.lon_max
+
+    def sample(self, rng: random.Random) -> tuple[float, float]:
+        """Draw a uniform random point ``(lat, lon)`` inside the box."""
+        lat = rng.uniform(self.lat_min, self.lat_max)
+        if self.crosses_antimeridian:
+            span = (180.0 - self.lon_min) + (self.lon_max + 180.0)
+            off = rng.uniform(0.0, span)
+            lon = float(normalize_lon(self.lon_min + off))
+        else:
+            lon = rng.uniform(self.lon_min, self.lon_max)
+        return lat, lon
+
+    def expanded(self, margin_deg: float) -> "BoundingBox":
+        """A copy grown by ``margin_deg`` degrees on every side (clamped)."""
+        return BoundingBox(
+            lat_min=max(-90.0, self.lat_min - margin_deg),
+            lat_max=min(90.0, self.lat_max + margin_deg),
+            lon_min=max(-180.0, self.lon_min - margin_deg),
+            lon_max=min(180.0, self.lon_max + margin_deg),
+        )
+
+
+#: The evaluation area of the paper's S-VRF dataset (Section 6.1): Europe,
+#: the North Atlantic, the Barents, Caspian and Red Seas and the Persian Gulf.
+PAPER_EVAL_BBOX = BoundingBox(lat_min=24.0, lat_max=78.9862,
+                              lon_min=-41.99983, lon_max=68.9986)
+
+#: The Aegean Sea, where the paper's collision-forecasting dataset lives.
+AEGEAN_BBOX = BoundingBox(lat_min=35.0, lat_max=41.0, lon_min=22.5, lon_max=27.5)

@@ -1,0 +1,21 @@
+"""Physical constants for maritime geodesy (WGS84 spherical approximation)."""
+
+#: Mean Earth radius in metres (IUGG mean radius, adequate for AIS-scale work).
+EARTH_RADIUS_M = 6_371_008.8
+
+#: One international nautical mile in metres.
+NAUTICAL_MILE_M = 1_852.0
+
+#: Conversion factor from knots to metres per second.
+KNOTS_TO_MPS = NAUTICAL_MILE_M / 3_600.0
+
+#: Conversion factor from metres per second to knots.
+MPS_TO_KNOTS = 1.0 / KNOTS_TO_MPS
+
+#: Metres per degree of latitude on the spherical Earth.
+METERS_PER_DEG_LAT = 111_194.9266
+
+#: Seconds in common time units, used by simulator and models alike.
+MINUTE_S = 60.0
+HOUR_S = 3_600.0
+DAY_S = 86_400.0

@@ -1,0 +1,100 @@
+"""Timestamped position tracks and resampling utilities.
+
+AIS transmissions arrive irregularly; the S-VRF training pipeline needs
+fixed-rate targets and the kinematic baseline needs interpolation at
+arbitrary horizons. These helpers convert between the two worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.geodesy import destination_point, haversine_m, initial_bearing_deg
+
+
+@dataclass(frozen=True)
+class Position:
+    """A single timestamped vessel position.
+
+    ``t`` is seconds since an arbitrary epoch; ``sog`` is speed over ground in
+    knots and ``cog`` course over ground in degrees — both optional because
+    some AIS receivers drop them.
+    """
+
+    t: float
+    lat: float
+    lon: float
+    sog: float | None = None
+    cog: float | None = None
+
+
+def _as_arrays(track: Sequence[Position]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ts = np.array([p.t for p in track], dtype=float)
+    lats = np.array([p.lat for p in track], dtype=float)
+    lons = np.array([p.lon for p in track], dtype=float)
+    return ts, lats, lons
+
+
+def cumulative_distances_m(track: Sequence[Position]) -> np.ndarray:
+    """Cumulative along-track distance at each point, starting at 0."""
+    if len(track) == 0:
+        return np.zeros(0)
+    ts, lats, lons = _as_arrays(track)
+    seg = haversine_m(lats[:-1], lons[:-1], lats[1:], lons[1:])
+    return np.concatenate([[0.0], np.cumsum(np.atleast_1d(seg))])
+
+
+def track_length_m(track: Sequence[Position]) -> float:
+    """Total along-track length of a position sequence, in metres."""
+    if len(track) < 2:
+        return 0.0
+    return float(cumulative_distances_m(track)[-1])
+
+
+def interpolate_track(track: Sequence[Position], t: float) -> Position:
+    """Position at time ``t`` by great-circle interpolation between fixes.
+
+    ``t`` outside the track's time span is extrapolated from the nearest
+    segment (dead-reckoning), which mirrors how ground truth is extended a
+    few seconds past the last fix during evaluation.
+    """
+    if len(track) == 0:
+        raise ValueError("cannot interpolate an empty track")
+    if len(track) == 1:
+        only = track[0]
+        return Position(t=t, lat=only.lat, lon=only.lon, sog=only.sog, cog=only.cog)
+
+    ts, _, _ = _as_arrays(track)
+    idx = int(np.searchsorted(ts, t, side="right"))
+    lo = min(max(idx - 1, 0), len(track) - 2)
+    a, b = track[lo], track[lo + 1]
+    span = b.t - a.t
+    frac = 0.0 if span <= 0 else (t - a.t) / span
+
+    total = haversine_m(a.lat, a.lon, b.lat, b.lon)
+    brg = initial_bearing_deg(a.lat, a.lon, b.lat, b.lon) if total > 0 else (a.cog or 0.0)
+    lat, lon = destination_point(a.lat, a.lon, brg, total * frac)
+    return Position(t=t, lat=lat, lon=lon, sog=a.sog, cog=brg)
+
+
+def resample_track(track: Sequence[Position], times: Iterable[float]) -> list[Position]:
+    """Interpolated positions at each requested timestamp."""
+    return [interpolate_track(track, t) for t in times]
+
+
+def downsample_track(track: Sequence[Position], min_interval_s: float) -> list[Position]:
+    """Drop fixes closer than ``min_interval_s`` to the previously kept fix.
+
+    This is the paper's 30-second minimum downsampling rate applied to the
+    raw irregular AIS stream (Section 4.2). The first fix is always kept.
+    """
+    if min_interval_s <= 0:
+        return list(track)
+    kept: list[Position] = []
+    for p in track:
+        if not kept or p.t - kept[-1].t >= min_interval_s:
+            kept.append(p)
+    return kept

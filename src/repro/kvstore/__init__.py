@@ -1,0 +1,17 @@
+"""An in-memory key-value store (the platform's Redis substitute).
+
+The writer actor persists actor states here and the middleware API reads
+them back for the UI (Section 3). The store supports the Redis surface the
+platform touches: strings, hashes, lists, sorted sets, key TTLs and pub/sub
+channels — all thread-safe on one coarse lock.
+"""
+
+from repro.kvstore.store import KeyValueStore, WrongTypeError
+from repro.kvstore.pubsub import PubSub, Subscription
+
+__all__ = [
+    "KeyValueStore",
+    "PubSub",
+    "Subscription",
+    "WrongTypeError",
+]

@@ -1,0 +1,79 @@
+"""Publish/subscribe channels over the KV store's lock discipline.
+
+The middleware uses pub/sub to push event notifications (forecast collisions,
+proximity alerts) to the UI without polling. Subscribers receive messages
+into unbounded per-subscription queues; delivery is fan-out to every
+subscription whose pattern matches the channel.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from collections import deque
+from typing import Any
+
+
+class Subscription:
+    """A handle holding the messages delivered to one subscriber."""
+
+    def __init__(self, pattern: str, pubsub: "PubSub") -> None:
+        self.pattern = pattern
+        self._queue: deque[tuple[str, Any]] = deque()
+        self._pubsub = pubsub
+        self._closed = False
+
+    def get_all(self) -> list[tuple[str, Any]]:
+        """Drain and return all pending ``(channel, message)`` pairs."""
+        with self._pubsub._lock:
+            out = list(self._queue)
+            self._queue.clear()
+            return out
+
+    def get(self) -> tuple[str, Any] | None:
+        """Pop the oldest pending message, or ``None``."""
+        with self._pubsub._lock:
+            return self._queue.popleft() if self._queue else None
+
+    def pending(self) -> int:
+        with self._pubsub._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        self._pubsub.unsubscribe(self)
+
+
+class PubSub:
+    """Channel registry with glob-pattern subscriptions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._subs: list[Subscription] = []
+
+    def subscribe(self, pattern: str) -> Subscription:
+        """Subscribe to channels matching a glob ``pattern`` (e.g.
+        ``events:*``)."""
+        with self._lock:
+            sub = Subscription(pattern, self)
+            self._subs.append(sub)
+            return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+            sub._closed = True
+
+    def publish(self, channel: str, message: Any) -> int:
+        """Deliver to all matching subscriptions; returns receiver count."""
+        with self._lock:
+            count = 0
+            for sub in self._subs:
+                if fnmatch.fnmatch(channel, sub.pattern):
+                    sub._queue.append((channel, message))
+                    count += 1
+            return count
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)

@@ -1,0 +1,271 @@
+"""Typed key-value store with TTL expiry.
+
+Time is injected by the caller (the platform passes its stream clock), so
+expiry is deterministic in tests and benchmarks. Commands mirror the small
+Redis subset the middleware uses: GET/SET/DEL, HSET/HGET/HGETALL,
+LPUSH/RPUSH/LRANGE, ZADD/ZRANGE/ZRANGEBYSCORE, EXPIRE/TTL, KEYS/SCAN.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from typing import Any
+
+
+class WrongTypeError(TypeError):
+    """Raised when a command targets a key holding another value type
+    (Redis's ``WRONGTYPE`` error)."""
+
+
+class KeyValueStore:
+    """Thread-safe in-memory store with strings, hashes, lists and zsets."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._data: dict[str, Any] = {}
+        self._expiry: dict[str, float] = {}
+
+    # -- expiry ----------------------------------------------------------------
+
+    def _purge_if_expired(self, key: str, now: float) -> None:
+        deadline = self._expiry.get(key)
+        if deadline is not None and now >= deadline:
+            self._data.pop(key, None)
+            self._expiry.pop(key, None)
+
+    def expire(self, key: str, ttl_s: float, now: float = 0.0) -> bool:
+        """Set a time-to-live on a key. Returns False if the key is absent."""
+        with self._lock:
+            self._purge_if_expired(key, now)
+            if key not in self._data:
+                return False
+            self._expiry[key] = now + ttl_s
+            return True
+
+    def ttl(self, key: str, now: float = 0.0) -> float | None:
+        """Remaining TTL in seconds, or ``None`` if the key has no expiry.
+
+        Returns ``-1.0`` for a missing key (mirroring Redis's -2 semantics
+        loosely; the platform only checks for None/negative).
+        """
+        with self._lock:
+            self._purge_if_expired(key, now)
+            if key not in self._data:
+                return -1.0
+            deadline = self._expiry.get(key)
+            return None if deadline is None else deadline - now
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _typed(self, key: str, expect: type, create: bool, now: float) -> Any:
+        self._purge_if_expired(key, now)
+        value = self._data.get(key)
+        if value is None:
+            if not create:
+                return None
+            value = expect()
+            self._data[key] = value
+        elif not isinstance(value, expect):
+            raise WrongTypeError(
+                f"key {key!r} holds {type(value).__name__}, "
+                f"expected {expect.__name__}")
+        return value
+
+    # -- strings ------------------------------------------------------------------
+
+    def set(self, key: str, value: str, now: float = 0.0,
+            ttl_s: float | None = None) -> None:
+        with self._lock:
+            self._data[key] = str(value)
+            if ttl_s is None:
+                self._expiry.pop(key, None)
+            else:
+                self._expiry[key] = now + ttl_s
+
+    def get(self, key: str, now: float = 0.0) -> str | None:
+        with self._lock:
+            self._purge_if_expired(key, now)
+            value = self._data.get(key)
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                raise WrongTypeError(f"key {key!r} holds {type(value).__name__}")
+            return value
+
+    def incr(self, key: str, by: int = 1, now: float = 0.0) -> int:
+        with self._lock:
+            self._purge_if_expired(key, now)
+            raw = self._data.get(key, "0")
+            if not isinstance(raw, str):
+                raise WrongTypeError(f"key {key!r} holds {type(raw).__name__}")
+            value = int(raw) + by
+            self._data[key] = str(value)
+            return value
+
+    def delete(self, *keys: str) -> int:
+        with self._lock:
+            removed = 0
+            for key in keys:
+                if key in self._data:
+                    del self._data[key]
+                    self._expiry.pop(key, None)
+                    removed += 1
+            return removed
+
+    def exists(self, key: str, now: float = 0.0) -> bool:
+        with self._lock:
+            self._purge_if_expired(key, now)
+            return key in self._data
+
+    # -- hashes -------------------------------------------------------------------
+
+    def hset(self, key: str, field: str, value: Any, now: float = 0.0) -> None:
+        with self._lock:
+            self._typed(key, dict, create=True, now=now)[field] = value
+
+    def hmset(self, key: str, mapping: dict[str, Any], now: float = 0.0) -> None:
+        with self._lock:
+            self._typed(key, dict, create=True, now=now).update(mapping)
+
+    def hget(self, key: str, field: str, now: float = 0.0) -> Any | None:
+        with self._lock:
+            h = self._typed(key, dict, create=False, now=now)
+            return None if h is None else h.get(field)
+
+    def hgetall(self, key: str, now: float = 0.0) -> dict[str, Any]:
+        with self._lock:
+            h = self._typed(key, dict, create=False, now=now)
+            return {} if h is None else dict(h)
+
+    def hdel(self, key: str, *fields: str, now: float = 0.0) -> int:
+        with self._lock:
+            h = self._typed(key, dict, create=False, now=now)
+            if h is None:
+                return 0
+            removed = 0
+            for f in fields:
+                if f in h:
+                    del h[f]
+                    removed += 1
+            return removed
+
+    def hlen(self, key: str, now: float = 0.0) -> int:
+        with self._lock:
+            h = self._typed(key, dict, create=False, now=now)
+            return 0 if h is None else len(h)
+
+    # -- lists --------------------------------------------------------------------
+
+    def rpush(self, key: str, *values: Any, now: float = 0.0) -> int:
+        with self._lock:
+            lst = self._typed(key, list, create=True, now=now)
+            lst.extend(values)
+            return len(lst)
+
+    def lpush(self, key: str, *values: Any, now: float = 0.0) -> int:
+        with self._lock:
+            lst = self._typed(key, list, create=True, now=now)
+            for v in values:
+                lst.insert(0, v)
+            return len(lst)
+
+    def lrange(self, key: str, start: int, stop: int, now: float = 0.0) -> list:
+        """Inclusive range with Redis index semantics (-1 = last element)."""
+        with self._lock:
+            lst = self._typed(key, list, create=False, now=now)
+            if lst is None:
+                return []
+            n = len(lst)
+            if start < 0:
+                start += n
+            if stop < 0:
+                stop += n
+            return lst[max(start, 0):stop + 1]
+
+    def llen(self, key: str, now: float = 0.0) -> int:
+        with self._lock:
+            lst = self._typed(key, list, create=False, now=now)
+            return 0 if lst is None else len(lst)
+
+    def ltrim(self, key: str, start: int, stop: int, now: float = 0.0) -> None:
+        with self._lock:
+            lst = self._typed(key, list, create=False, now=now)
+            if lst is None:
+                return
+            n = len(lst)
+            if start < 0:
+                start += n
+            if stop < 0:
+                stop += n
+            lst[:] = lst[max(start, 0):stop + 1]
+
+    # -- sorted sets -----------------------------------------------------------------
+
+    def zadd(self, key: str, score: float, member: str, now: float = 0.0) -> None:
+        with self._lock:
+            self._typed(key, dict, create=True, now=now)[member] = float(score)
+
+    def zscore(self, key: str, member: str, now: float = 0.0) -> float | None:
+        with self._lock:
+            z = self._typed(key, dict, create=False, now=now)
+            return None if z is None else z.get(member)
+
+    def zcard(self, key: str, now: float = 0.0) -> int:
+        with self._lock:
+            z = self._typed(key, dict, create=False, now=now)
+            return 0 if z is None else len(z)
+
+    def zrange(self, key: str, start: int, stop: int, now: float = 0.0
+               ) -> list[tuple[str, float]]:
+        """Members ordered by (score, member), inclusive index range."""
+        with self._lock:
+            z = self._typed(key, dict, create=False, now=now)
+            if z is None:
+                return []
+            ordered = sorted(z.items(), key=lambda kv: (kv[1], kv[0]))
+            n = len(ordered)
+            if start < 0:
+                start += n
+            if stop < 0:
+                stop += n
+            return ordered[max(start, 0):stop + 1]
+
+    def zrangebyscore(self, key: str, lo: float, hi: float, now: float = 0.0
+                      ) -> list[tuple[str, float]]:
+        with self._lock:
+            z = self._typed(key, dict, create=False, now=now)
+            if z is None:
+                return []
+            return sorted(((m, s) for m, s in z.items() if lo <= s <= hi),
+                          key=lambda kv: (kv[1], kv[0]))
+
+    def zremrangebyscore(self, key: str, lo: float, hi: float,
+                         now: float = 0.0) -> int:
+        with self._lock:
+            z = self._typed(key, dict, create=False, now=now)
+            if z is None:
+                return 0
+            doomed = [m for m, s in z.items() if lo <= s <= hi]
+            for m in doomed:
+                del z[m]
+            return len(doomed)
+
+    # -- keyspace ----------------------------------------------------------------------
+
+    def keys(self, pattern: str = "*", now: float = 0.0) -> list[str]:
+        with self._lock:
+            for key in list(self._data):
+                self._purge_if_expired(key, now)
+            return sorted(k for k in self._data if fnmatch.fnmatch(k, pattern))
+
+    def dbsize(self, now: float = 0.0) -> int:
+        with self._lock:
+            for key in list(self._data):
+                self._purge_if_expired(key, now)
+            return len(self._data)
+
+    def flushall(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._expiry.clear()

@@ -1,0 +1,41 @@
+"""A from-scratch numpy neural-network stack.
+
+The paper's S-VRF model is a BiLSTM network ("one input layer, one BiLSTM
+layer, one fully connected layer, and an output layer", Figure 3) trained
+with L1 in-layer regularisation. No deep-learning framework is available in
+this environment, so this package implements the required pieces directly
+on numpy with hand-derived backpropagation:
+
+* :mod:`repro.ml.layers` — ``Dense``, ``LSTM`` and ``Bidirectional`` layers
+  with full backward passes (BPTT for the recurrent layers),
+* :mod:`repro.ml.losses` — mean-squared-error loss,
+* :mod:`repro.ml.optimizers` — Adam and SGD,
+* :mod:`repro.ml.regularizers` — L1/L2 weight penalties,
+* :mod:`repro.ml.network` — a ``Model`` container with a training loop,
+  prediction and ``.npz`` persistence,
+* :mod:`repro.ml.scalers` — feature standardisation for sequence tensors,
+* :mod:`repro.ml.gradcheck` — numerical gradient verification used by the
+  test suite to prove the analytic gradients correct.
+"""
+
+from repro.ml.layers import LSTM, Bidirectional, Dense, Layer
+from repro.ml.losses import MSELoss
+from repro.ml.network import Model, TrainingHistory
+from repro.ml.optimizers import SGD, Adam
+from repro.ml.regularizers import L1Regularizer, L2Regularizer
+from repro.ml.scalers import StandardScaler
+
+__all__ = [
+    "Adam",
+    "Bidirectional",
+    "Dense",
+    "L1Regularizer",
+    "L2Regularizer",
+    "LSTM",
+    "Layer",
+    "MSELoss",
+    "Model",
+    "SGD",
+    "StandardScaler",
+    "TrainingHistory",
+]

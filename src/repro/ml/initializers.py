@@ -1,0 +1,29 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape or (fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, n: int) -> np.ndarray:
+    """An ``n x n`` orthogonal matrix (QR of a Gaussian)."""
+    a = rng.normal(size=(n, n))
+    q, r = np.linalg.qr(a)
+    # Fix the sign ambiguity so the distribution is uniform (Haar).
+    return q * np.sign(np.diag(r))
+
+
+def recurrent_orthogonal(rng: np.random.Generator, hidden: int,
+                         gates: int = 4) -> np.ndarray:
+    """LSTM recurrent kernel ``(hidden, gates*hidden)`` built from one
+    orthogonal block per gate — the standard recurrent initialisation that
+    keeps BPTT gradients well conditioned."""
+    return np.concatenate([orthogonal(rng, hidden) for _ in range(gates)],
+                          axis=1)

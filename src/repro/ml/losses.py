@@ -1,0 +1,20 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error over every element of the prediction tensor."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray
+                 ) -> tuple[float, np.ndarray]:
+        """Returns ``(loss, dloss/dpred)``."""
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+        diff = pred - target
+        loss = float(np.mean(diff ** 2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,64 @@
+"""Gradient-descent optimizers.
+
+Optimizers mutate parameter arrays in place (layers hold references to the
+same arrays), keyed by ``(layer_index, param_name)`` so state survives
+across steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, keyed_params: dict[tuple[int, str], np.ndarray],
+             keyed_grads: dict[tuple[int, str], np.ndarray]) -> None:
+        for key, param in keyed_params.items():
+            grad = keyed_grads[key]
+            if self.momentum > 0.0:
+                vel = self._velocity.setdefault(key, np.zeros_like(param))
+                vel *= self.momentum
+                vel -= self.lr * grad
+                param += vel
+            else:
+                param -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self, keyed_params: dict[tuple[int, str], np.ndarray],
+             keyed_grads: dict[tuple[int, str], np.ndarray]) -> None:
+        self._t += 1
+        b1c = 1.0 - self.beta1 ** self._t
+        b2c = 1.0 - self.beta2 ** self._t
+        for key, param in keyed_params.items():
+            grad = keyed_grads[key]
+            m = self._m.setdefault(key, np.zeros_like(param))
+            v = self._v.setdefault(key, np.zeros_like(param))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            param -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)

@@ -1,0 +1,40 @@
+"""Weight regularisation penalties.
+
+The paper couples its BiLSTM with "L1 in-layer regularization for reducing
+overfitting" (Section 4.2); :class:`L1Regularizer` is that penalty, applied
+to a layer's kernel parameters (never biases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class L1Regularizer:
+    """``penalty = lam * sum(|w|)`` with subgradient ``lam * sign(w)``."""
+
+    def __init__(self, lam: float) -> None:
+        if lam < 0:
+            raise ValueError("lambda must be non-negative")
+        self.lam = lam
+
+    def penalty(self, weights: np.ndarray) -> float:
+        return float(self.lam * np.abs(weights).sum())
+
+    def grad(self, weights: np.ndarray) -> np.ndarray:
+        return self.lam * np.sign(weights)
+
+
+class L2Regularizer:
+    """``penalty = lam * sum(w^2)`` with gradient ``2 * lam * w``."""
+
+    def __init__(self, lam: float) -> None:
+        if lam < 0:
+            raise ValueError("lambda must be non-negative")
+        self.lam = lam
+
+    def penalty(self, weights: np.ndarray) -> float:
+        return float(self.lam * np.square(weights).sum())
+
+    def grad(self, weights: np.ndarray) -> np.ndarray:
+        return 2.0 * self.lam * weights

@@ -1,0 +1,53 @@
+"""Feature standardisation for flat and sequence tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature zero-mean/unit-variance scaling.
+
+    Works on ``(n, features)`` and ``(n, time, features)`` tensors — for
+    sequences the statistics pool over both the batch and time axes, which
+    is what the displacement features need (a Δlat at step 3 and at step 17
+    are the same physical quantity).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        flat = x.reshape(-1, x.shape[-1])
+        self.mean_ = flat.mean(axis=0)
+        std = flat.std(axis=0)
+        # Constant features scale to zero offset rather than dividing by 0.
+        self.std_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def _check(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        return (x - self.mean_) / self.std_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        return x * self.std_ + self.mean_
+
+    def state(self) -> dict[str, np.ndarray]:
+        self._check()
+        return {"mean": self.mean_.copy(), "std": self.std_.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=float)
+        scaler.std_ = np.asarray(state["std"], dtype=float)
+        return scaler

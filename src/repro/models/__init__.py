@@ -1,0 +1,26 @@
+"""The paper's forecasting models.
+
+* :mod:`repro.models.kinematic` — the linear kinematic baseline of Section
+  6.1: dead reckoning from the last reported position, speed and course.
+* :mod:`repro.models.svrf` — the Short-term Vessel Route Forecasting model
+  (Figure 3): a BiLSTM over 20 past spatiotemporal displacements emitting
+  six (Δlat, Δlon) transitions at 5-minute intervals, with L1 in-layer
+  regularisation; includes the training pipeline and model persistence.
+* :mod:`repro.models.envclus` — the long-term model (EnvClus* [34, 35]):
+  trajectory clustering into common pathways, a weighted transition graph
+  per origin-destination port pair, junction classifiers on vessel features
+  and Patterns-of-Life aggregate mobility statistics.
+"""
+
+from repro.models.base import RouteForecast, RouteForecaster
+from repro.models.kinematic import LinearKinematicModel
+from repro.models.svrf import SVRFConfig, SVRFModel, train_svrf
+
+__all__ = [
+    "LinearKinematicModel",
+    "RouteForecast",
+    "RouteForecaster",
+    "SVRFConfig",
+    "SVRFModel",
+    "train_svrf",
+]

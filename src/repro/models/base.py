@@ -1,0 +1,70 @@
+"""Common forecaster interface shared by the baseline and the S-VRF model.
+
+Both short-term models answer the same question: *given a vessel's recent
+history, where will it be at the six 5-minute marks of the next half hour?*
+Event functions (collision forecasting, VTFF) are written against this
+interface so either model can back them — exactly the substitution the
+paper's Table 2 evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.ais.preprocessing import OUTPUT_INTERVAL_S, OUTPUT_STEPS
+from repro.geo.track import Position
+
+
+@dataclass(frozen=True)
+class RouteForecast:
+    """A short-term route forecast: the anchor fix plus the predicted marks.
+
+    ``positions`` has ``OUTPUT_STEPS + 1`` entries: the present position at
+    index 0 followed by the six 5-minute predictions — the "7 positions
+    (1 present position and 6 position predictions)" of Section 5.2.
+    """
+
+    mmsi: int
+    positions: tuple[Position, ...]
+
+    @property
+    def anchor(self) -> Position:
+        return self.positions[0]
+
+    @property
+    def predicted(self) -> tuple[Position, ...]:
+        return self.positions[1:]
+
+    def horizon_s(self) -> float:
+        return self.positions[-1].t - self.positions[0].t
+
+
+class RouteForecaster(Protocol):
+    """Anything that can produce a short-term route forecast."""
+
+    def forecast(self, mmsi: int, history: Sequence[Position]) -> RouteForecast:
+        """Forecast from a vessel's recent downsampled fixes.
+
+        ``history`` is ordered oldest-first; implementations state their
+        minimum history length and raise :class:`ValueError` below it.
+        """
+        ...
+
+    def predict_positions(self, anchor: np.ndarray, x: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised batch form over preprocessed segments.
+
+        ``anchor`` is the ``(n, 5)`` anchor-state array and ``x`` the
+        ``(n, 20, 3)`` input tensor of a
+        :class:`~repro.ais.preprocessing.SegmentDataset`. Returns
+        ``(lat, lon)`` arrays of shape ``(n, OUTPUT_STEPS)``.
+        """
+        ...
+
+
+def forecast_mark_times(t0: float) -> list[float]:
+    """The six forecast timestamps for an anchor at ``t0``."""
+    return [t0 + OUTPUT_INTERVAL_S * k for k in range(1, OUTPUT_STEPS + 1)]

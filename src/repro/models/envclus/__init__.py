@@ -1,0 +1,38 @@
+"""The long-term Vessel Route Forecasting model (EnvClus* [34, 35]).
+
+Section 4.1 of the paper: historical AIS positions are clustered into common
+pathways, the pathways become a weighted transitions graph per
+origin-destination port pair, junction nodes carry classifiers over vessel
+features, and route forecasts are most-probable paths through the graph.
+Aggregated "Patterns of Life" statistics summarise historical traffic per
+spatial cell.
+
+The paper consumes EnvClus* through an external API; this package implements
+the algorithm itself so the platform is self-contained:
+
+* :mod:`repro.models.envclus.clustering` — map historical trips onto the hex
+  grid and accumulate pathway statistics,
+* :mod:`repro.models.envclus.graph` — the weighted transition graph and
+  most-probable-path search,
+* :mod:`repro.models.envclus.junctions` — multinomial logistic classifiers
+  choosing the outgoing branch at route junctions from vessel features,
+* :mod:`repro.models.envclus.forecaster` — the user-facing L-VRF model,
+* :mod:`repro.models.envclus.patterns` — Patterns-of-Life statistics.
+"""
+
+from repro.models.envclus.clustering import Trip, TripCorpus
+from repro.models.envclus.forecaster import LVRFForecast, LVRFModel
+from repro.models.envclus.graph import TransitionGraph
+from repro.models.envclus.junctions import JunctionClassifier
+from repro.models.envclus.patterns import CellStats, PatternsOfLife
+
+__all__ = [
+    "CellStats",
+    "JunctionClassifier",
+    "LVRFForecast",
+    "LVRFModel",
+    "PatternsOfLife",
+    "TransitionGraph",
+    "Trip",
+    "TripCorpus",
+]

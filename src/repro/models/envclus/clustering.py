@@ -1,0 +1,141 @@
+"""Historical trip corpus and pathway extraction.
+
+EnvClus* "clusters the positional AIS data in order to extract common
+pathways of vessel movements". The clustering here is grid-based: each trip
+is mapped to the sequence of hex cells it traverses (consecutive duplicates
+collapsed, gaps bridged along the straight line), and pathway statistics
+accumulate per cell and per cell transition. Cells visited by many voyages
+form the corridor; rarely visited cells are pruned as noise when the graph
+is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.ais.vessel import VesselStatics
+from repro.geo.geodesy import haversine_m
+from repro.geo.track import Position
+from repro.hexgrid import cell_to_latlng, grid_distance, latlng_to_cell
+
+#: Default hex resolution for pathway cells (~8.5 km edges: coarse enough to
+#: merge parallel voyages into one corridor, fine enough to keep junctions).
+PATHWAY_RESOLUTION = 5
+
+
+@dataclass
+class Trip:
+    """One historical voyage between two ports."""
+
+    mmsi: int
+    origin: str
+    destination: str
+    track: Sequence[Position]
+    statics: VesselStatics | None = None
+
+    def cell_sequence(self, res: int = PATHWAY_RESOLUTION) -> list[int]:
+        """The deduplicated cell sequence this trip traverses.
+
+        Jumps over more than one cell (reception gaps) are bridged by
+        linearly interpolating between the two fixes so the pathway stays
+        connected.
+        """
+        cells: list[int] = []
+        prev_pos: Position | None = None
+        for pos in self.track:
+            cell = latlng_to_cell(pos.lat, pos.lon, res)
+            if cells and cell == cells[-1]:
+                prev_pos = pos
+                continue
+            if cells and prev_pos is not None:
+                jump = grid_distance(cells[-1], cell)
+                if jump > 1:
+                    for frac in np.linspace(0.0, 1.0, jump + 1)[1:-1]:
+                        lat = prev_pos.lat + frac * (pos.lat - prev_pos.lat)
+                        lon = prev_pos.lon + frac * (pos.lon - prev_pos.lon)
+                        bridge = latlng_to_cell(lat, lon, res)
+                        if bridge != cells[-1]:
+                            cells.append(bridge)
+            if not cells or cell != cells[-1]:
+                cells.append(cell)
+            prev_pos = pos
+        return cells
+
+
+@dataclass
+class TripCorpus:
+    """A collection of historical trips with pathway accumulators.
+
+    ``add`` streams trips in; the accumulated per-cell and per-transition
+    statistics are what :class:`~repro.models.envclus.graph.TransitionGraph`
+    is built from.
+    """
+
+    resolution: int = PATHWAY_RESOLUTION
+    trips: list[Trip] = field(default_factory=list)
+    #: cell -> visit count across all trips.
+    cell_counts: dict[int, int] = field(default_factory=dict)
+    #: (cell_from, cell_to) -> traversal count.
+    transition_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: cell -> running sums for mean observed position and speed.
+    _cell_pos_sum: dict[int, list[float]] = field(default_factory=dict)
+
+    def add(self, trip: Trip) -> None:
+        if len(trip.track) < 2:
+            raise ValueError("a trip needs at least two fixes")
+        self.trips.append(trip)
+        seq = trip.cell_sequence(self.resolution)
+        for cell in seq:
+            self.cell_counts[cell] = self.cell_counts.get(cell, 0) + 1
+        for a, b in zip(seq, seq[1:]):
+            key = (a, b)
+            self.transition_counts[key] = self.transition_counts.get(key, 0) + 1
+        for pos in trip.track:
+            cell = latlng_to_cell(pos.lat, pos.lon, self.resolution)
+            acc = self._cell_pos_sum.setdefault(cell, [0.0, 0.0, 0.0, 0.0])
+            acc[0] += pos.lat
+            acc[1] += pos.lon
+            acc[2] += pos.sog if pos.sog is not None else 0.0
+            acc[3] += 1.0
+
+    def __len__(self) -> int:
+        return len(self.trips)
+
+    def od_pairs(self) -> set[tuple[str, str]]:
+        return {(t.origin, t.destination) for t in self.trips}
+
+    def trips_for(self, origin: str, destination: str) -> list[Trip]:
+        return [t for t in self.trips
+                if t.origin == origin and t.destination == destination]
+
+    def cell_center(self, cell: int) -> tuple[float, float]:
+        """Mean observed position within a cell (falls back to the geometric
+        centre for never-observed cells) — the pathway node coordinates."""
+        acc = self._cell_pos_sum.get(cell)
+        if acc is None or acc[3] == 0:
+            return cell_to_latlng(cell)
+        return acc[0] / acc[3], acc[1] / acc[3]
+
+    def cell_mean_speed(self, cell: int) -> float:
+        """Mean observed SOG (knots) in a cell, 0 if never observed."""
+        acc = self._cell_pos_sum.get(cell)
+        if acc is None or acc[3] == 0:
+            return 0.0
+        return acc[2] / acc[3]
+
+    def corridor_width_m(self, origin: str, destination: str) -> float:
+        """Rough corridor spread: mean pairwise midpoint distance between
+        voyages of one OD pair (a diagnostic used in tests and examples)."""
+        trips = self.trips_for(origin, destination)
+        if len(trips) < 2:
+            return 0.0
+        mids = []
+        for trip in trips:
+            pos = trip.track[len(trip.track) // 2]
+            mids.append((pos.lat, pos.lon))
+        dists = [haversine_m(a[0], a[1], b[0], b[1])
+                 for i, a in enumerate(mids) for b in mids[i + 1:]]
+        return float(np.mean(dists))

@@ -1,0 +1,224 @@
+"""The user-facing L-VRF model.
+
+Ties the pieces together the way Section 4.1 describes: a dedicated
+transition graph per origin-destination port pair, junction classifiers
+trained on vessel features, and route forecasts that follow classifier
+decisions at junctions and maximum-probability branches elsewhere. The
+forecast carries per-node ETAs derived from historical cell speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m
+from repro.geo.track import Position
+from repro.hexgrid import latlng_to_cell
+from repro.models.envclus.clustering import PATHWAY_RESOLUTION, Trip, TripCorpus
+from repro.models.envclus.graph import PathNotFoundError, TransitionGraph
+from repro.models.envclus.junctions import JunctionClassifier
+from repro.models.envclus.patterns import PatternsOfLife
+
+
+@dataclass(frozen=True)
+class LVRFForecast:
+    """A long-term route forecast towards a destination port."""
+
+    origin: str
+    destination: str
+    #: Pathway cells from the query position to the destination.
+    path_cells: tuple[int, ...]
+    #: ``(lat, lon)`` of each pathway node.
+    waypoints: tuple[tuple[float, float], ...]
+    #: Estimated seconds from the query position to each node.
+    etas_s: tuple[float, ...]
+    log_probability: float
+
+    @property
+    def distance_m(self) -> float:
+        total = 0.0
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            total += haversine_m(a[0], a[1], b[0], b[1])
+        return total
+
+    @property
+    def eta_total_s(self) -> float:
+        return self.etas_s[-1] if self.etas_s else 0.0
+
+
+class LVRFModel:
+    """Long-term route forecasting over a historical trip corpus.
+
+    "The method trains a dedicated model for each distinct pair of
+    origin-destination ports" — graphs and junction classifiers are built
+    per OD pair on :meth:`fit`, and forecasts answer queries of the form
+    *(current position, vessel features, origin port, destination port)*.
+    """
+
+    def __init__(self, resolution: int = PATHWAY_RESOLUTION,
+                 min_cell_support: int = 2,
+                 min_junction_samples: int = 8) -> None:
+        self.resolution = resolution
+        self.min_cell_support = min_cell_support
+        self.min_junction_samples = min_junction_samples
+        self._corpora: dict[tuple[str, str], TripCorpus] = {}
+        self._graphs: dict[tuple[str, str], TransitionGraph] = {}
+        self._junctions: dict[tuple[str, str], dict[int, JunctionClassifier]] = {}
+        self.patterns = PatternsOfLife(resolution)
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(self, trips: list[Trip]) -> "LVRFModel":
+        """Ingest historical trips and build per-OD graphs and classifiers."""
+        if not trips:
+            raise ValueError("no trips to fit on")
+        for trip in trips:
+            key = (trip.origin, trip.destination)
+            corpus = self._corpora.get(key)
+            if corpus is None:
+                corpus = TripCorpus(resolution=self.resolution)
+                self._corpora[key] = corpus
+            corpus.add(trip)
+            self.patterns.observe_trip(trip)
+        for key, corpus in self._corpora.items():
+            graph = TransitionGraph(corpus,
+                                    min_cell_support=self.min_cell_support)
+            self._graphs[key] = graph
+            self._junctions[key] = self._fit_junctions(corpus, graph)
+        return self
+
+    def _fit_junctions(self, corpus: TripCorpus, graph: TransitionGraph
+                       ) -> dict[int, JunctionClassifier]:
+        """Train a branch classifier at each junction with enough data."""
+        junction_cells = set(graph.junctions())
+        if not junction_cells:
+            return {}
+        samples: dict[int, tuple[list[list[float]], list[int]]] = {}
+        for trip in corpus.trips:
+            if trip.statics is None:
+                continue
+            seq = trip.cell_sequence(corpus.resolution)
+            features = trip.statics.feature_vector()
+            for a, b in zip(seq, seq[1:]):
+                if a in junction_cells and graph.graph.has_edge(a, b):
+                    xs, ys = samples.setdefault(a, ([], []))
+                    xs.append(features)
+                    ys.append(b)
+        classifiers = {}
+        for cell, (xs, ys) in samples.items():
+            if len(xs) < self.min_junction_samples or len(set(ys)) < 2:
+                continue
+            classifiers[cell] = JunctionClassifier().fit(np.asarray(xs), ys)
+        return classifiers
+
+    # -- queries ------------------------------------------------------------------
+
+    def known_od_pairs(self) -> set[tuple[str, str]]:
+        return set(self._graphs)
+
+    def graph_for(self, origin: str, destination: str) -> TransitionGraph:
+        try:
+            return self._graphs[(origin, destination)]
+        except KeyError:
+            raise PathNotFoundError(
+                f"no historical trips for {origin} -> {destination}") from None
+
+    def forecast(self, position: Position, origin: str, destination: str,
+                 statics=None, max_steps: int = 4_000) -> LVRFForecast:
+        """Forecast the route from ``position`` to ``destination``.
+
+        The path starts greedy: at junctions with a trained classifier and
+        known vessel ``statics`` the classifier picks the branch; elsewhere
+        the most probable branch wins. If the greedy walk stalls before the
+        destination, the maximum-probability graph path completes it.
+        """
+        key = (origin, destination)
+        graph = self.graph_for(origin, destination)
+        classifiers = self._junctions.get(key, {})
+        corpus = self._corpora[key]
+
+        start_cell = self._snap_to_graph(graph, position)
+        dest_trips = corpus.trips_for(origin, destination)
+        end_pos = dest_trips[0].track[-1]
+        dest_cell = self._snap_to_graph(
+            graph, end_pos if end_pos else position)
+
+        path = self._walk(graph, classifiers, statics, start_cell, dest_cell,
+                          max_steps)
+        waypoints = tuple(graph.path_coordinates(path))
+        etas = self._estimate_etas(graph, path, position)
+        return LVRFForecast(origin=origin, destination=destination,
+                            path_cells=tuple(path), waypoints=waypoints,
+                            etas_s=etas,
+                            log_probability=graph.path_log_probability(path))
+
+    def _snap_to_graph(self, graph: TransitionGraph, position: Position) -> int:
+        """The graph node containing (or nearest to) a position."""
+        cell = latlng_to_cell(position.lat, position.lon, self.resolution)
+        if cell in graph.graph:
+            return cell
+        best, best_d = None, float("inf")
+        for node in graph.graph.nodes:
+            nlat = graph.graph.nodes[node]["lat"]
+            nlon = graph.graph.nodes[node]["lon"]
+            d = haversine_m(position.lat, position.lon, nlat, nlon)
+            if d < best_d:
+                best, best_d = node, d
+        if best is None:
+            raise PathNotFoundError("transition graph is empty")
+        return best
+
+    def _walk(self, graph: TransitionGraph, classifiers, statics,
+              start: int, dest: int, max_steps: int) -> list[int]:
+        path = [start]
+        visited = {start}
+        current = start
+        features = (np.asarray([statics.feature_vector()])
+                    if statics is not None else None)
+        while current != dest and len(path) < max_steps:
+            branches = graph.branch_probabilities(current) \
+                if current in graph.graph else {}
+            candidates = {b: p for b, p in branches.items()
+                          if b not in visited}
+            if not candidates:
+                break
+            clf = classifiers.get(current)
+            if clf is not None and features is not None:
+                proba = clf.predict_proba(features)[0]
+                scored = {b: proba[clf.classes_.index(b)]
+                          for b in candidates if b in clf.classes_}
+                nxt = (max(scored, key=scored.get) if scored
+                       else max(candidates, key=candidates.get))
+            else:
+                nxt = max(candidates, key=candidates.get)
+            path.append(nxt)
+            visited.add(nxt)
+            current = nxt
+        if current != dest:
+            # Complete (or replace) with the global most-probable path.
+            try:
+                tail = graph.most_probable_path(current, dest)
+                path = path[:-1] + tail if len(path) > 1 else tail
+            except PathNotFoundError:
+                path = graph.most_probable_path(start, dest)
+        return path
+
+    def _estimate_etas(self, graph: TransitionGraph, path: list[int],
+                       position: Position) -> tuple[float, ...]:
+        """Cumulative ETA to each node from historical cell speeds (falling
+        back to the query's reported speed, then to 10 knots)."""
+        from repro.geo.constants import KNOTS_TO_MPS
+        coords = graph.path_coordinates(path)
+        default_kn = position.sog if position.sog else 10.0
+        etas = []
+        total = 0.0
+        prev = (position.lat, position.lon)
+        for cell, coord in zip(path, coords):
+            hop = haversine_m(prev[0], prev[1], coord[0], coord[1])
+            speed_kn = graph.graph.nodes[cell].get("mean_speed_kn") or default_kn
+            total += hop / max(speed_kn * KNOTS_TO_MPS, 0.5)
+            etas.append(total)
+            prev = coord
+        return tuple(etas)

@@ -1,0 +1,114 @@
+"""The weighted transitions graph and most-probable-path search.
+
+"These pathways are translated into a weighted transitions graph,
+representing the patterns of movement found in the historical data. Using
+the resulting graph we are able to generate a prediction of the path the
+vessel is going to follow towards its destination port." (Section 4.1)
+
+Edges carry traversal counts; a most-probable path minimises the sum of
+``-log P(edge | node)``, i.e. it maximises the product of empirical branch
+probabilities. Low-support cells and transitions are pruned so one-off
+detours do not become pathways.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.models.envclus.clustering import TripCorpus
+
+
+class PathNotFoundError(LookupError):
+    """No pathway connects the requested cells in the historical graph."""
+
+
+class TransitionGraph:
+    """Directed graph over pathway cells with probability-weighted edges."""
+
+    def __init__(self, corpus: TripCorpus, min_cell_support: int = 2,
+                 min_transition_support: int = 1) -> None:
+        """Build from an accumulated corpus.
+
+        ``min_cell_support`` prunes cells visited by fewer trips (noise);
+        ``min_transition_support`` prunes rare transitions.
+        """
+        self.corpus = corpus
+        self.graph = nx.DiGraph()
+        kept_cells = {c for c, n in corpus.cell_counts.items()
+                      if n >= min_cell_support}
+        for cell in kept_cells:
+            lat, lon = corpus.cell_center(cell)
+            self.graph.add_node(cell, lat=lat, lon=lon,
+                                count=corpus.cell_counts[cell],
+                                mean_speed_kn=corpus.cell_mean_speed(cell))
+        for (a, b), n in corpus.transition_counts.items():
+            if n < min_transition_support:
+                continue
+            if a in kept_cells and b in kept_cells:
+                self.graph.add_edge(a, b, count=n)
+        self._assign_probabilities()
+
+    def _assign_probabilities(self) -> None:
+        for node in self.graph.nodes:
+            total = sum(self.graph.edges[node, nbr]["count"]
+                        for nbr in self.graph.successors(node))
+            for nbr in self.graph.successors(node):
+                p = self.graph.edges[node, nbr]["count"] / total
+                self.graph.edges[node, nbr]["prob"] = p
+                self.graph.edges[node, nbr]["weight"] = -math.log(p)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def junctions(self, min_branch_prob: float = 0.1) -> list[int]:
+        """Cells where historical traffic meaningfully splits — the
+        "significant graph nodes (route junctions)" that get classifiers."""
+        out = []
+        for node in self.graph.nodes:
+            branches = [self.graph.edges[node, nbr]["prob"]
+                        for nbr in self.graph.successors(node)]
+            if sum(1 for p in branches if p >= min_branch_prob) >= 2:
+                out.append(node)
+        return out
+
+    def branch_probabilities(self, cell: int) -> dict[int, float]:
+        """Outgoing transition probabilities from a cell."""
+        if cell not in self.graph:
+            raise KeyError(f"cell {cell} not in graph")
+        return {nbr: self.graph.edges[cell, nbr]["prob"]
+                for nbr in self.graph.successors(cell)}
+
+    def most_probable_path(self, origin_cell: int, dest_cell: int
+                           ) -> list[int]:
+        """The maximum-probability cell path from origin to destination."""
+        if origin_cell not in self.graph:
+            raise PathNotFoundError(f"origin cell {origin_cell} unknown")
+        if dest_cell not in self.graph:
+            raise PathNotFoundError(f"destination cell {dest_cell} unknown")
+        try:
+            return nx.shortest_path(self.graph, origin_cell, dest_cell,
+                                    weight="weight")
+        except nx.NetworkXNoPath as exc:
+            raise PathNotFoundError(
+                f"no pathway from {origin_cell} to {dest_cell}") from exc
+
+    def path_coordinates(self, path: list[int]) -> list[tuple[float, float]]:
+        """``(lat, lon)`` of each pathway node."""
+        return [(self.graph.nodes[c]["lat"], self.graph.nodes[c]["lon"])
+                for c in path]
+
+    def path_log_probability(self, path: list[int]) -> float:
+        """Sum of log branch probabilities along a path (0 is certain)."""
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += math.log(self.graph.edges[a, b]["prob"])
+        return total

@@ -1,0 +1,87 @@
+"""Junction classifiers over vessel features.
+
+"Vessel-specific information is utilized to generate the best-suited
+forecasts for each query, by enhancing the graph with classification models
+in significant graph nodes (route junctions). Features may include the
+vessel type, length, draught, deadweight tonnage (DWT) or trip related
+information" (Section 4.1).
+
+The classifier is a from-scratch multinomial logistic regression (numpy,
+full-batch gradient descent with L2 shrinkage) predicting which outgoing
+branch a vessel will take at a junction given its feature vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class JunctionClassifier:
+    """Multinomial logistic regression over junction branches."""
+
+    def __init__(self, l2: float = 1e-3, lr: float = 0.1,
+                 epochs: int = 300, seed: int = 0) -> None:
+        self.l2 = l2
+        self.lr = lr
+        self.epochs = epochs
+        self.seed = seed
+        self.classes_: list[int] | None = None
+        self._w: np.ndarray | None = None
+        self._b: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def fit(self, x: np.ndarray, branches: list[int]) -> "JunctionClassifier":
+        """Train on vessel feature rows ``x`` and the branch (next cell)
+        each vessel historically took."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] != len(branches):
+            raise ValueError("x must be (n, features) matching branches")
+        self.classes_ = sorted(set(branches))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        y = np.array([class_index[b] for b in branches])
+
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        self._std = np.where(std > 1e-12, std, 1.0)
+        xs = (x - self._mean) / self._std
+
+        n, d = xs.shape
+        k = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self._w = rng.normal(0.0, 0.01, size=(d, k))
+        self._b = np.zeros(k)
+        onehot = np.eye(k)[y]
+        for _ in range(self.epochs):
+            p = self._softmax(xs @ self._w + self._b)
+            grad_w = xs.T @ (p - onehot) / n + self.l2 * self._w
+            grad_b = (p - onehot).mean(axis=0)
+            self._w -= self.lr * grad_w
+            self._b -= self.lr * grad_b
+        return self
+
+    def _check(self) -> None:
+        if self._w is None:
+            raise RuntimeError("classifier is not fitted")
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Branch probabilities ``(n, n_branches)`` in ``classes_`` order."""
+        self._check()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        xs = (x - self._mean) / self._std
+        return self._softmax(xs @ self._w + self._b)
+
+    def predict(self, x: np.ndarray) -> list[int]:
+        """Most likely branch (next cell) per row."""
+        proba = self.predict_proba(x)
+        return [self.classes_[i] for i in proba.argmax(axis=1)]
+
+    def accuracy(self, x: np.ndarray, branches: list[int]) -> float:
+        return float(np.mean([p == b for p, b in
+                              zip(self.predict(x), branches)]))

@@ -1,0 +1,119 @@
+"""Patterns of Life: aggregated historical mobility statistics.
+
+"Aggregated mobility statistics regarding the vessel traffic at the selected
+area are also generated and visualized for the user. These statistics,
+called Patterns of Life [32], are extracted from historical data from
+relevant trips and provide a more complete overview of the historical
+traffic in the area." (Section 4.1, Figure 4b)
+
+Statistics are aggregated per hex cell: visit counts, distinct vessels,
+speed distribution and a coarse heading rose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.hexgrid import cell_to_latlng, latlng_to_cell
+from repro.models.envclus.clustering import PATHWAY_RESOLUTION, Trip
+
+#: Number of sectors in the heading rose (every 45 degrees).
+HEADING_SECTORS = 8
+
+
+@dataclass
+class CellStats:
+    """Aggregate statistics of historical traffic in one cell."""
+
+    cell: int
+    visits: int = 0
+    vessels: set[int] = field(default_factory=set)
+    _speed_sum: float = 0.0
+    _speed_sq_sum: float = 0.0
+    _speed_n: int = 0
+    heading_rose: np.ndarray = field(
+        default_factory=lambda: np.zeros(HEADING_SECTORS, dtype=np.int64))
+
+    def observe(self, mmsi: int, sog: float | None, cog: float | None) -> None:
+        self.visits += 1
+        self.vessels.add(mmsi)
+        if sog is not None:
+            self._speed_sum += sog
+            self._speed_sq_sum += sog * sog
+            self._speed_n += 1
+        if cog is not None:
+            sector = int(cog % 360.0 // (360.0 / HEADING_SECTORS))
+            self.heading_rose[sector] += 1
+
+    @property
+    def distinct_vessels(self) -> int:
+        return len(self.vessels)
+
+    @property
+    def mean_speed_kn(self) -> float:
+        return self._speed_sum / self._speed_n if self._speed_n else 0.0
+
+    @property
+    def speed_std_kn(self) -> float:
+        if self._speed_n < 2:
+            return 0.0
+        mean = self.mean_speed_kn
+        var = max(self._speed_sq_sum / self._speed_n - mean * mean, 0.0)
+        return float(np.sqrt(var))
+
+    @property
+    def dominant_heading_deg(self) -> float:
+        """Centre of the most-populated heading sector."""
+        sector = int(np.argmax(self.heading_rose))
+        return (sector + 0.5) * 360.0 / HEADING_SECTORS
+
+
+class PatternsOfLife:
+    """Per-cell traffic aggregates over a trip corpus or message stream."""
+
+    def __init__(self, resolution: int = PATHWAY_RESOLUTION) -> None:
+        self.resolution = resolution
+        self._cells: dict[int, CellStats] = {}
+
+    def observe_position(self, mmsi: int, lat: float, lon: float,
+                         sog: float | None = None,
+                         cog: float | None = None) -> None:
+        cell = latlng_to_cell(lat, lon, self.resolution)
+        stats = self._cells.get(cell)
+        if stats is None:
+            stats = CellStats(cell=cell)
+            self._cells[cell] = stats
+        stats.observe(mmsi, sog, cog)
+
+    def observe_trip(self, trip: Trip) -> None:
+        for pos in trip.track:
+            self.observe_position(trip.mmsi, pos.lat, pos.lon,
+                                  pos.sog, pos.cog)
+
+    def cell_stats(self, cell: int) -> CellStats | None:
+        return self._cells.get(cell)
+
+    def stats_at(self, lat: float, lon: float) -> CellStats | None:
+        return self._cells.get(latlng_to_cell(lat, lon, self.resolution))
+
+    def active_cells(self) -> list[int]:
+        return sorted(self._cells)
+
+    def in_bbox(self, bbox: BoundingBox) -> list[CellStats]:
+        """Statistics for every active cell whose centre falls in ``bbox``
+        — the area-inspection query behind Figure 4b."""
+        out = []
+        for cell, stats in self._cells.items():
+            lat, lon = cell_to_latlng(cell)
+            if bbox.contains(lat, lon):
+                out.append(stats)
+        return sorted(out, key=lambda s: -s.visits)
+
+    def busiest_cells(self, k: int = 10) -> list[CellStats]:
+        return sorted(self._cells.values(), key=lambda s: -s.visits)[:k]
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,79 @@
+"""The middleware API.
+
+"The Redis and the API belong to the Middleware component. The end user is
+able to interact with the system by exploring the visualized route and
+event states through the UI." (Section 3)
+
+:class:`MiddlewareAPI` is the query surface that UI would call: vessel
+state snapshots, recent event lists (the Figure 4f event list), live event
+subscriptions, and the traffic-flow raster behind the Figure 4d heat map.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.events.vtff import TrafficLevel
+from repro.kvstore import KeyValueStore, PubSub, Subscription
+
+if TYPE_CHECKING:
+    from repro.platform.pipeline import Platform
+
+
+class MiddlewareAPI:
+    """Read-side API over the writer actor's KV schema."""
+
+    def __init__(self, kvstore: KeyValueStore, pubsub: PubSub,
+                 platform: "Platform") -> None:
+        self._kv = kvstore
+        self._pubsub = pubsub
+        self._platform = platform
+
+    # -- vessels ---------------------------------------------------------------
+
+    def vessel_state(self, mmsi: int) -> dict[str, Any] | None:
+        """Latest state snapshot of one vessel, or ``None`` if unseen."""
+        state = self._kv.hgetall(f"vessel:{mmsi}")
+        return state or None
+
+    def vessel_forecast(self, mmsi: int) -> list[tuple[float, float, float]] | None:
+        """The vessel's latest forecast track as ``(t, lat, lon)`` tuples."""
+        state = self.vessel_state(mmsi)
+        if state is None:
+            return None
+        return state.get("forecast")
+
+    def active_vessels(self, since_t: float = 0.0) -> list[int]:
+        """MMSIs that reported at or after ``since_t``."""
+        hits = self._kv.zrangebyscore("vessels:last_seen", since_t,
+                                      float("inf"))
+        return sorted(int(m) for m, _ in hits)
+
+    def vessel_count(self) -> int:
+        return self._kv.zcard("vessels:last_seen")
+
+    # -- events -----------------------------------------------------------------
+
+    def recent_events(self, kind: str, limit: int = 50) -> list[Any]:
+        """The newest ``limit`` events of a kind ("proximity", "collision",
+        "switchoff") — the UI's event list, most recent last."""
+        return self._kv.lrange(f"events:{kind}", -limit, -1)
+
+    def event_count(self, kind: str) -> int:
+        return self._kv.llen(f"events:{kind}")
+
+    def subscribe_events(self, kind: str = "*") -> Subscription:
+        """Live event push — the notification feed of Section 5.2."""
+        return self._pubsub.subscribe(f"events:{kind}")
+
+    # -- traffic flow --------------------------------------------------------------
+
+    def traffic_flow(self, window: int) -> dict[int, int]:
+        """Forecast vessel count per active flow cell for a time window."""
+        return self._platform.flow_snapshot().predicted_flow(window)
+
+    def traffic_heat(self, window: int) -> dict[int, TrafficLevel]:
+        """The Figure 4d heat classification per active cell."""
+        vtff = self._platform.flow_snapshot()
+        return {cell: vtff.grid.classify(count)
+                for cell, count in vtff.predicted_flow(window).items()}

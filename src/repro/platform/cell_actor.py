@@ -1,0 +1,125 @@
+"""Spatial actors: proximity cells, collision cells and the flow actor.
+
+"Two additional actor classes are defined on the spatial level utilizing
+the H3 spatial index, a class for proximity event detection ... and a class
+for collision forecasting ... These actors consume the combined output of
+all vessel actors N and determine the state of their respective event
+class. ... Based on the final state status, they communicate their state
+back to the respective affected subset of vessel actors." (Section 3)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.actors import Actor, ActorContext
+from repro.events.collision import trajectories_intersect
+from repro.events.proximity import ProximityDetector
+from repro.events.vtff import IndirectVTFF
+from repro.platform.messages import (
+    CellObservation,
+    CollisionAlert,
+    EventRecord,
+    ForecastShared,
+    ProximityAlert,
+    PruneTick,
+)
+
+if TYPE_CHECKING:
+    from repro.platform.pipeline import PlatformWiring
+
+
+class ProximityCellActor(Actor):
+    """One H3 cell's proximity-detection state."""
+
+    def __init__(self, cell: int, wiring: "PlatformWiring") -> None:
+        self.cell = cell
+        self.wiring = wiring
+        self.detector = ProximityDetector(
+            distance_threshold_m=wiring.config.proximity_threshold_m,
+            debounce_s=wiring.config.event_debounce_s)
+
+    def receive(self, message, ctx: ActorContext) -> None:
+        if isinstance(message, CellObservation):
+            events = self.detector.observe(message.mmsi, message.t,
+                                           message.lat, message.lon)
+            for event in events:
+                alert = ProximityAlert(event=event)
+                # Back to the affected vessel actors...
+                for mmsi in event.pair:
+                    self.wiring.vessel_router.tell(mmsi, alert,
+                                                   sender=ctx.self_ref)
+                # ...and into the store for the UI event list.
+                self.wiring.writer_ref.tell(
+                    EventRecord(kind="proximity", t=event.t, payload=event),
+                    sender=ctx.self_ref)
+        elif isinstance(message, PruneTick):
+            self.detector.prune(message.now)
+
+
+class CollisionCellActor(Actor):
+    """One H3 cell's collision-forecasting state.
+
+    Holds the forecast trajectories currently touching the cell and checks
+    each newcomer pairwise (temporal intersection first, then spatial), as
+    Figure 5 illustrates.
+    """
+
+    def __init__(self, cell: int, wiring: "PlatformWiring") -> None:
+        self.cell = cell
+        self.wiring = wiring
+        self.forecasts: dict[int, object] = {}
+        self._last_pair_alert: dict[tuple[int, int], float] = {}
+
+    def receive(self, message, ctx: ActorContext) -> None:
+        if isinstance(message, ForecastShared):
+            self._on_forecast(message, ctx)
+        elif isinstance(message, PruneTick):
+            stale = [m for m, fc in self.forecasts.items()
+                     if message.now - fc.anchor.t
+                     > self.wiring.config.event_debounce_s]
+            for mmsi in stale:
+                del self.forecasts[mmsi]
+
+    def _on_forecast(self, message: ForecastShared, ctx: ActorContext) -> None:
+        config = self.wiring.config
+        forecast = message.forecast
+        for other_mmsi, other_fc in self.forecasts.items():
+            if other_mmsi == forecast.mmsi:
+                continue
+            hit = trajectories_intersect(
+                forecast, other_fc,
+                temporal_threshold_s=config.collision_temporal_threshold_s,
+                spatial_threshold_m=config.collision_spatial_threshold_m)
+            if hit is None:
+                continue
+            last = self._last_pair_alert.get(hit.pair)
+            if (last is not None
+                    and forecast.anchor.t - last < config.event_debounce_s):
+                continue
+            self._last_pair_alert[hit.pair] = forecast.anchor.t
+            alert = CollisionAlert(event=hit)
+            for mmsi in hit.pair:
+                self.wiring.vessel_router.tell(mmsi, alert,
+                                               sender=ctx.self_ref)
+            self.wiring.writer_ref.tell(
+                EventRecord(kind="collision", t=hit.forecast_at, payload=hit),
+                sender=ctx.self_ref)
+        self.forecasts[forecast.mmsi] = forecast
+
+
+class FlowActor(Actor):
+    """The traffic-flow aggregation actor (indirect VTFF, Section 5.1)."""
+
+    def __init__(self, wiring: "PlatformWiring") -> None:
+        self.wiring = wiring
+        self.vtff = IndirectVTFF(resolution=wiring.config.flow_resolution,
+                                 window_s=wiring.config.flow_window_s)
+
+    def receive(self, message, ctx: ActorContext) -> None:
+        # Receives RouteForecast objects directly from vessel actors.
+        from repro.models.base import RouteForecast
+        if isinstance(message, RouteForecast):
+            self.vtff.submit(message)
+        elif message == "snapshot":
+            ctx.reply(self.vtff)

@@ -1,0 +1,70 @@
+"""Platform configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Tunables of the integrated platform.
+
+    Defaults mirror the paper's deployment: 30-second downsampling before
+    the forecasting model, H3 resolution 8 (~461 m edges) for event cells,
+    one neighbour ring of forecast fan-out, and a 2-minute temporal
+    threshold for collision intersection.
+    """
+
+    #: Minimum seconds between fixes kept by a vessel actor (Section 4.2).
+    downsample_s: float = 30.0
+    #: Hex resolution of proximity cell actors.
+    proximity_resolution: int = 8
+    #: Hex resolution of collision cell actors.
+    collision_resolution: int = 8
+    #: Rings of neighbouring cells that receive forecast positions
+    #: ("the respective cell ... and each n+1 nearest cell", Section 5.2).
+    collision_neighbor_rings: int = 1
+    #: Temporal intersection threshold for collision forecasting, seconds.
+    collision_temporal_threshold_s: float = 120.0
+    #: Spatial intersection threshold for collision forecasting, metres.
+    collision_spatial_threshold_m: float = 500.0
+    #: Proximity event distance threshold, metres.
+    proximity_threshold_m: float = 500.0
+    #: Suppress duplicate events of the same pair for this long, seconds.
+    event_debounce_s: float = 900.0
+    #: Hex resolution of traffic-flow cells.
+    flow_resolution: int = 6
+    #: Traffic-flow window length, seconds.
+    flow_window_s: float = 300.0
+    #: Run the forecasting model on every n-th kept fix (1 = every fix).
+    forecast_every_n: int = 1
+    #: Forecast newly appeared vessels before their 20-displacement window
+    #: fills by zero-padding the input (the original model's "variable
+    #: filling" [4]). Requires at least ``min_forecast_fixes`` fixes.
+    pad_short_histories: bool = True
+    min_forecast_fixes: int = 2
+    #: Silence watchdog settings (switch-off detection).
+    switchoff_gap_factor: float = 20.0
+    switchoff_min_gap_s: float = 900.0
+    #: Broker topic carrying inbound AIS position reports.
+    ais_topic: str = "ais.positions"
+    #: Number of partitions for the AIS topic.
+    ais_partitions: int = 8
+    #: Record per-message processing metrics (Figure 6 instrumentation).
+    record_metrics: bool = False
+    #: Publish dedicated output streams (the paper's future-work item:
+    #: "leverage Kafka topics to produce streams of dedicated system, model
+    #: and actor-based outputs"). When enabled the writer actor mirrors
+    #: vessel states to ``out.vessel.states`` and events to
+    #: ``out.events.{kind}`` on the broker, for external consumers.
+    output_topics: bool = False
+    output_state_topic: str = "out.vessel.states"
+    output_event_topic_prefix: str = "out.events"
+
+    def __post_init__(self) -> None:
+        if self.downsample_s < 0:
+            raise ValueError("downsample_s must be non-negative")
+        if self.forecast_every_n < 1:
+            raise ValueError("forecast_every_n must be >= 1")
+        if not 0 <= self.collision_neighbor_rings <= 3:
+            raise ValueError("collision_neighbor_rings must be in [0, 3]")

@@ -1,0 +1,94 @@
+"""Stream ingestion: broker -> vessel actors.
+
+"The data ingestion services of the processing engine consume streaming
+real-time positional AIS data" (Section 3) from the stream broker. The
+service parses NMEA sentences when the topic carries raw sentences, routes
+every report to its vessel actor through the MMSI-keyed router, feeds the
+switch-off watchdog, and drives the platform's virtual clock from stream
+time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ais.message import AISMessage, StaticReport, decode_nmea
+from repro.events.switchoff import SwitchOffDetector
+from repro.platform.messages import EventRecord, PositionIngested
+
+if TYPE_CHECKING:
+    from repro.platform.pipeline import PlatformWiring
+
+
+class IngestionService:
+    """Consumes the AIS topic and dispatches to vessel actors."""
+
+    def __init__(self, wiring: "PlatformWiring", group_id: str = "platform"
+                 ) -> None:
+        from repro.streams import ConsumerGroup
+        self.wiring = wiring
+        self._group = ConsumerGroup(wiring.broker, group_id,
+                                    wiring.config.ais_topic)
+        self._consumer = self._group.join()
+        self.switchoff = SwitchOffDetector(
+            gap_factor=wiring.config.switchoff_gap_factor,
+            min_gap_s=wiring.config.switchoff_min_gap_s)
+        self.messages_ingested = 0
+        self.parse_errors = 0
+        self._last_switchoff_check = 0.0
+
+    def _to_message(self, value, timestamp: float) -> AISMessage | None:
+        """Parse a record value into a position report (or drop it)."""
+        if isinstance(value, AISMessage):
+            return value
+        if isinstance(value, str):
+            try:
+                decoded = decode_nmea(value, t=timestamp)
+            except ValueError:
+                self.parse_errors += 1
+                return None
+            if isinstance(decoded, StaticReport):
+                return None  # statics are cached elsewhere; not positional
+            return decoded
+        self.parse_errors += 1
+        return None
+
+    def poll_once(self, max_records: int = 2_000) -> int:
+        """Consume up to ``max_records``; returns how many were dispatched.
+
+        The platform's virtual clock advances to the newest stream
+        timestamp seen, releasing any scheduled housekeeping messages.
+        """
+        records = self._consumer.poll(max_records=max_records)
+        dispatched = 0
+        newest_t = None
+        for record in records:
+            msg = self._to_message(record.value, record.timestamp)
+            if msg is None:
+                continue
+            self.wiring.vessel_router.tell(msg.mmsi, PositionIngested(msg))
+            self.switchoff.observe(msg.mmsi, msg.t, msg.lat, msg.lon, msg.sog)
+            dispatched += 1
+            if newest_t is None or msg.t > newest_t:
+                newest_t = msg.t
+        self._consumer.commit()
+
+        if newest_t is not None:
+            system = self.wiring.system
+            if newest_t > system.now:
+                system.advance_time(newest_t - system.now)
+            self._check_switchoffs(newest_t)
+        self.messages_ingested += dispatched
+        return dispatched
+
+    def _check_switchoffs(self, now: float, every_s: float = 120.0) -> None:
+        if now - self._last_switchoff_check < every_s:
+            return
+        self._last_switchoff_check = now
+        for event in self.switchoff.check(now):
+            self.wiring.writer_ref.tell(EventRecord(
+                kind="switchoff", t=event.t_detected, payload=event))
+
+    @property
+    def lag(self) -> int:
+        return self._group.lag()

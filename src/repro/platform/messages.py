@@ -1,0 +1,86 @@
+"""Actor message vocabulary.
+
+Every payload exchanged between platform actors is one of these immutable
+types — the explicit message protocol that makes the actor topology of
+Figure 2 (and the collision exchange of Figure 5) legible and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ais.message import AISMessage
+from repro.events.collision import CollisionForecast
+from repro.events.proximity import ProximityPairEvent
+from repro.models.base import RouteForecast
+
+
+@dataclass(frozen=True)
+class PositionIngested:
+    """Ingestion -> vessel actor: one parsed AIS position report."""
+
+    message: AISMessage
+
+
+@dataclass(frozen=True)
+class CellObservation:
+    """Vessel actor -> cell actor: a position falling in the cell."""
+
+    cell: int
+    mmsi: int
+    t: float
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class ForecastShared:
+    """Vessel actor -> collision actor: a forecast touching the cell."""
+
+    cell: int
+    forecast: RouteForecast
+
+
+@dataclass(frozen=True)
+class ProximityAlert:
+    """Cell actor -> vessel actors & writer: proximity event detected."""
+
+    event: ProximityPairEvent
+
+
+@dataclass(frozen=True)
+class CollisionAlert:
+    """Collision actor -> vessel actors & writer: collision forecast."""
+
+    event: CollisionForecast
+
+
+@dataclass(frozen=True)
+class VesselStateUpdate:
+    """Vessel actor -> writer actor: latest per-vessel state snapshot."""
+
+    mmsi: int
+    t: float
+    lat: float
+    lon: float
+    sog: float
+    cog: float
+    forecast: RouteForecast | None
+    event_flags: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """Writer actor input: a loggable platform event."""
+
+    kind: str          #: "proximity" | "collision" | "switchoff"
+    t: float
+    payload: Any
+
+
+@dataclass(frozen=True)
+class PruneTick:
+    """Scheduler -> stateful actors: periodic memory housekeeping."""
+
+    now: float

@@ -1,0 +1,126 @@
+"""The per-vessel actor.
+
+"The core partitioning functionality generates multiple actors N, with each
+one corresponding to a specific vessel as it is defined by its unique MMSI"
+(Section 3). Each vessel actor:
+
+* keeps the vessel's recent downsampled track (the S-VRF input window),
+* runs the *shared* short-term forecasting model on each kept fix —
+  the model instance is mounted once and passed to every actor's factory,
+* fans its position out to the proximity cell actor of its H3 cell,
+* fans its forecast trajectory out to the collision actors of every cell
+  the trajectory (dilated by one neighbour ring) touches,
+* submits the forecast to the traffic-flow actor,
+* pushes its state snapshot to the writer actor,
+* records proximity/collision alerts communicated back by the spatial
+  actors ("they communicate their state back to the respective affected
+  subset of vessel actors").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.actors import Actor, ActorContext
+from repro.geo.track import Position
+from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.platform.messages import (
+    CellObservation,
+    CollisionAlert,
+    ForecastShared,
+    PositionIngested,
+    ProximityAlert,
+    VesselStateUpdate,
+)
+
+if TYPE_CHECKING:
+    from repro.platform.pipeline import PlatformWiring
+
+
+class VesselActor(Actor):
+    """Digital twin of one vessel."""
+
+    def __init__(self, mmsi: int, wiring: "PlatformWiring") -> None:
+        self.mmsi = mmsi
+        self.wiring = wiring
+        self.history: deque[Position] = deque(
+            maxlen=wiring.forecaster_min_history)
+        self.kept_fixes = 0
+        self.last_kept_t = float("-inf")
+        self.last_message = None
+        self.latest_forecast = None
+        self.event_flags: deque[str] = deque(maxlen=8)
+
+    def receive(self, message, ctx: ActorContext) -> None:
+        if isinstance(message, PositionIngested):
+            self._on_position(message, ctx)
+        elif isinstance(message, ProximityAlert):
+            self.event_flags.append(f"proximity@{message.event.t:.0f}")
+        elif isinstance(message, CollisionAlert):
+            self.event_flags.append(
+                f"collision@{message.event.t_expected:.0f}")
+        # Unknown messages are ignored (actors are liberal receivers).
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _on_position(self, msg: PositionIngested, ctx: ActorContext) -> None:
+        wiring = self.wiring
+        report = msg.message
+        if report.t - self.last_kept_t < wiring.config.downsample_s:
+            return  # aggregated away by the 30-second downsampling rule
+        if self.history and report.t <= self.history[-1].t:
+            return  # stale duplicate from overlapping receivers
+        self.last_kept_t = report.t
+        self.last_message = report
+        self.history.append(Position(t=report.t, lat=report.lat,
+                                     lon=report.lon, sog=report.sog,
+                                     cog=report.cog))
+        self.kept_fixes += 1
+
+        # Proximity: this position goes to its cell actor.
+        prox_cell = latlng_to_cell(report.lat, report.lon,
+                                   wiring.config.proximity_resolution)
+        wiring.cell_router.tell(prox_cell, CellObservation(
+            cell=prox_cell, mmsi=self.mmsi, t=report.t,
+            lat=report.lat, lon=report.lon), sender=ctx.self_ref)
+
+        # Forecasting: run the shared model once enough history exists —
+        # the full window normally, or a padded short window when the
+        # platform is configured to forecast newly appeared vessels.
+        threshold = (max(wiring.config.min_forecast_fixes, 2)
+                     if wiring.config.pad_short_histories
+                     and wiring.supports_padding
+                     else wiring.forecaster_min_history)
+        if (len(self.history) >= threshold
+                and self.kept_fixes % wiring.config.forecast_every_n == 0):
+            self._forecast_and_share(ctx)
+
+        wiring.writer_ref.tell(VesselStateUpdate(
+            mmsi=self.mmsi, t=report.t, lat=report.lat, lon=report.lon,
+            sog=report.sog, cog=report.cog, forecast=self.latest_forecast,
+            event_flags=tuple(self.event_flags)), sender=ctx.self_ref)
+
+    def _forecast_and_share(self, ctx: ActorContext) -> None:
+        wiring = self.wiring
+        history = list(self.history)
+        if (wiring.supports_padding
+                and len(history) < wiring.forecaster_min_history):
+            forecast = wiring.forecaster.forecast(self.mmsi, history,
+                                                  pad=True)
+        else:
+            forecast = wiring.forecaster.forecast(self.mmsi, history)
+        self.latest_forecast = forecast
+
+        cells: set[int] = set()
+        for pos in forecast.positions:
+            base = latlng_to_cell(pos.lat, pos.lon,
+                                  wiring.config.collision_resolution)
+            cells.update(grid_disk(base,
+                                   wiring.config.collision_neighbor_rings))
+        for cell in cells:
+            wiring.collision_router.tell(
+                cell, ForecastShared(cell=cell, forecast=forecast),
+                sender=ctx.self_ref)
+
+        wiring.flow_ref.tell(forecast, sender=ctx.self_ref)

@@ -1,0 +1,87 @@
+"""The writer actor.
+
+"The actor states are stored by the writer actor in a Redis database in
+order to be visualized by the UI through a dedicated API ... In the context
+of this work, a single writer actor has been defined to write all actor
+outputs to the Redis database." (Section 3)
+
+Key schema (consumed by :class:`repro.platform.api.MiddlewareAPI`):
+
+* ``vessel:{mmsi}`` — hash with the vessel's latest state snapshot,
+* ``vessels:last_seen`` — zset of MMSIs scored by last message time,
+* ``events:{kind}`` — list of event payload dicts (most recent last),
+* ``events:all`` — zset of event ids scored by time,
+* pub/sub channel ``events:{kind}`` for live UI notifications.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.actors import Actor, ActorContext
+from repro.platform.messages import EventRecord, VesselStateUpdate
+
+if TYPE_CHECKING:
+    from repro.platform.pipeline import PlatformWiring
+
+
+class WriterActor(Actor):
+    """Persists actor outputs into the KV store and notifies subscribers."""
+
+    def __init__(self, wiring: "PlatformWiring") -> None:
+        self.wiring = wiring
+        self.states_written = 0
+        self.events_written = 0
+        self._producer = None
+        if wiring.config.output_topics:
+            from repro.streams import Producer
+            self._producer = Producer(wiring.broker)
+        #: (kind, pair) -> last event time, for cross-cell deduplication
+        #: (the same encounter can be detected by several cell actors).
+        self._event_dedup: dict[tuple, float] = {}
+
+    def receive(self, message, ctx: ActorContext) -> None:
+        if isinstance(message, VesselStateUpdate):
+            self._write_state(message)
+        elif isinstance(message, EventRecord):
+            self._write_event(message)
+
+    def _write_state(self, update: VesselStateUpdate) -> None:
+        kv = self.wiring.kvstore
+        now = update.t
+        snapshot = {
+            "t": update.t, "lat": update.lat, "lon": update.lon,
+            "sog": update.sog, "cog": update.cog,
+            "event_flags": ",".join(update.event_flags),
+        }
+        if update.forecast is not None:
+            snapshot["forecast"] = [
+                (p.t, p.lat, p.lon) for p in update.forecast.positions]
+        kv.hmset(f"vessel:{update.mmsi}", snapshot, now=now)
+        kv.zadd("vessels:last_seen", update.t, str(update.mmsi), now=now)
+        if self._producer is not None:
+            self._producer.send(self.wiring.config.output_state_topic,
+                                update.mmsi, update, update.t)
+        self.states_written += 1
+
+    def _write_event(self, record: EventRecord) -> None:
+        payload = record.payload
+        pair = getattr(payload, "pair", None)
+        if pair is not None:
+            key = (record.kind, pair)
+            last = self._event_dedup.get(key)
+            if (last is not None
+                    and record.t - last < self.wiring.config.event_debounce_s):
+                return
+            self._event_dedup[key] = record.t
+
+        kv = self.wiring.kvstore
+        kv.rpush(f"events:{record.kind}", payload, now=record.t)
+        kv.zadd("events:all", record.t,
+                f"{record.kind}:{self.events_written}", now=record.t)
+        self.wiring.pubsub.publish(f"events:{record.kind}", payload)
+        if self._producer is not None:
+            prefix = self.wiring.config.output_event_topic_prefix
+            self._producer.send(f"{prefix}.{record.kind}", record.kind,
+                                record, record.t)
+        self.events_written += 1

@@ -1,0 +1,27 @@
+"""An in-memory partitioned log broker (the platform's Kafka substitute).
+
+The paper's ingestion services consume "streaming real-time positional AIS
+data" from multiple Kafka connections (Section 3), and its future work plans
+dedicated output topics. What those components require from the broker is:
+
+* named **topics** divided into ordered, append-only **partitions**,
+* **keyed partitioning** so one vessel's messages stay ordered,
+* **producers** appending records and **consumer groups** that share the
+  partitions of a topic, track commit **offsets** and can replay.
+
+:mod:`repro.streams` provides exactly that surface, thread-safe, with
+at-least-once delivery semantics on explicit commit.
+"""
+
+from repro.streams.broker import Broker, Record, TopicConfig
+from repro.streams.producer import Producer
+from repro.streams.consumer import Consumer, ConsumerGroup
+
+__all__ = [
+    "Broker",
+    "Consumer",
+    "ConsumerGroup",
+    "Producer",
+    "Record",
+    "TopicConfig",
+]

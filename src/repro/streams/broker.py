@@ -1,0 +1,175 @@
+"""The broker: topics, partitions and offset bookkeeping."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Record:
+    """One record in a partition log."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """Creation-time topic settings."""
+
+    name: str
+    num_partitions: int = 4
+    #: Retain at most this many records per partition (0 = unbounded).
+    #: Old records are truncated from the head, like Kafka size retention.
+    retention_per_partition: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if self.retention_per_partition < 0:
+            raise ValueError("retention must be non-negative")
+
+
+class _Partition:
+    """A single append-only log with head truncation."""
+
+    def __init__(self, topic: str, index: int, retention: int) -> None:
+        self.topic = topic
+        self.index = index
+        self.retention = retention
+        self._records: list[Record] = []
+        #: Offset of the first retained record (grows with truncation).
+        self.log_start_offset = 0
+        self.next_offset = 0
+
+    def append(self, key: Any, value: Any, timestamp: float) -> int:
+        offset = self.next_offset
+        self._records.append(Record(topic=self.topic, partition=self.index,
+                                    offset=offset, key=key, value=value,
+                                    timestamp=timestamp))
+        self.next_offset += 1
+        if self.retention and len(self._records) > self.retention:
+            drop = len(self._records) - self.retention
+            del self._records[:drop]
+            self.log_start_offset += drop
+        return offset
+
+    def read(self, from_offset: int, max_records: int) -> list[Record]:
+        start = max(from_offset, self.log_start_offset) - self.log_start_offset
+        if start >= len(self._records):
+            return []
+        return self._records[start:start + max_records]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class Broker:
+    """Thread-safe in-memory message broker.
+
+    All state lives in this object; producers and consumers are thin handles
+    onto it. Locking is coarse (one lock per broker) — adequate because the
+    platform's hot path batches reads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._topics: dict[str, list[_Partition]] = {}
+        self._configs: dict[str, TopicConfig] = {}
+        #: (group, topic, partition) -> committed offset (next to consume).
+        self._commits: dict[tuple[str, str, int], int] = {}
+
+    # -- topic management ----------------------------------------------------
+
+    def create_topic(self, config: TopicConfig) -> None:
+        with self._lock:
+            if config.name in self._topics:
+                raise ValueError(f"topic {config.name!r} already exists")
+            self._topics[config.name] = [
+                _Partition(config.name, i, config.retention_per_partition)
+                for i in range(config.num_partitions)]
+            self._configs[config.name] = config
+
+    def topic_exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._topics
+
+    def topics(self) -> list[str]:
+        with self._lock:
+            return sorted(self._topics)
+
+    def num_partitions(self, topic: str) -> int:
+        with self._lock:
+            return len(self._partitions(topic))
+
+    def _partitions(self, topic: str) -> list[_Partition]:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise KeyError(f"unknown topic {topic!r}") from None
+
+    # -- produce / fetch -------------------------------------------------------
+
+    def partition_for_key(self, topic: str, key: Any) -> int:
+        """Deterministic key -> partition mapping (hash partitioner)."""
+        with self._lock:
+            n = len(self._partitions(topic))
+        if key is None:
+            raise ValueError("records need a key for partition routing")
+        return hash(key) % n
+
+    def append(self, topic: str, key: Any, value: Any, timestamp: float,
+               partition: int | None = None) -> tuple[int, int]:
+        """Append a record; returns ``(partition, offset)``."""
+        with self._lock:
+            parts = self._partitions(topic)
+            if partition is None:
+                partition = self.partition_for_key(topic, key)
+            if not 0 <= partition < len(parts):
+                raise ValueError(
+                    f"partition {partition} out of range for {topic!r}")
+            offset = parts[partition].append(key, value, timestamp)
+            return partition, offset
+
+    def fetch(self, topic: str, partition: int, from_offset: int,
+              max_records: int = 500) -> list[Record]:
+        with self._lock:
+            parts = self._partitions(topic)
+            return parts[partition].read(from_offset, max_records)
+
+    def end_offset(self, topic: str, partition: int) -> int:
+        """Offset one past the last record (the produce position)."""
+        with self._lock:
+            return self._partitions(topic)[partition].next_offset
+
+    def total_records(self, topic: str) -> int:
+        """Total records currently retained across partitions."""
+        with self._lock:
+            return sum(len(p) for p in self._partitions(topic))
+
+    # -- consumer-group offsets -------------------------------------------------
+
+    def committed(self, group: str, topic: str, partition: int) -> int:
+        with self._lock:
+            return self._commits.get((group, topic, partition), 0)
+
+    def commit(self, group: str, topic: str, partition: int, offset: int) -> None:
+        with self._lock:
+            key = (group, topic, partition)
+            if offset < self._commits.get(key, 0):
+                raise ValueError(
+                    f"cannot move commit backwards for {key}: {offset}")
+            self._commits[key] = offset
+
+    def lag(self, group: str, topic: str) -> int:
+        """Total uncommitted records for a group on a topic."""
+        with self._lock:
+            return sum(
+                p.next_offset - self._commits.get((group, topic, p.index), 0)
+                for p in self._partitions(topic))

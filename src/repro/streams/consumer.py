@@ -1,0 +1,117 @@
+"""Consumers and consumer groups.
+
+A :class:`ConsumerGroup` owns the assignment of a topic's partitions to its
+member :class:`Consumer` handles (round-robin, recomputed on join/leave, as
+in a Kafka rebalance). Each consumer polls records from its partitions and
+commits offsets explicitly, giving the at-least-once semantics the
+platform's ingestion layer assumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.streams.broker import Broker, Record
+
+
+class ConsumerGroup:
+    """Coordinates partition assignment for a set of consumers."""
+
+    def __init__(self, broker: Broker, group_id: str, topic: str) -> None:
+        if not broker.topic_exists(topic):
+            raise KeyError(f"unknown topic {topic!r}")
+        self._broker = broker
+        self.group_id = group_id
+        self.topic = topic
+        self._lock = threading.Lock()
+        self._members: list["Consumer"] = []
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Rebalance generation — bumps whenever membership changes."""
+        return self._generation
+
+    def join(self) -> "Consumer":
+        """Create a consumer in this group and rebalance."""
+        with self._lock:
+            consumer = Consumer(self._broker, self)
+            self._members.append(consumer)
+            self._rebalance()
+            return consumer
+
+    def leave(self, consumer: "Consumer") -> None:
+        with self._lock:
+            self._members.remove(consumer)
+            consumer._assignment = []
+            self._rebalance()
+
+    def _rebalance(self) -> None:
+        self._generation += 1
+        n_parts = self._broker.num_partitions(self.topic)
+        for member in self._members:
+            member._assignment = []
+        if self._members:
+            members = itertools.cycle(self._members)
+            for p in range(n_parts):
+                next(members)._assignment.append(p)
+
+    def lag(self) -> int:
+        """Uncommitted records across the whole group."""
+        return self._broker.lag(self.group_id, self.topic)
+
+
+class Consumer:
+    """One group member; polls from its assigned partitions.
+
+    Not constructed directly — call :meth:`ConsumerGroup.join`.
+    """
+
+    def __init__(self, broker: Broker, group: ConsumerGroup) -> None:
+        self._broker = broker
+        self._group = group
+        self._assignment: list[int] = []
+        #: In-flight positions (next offset to fetch) per partition; reset to
+        #: the committed offset when the partition is (re)assigned.
+        self._positions: dict[int, int] = {}
+
+    @property
+    def assignment(self) -> list[int]:
+        return list(self._assignment)
+
+    def poll(self, max_records: int = 500) -> list[Record]:
+        """Fetch up to ``max_records`` records across assigned partitions."""
+        out: list[Record] = []
+        budget = max_records
+        for partition in self._assignment:
+            if budget <= 0:
+                break
+            position = self._positions.get(
+                partition,
+                self._broker.committed(self._group.group_id,
+                                       self._group.topic, partition))
+            records = self._broker.fetch(self._group.topic, partition,
+                                         position, budget)
+            if records:
+                self._positions[partition] = records[-1].offset + 1
+                out.extend(records)
+                budget -= len(records)
+            else:
+                self._positions.setdefault(partition, position)
+        return out
+
+    def commit(self) -> None:
+        """Commit the current positions of all assigned partitions."""
+        for partition, position in self._positions.items():
+            if partition in self._assignment:
+                self._broker.commit(self._group.group_id, self._group.topic,
+                                    partition, position)
+
+    def seek_to_beginning(self) -> None:
+        """Rewind in-flight positions to the start of each partition."""
+        for partition in self._assignment:
+            self._positions[partition] = 0
+
+    def close(self) -> None:
+        self._group.leave(self)

@@ -1,0 +1,40 @@
+"""Producer handle onto a broker."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.streams.broker import Broker
+
+
+class Producer:
+    """Appends keyed records to broker topics.
+
+    Mirrors the Kafka producer surface the platform needs: keyed sends with
+    deterministic partition routing, optional explicit partitions, and a
+    monotonically non-decreasing timestamp supplied by the caller (the
+    simulator clock, not the wall clock).
+    """
+
+    def __init__(self, broker: Broker) -> None:
+        self._broker = broker
+        self._sent = 0
+
+    @property
+    def records_sent(self) -> int:
+        return self._sent
+
+    def send(self, topic: str, key: Any, value: Any, timestamp: float,
+             partition: int | None = None) -> tuple[int, int]:
+        """Append one record; returns ``(partition, offset)``."""
+        result = self._broker.append(topic, key, value, timestamp,
+                                     partition=partition)
+        self._sent += 1
+        return result
+
+    def send_batch(self, topic: str, records: list[tuple[Any, Any, float]]
+                   ) -> int:
+        """Append ``(key, value, timestamp)`` tuples; returns count sent."""
+        for key, value, timestamp in records:
+            self.send(topic, key, value, timestamp)
+        return len(records)

@@ -1,0 +1,20 @@
+"""Synthetic weather fields (the paper's future-work data source).
+
+Section 7: "leverage new data sources to improve model prediction
+performance (e.g. weather data) ... the enrichment and fusion of the H3
+spatially indexed AIS mobility data with weather related features and
+forecasts". This package provides the closest self-contained equivalent: a
+smooth, deterministic synthetic weather field (wind and surface current)
+queryable at any (lat, lon, t), plus the H3-cell enrichment described in
+the paper's outlook.
+"""
+
+from repro.weather.field import WeatherField, WeatherSample
+from repro.weather.enrichment import CellWeather, enrich_cells
+
+__all__ = [
+    "CellWeather",
+    "WeatherField",
+    "WeatherSample",
+    "enrich_cells",
+]

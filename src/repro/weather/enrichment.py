@@ -1,0 +1,44 @@
+"""H3-cell weather enrichment.
+
+"The enrichment and fusion of the H3 spatially indexed AIS mobility data
+with weather related features and forecasts" (Section 7): annotate a set of
+hex cells with the weather at their centres, ready to be joined against
+Patterns-of-Life statistics or traffic-flow rasters on the shared cell id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hexgrid import cell_to_latlng
+from repro.weather.field import WeatherField, WeatherSample
+
+
+@dataclass(frozen=True)
+class CellWeather:
+    """Weather features attached to one hex cell."""
+
+    cell: int
+    t: float
+    sample: WeatherSample
+
+    def feature_vector(self) -> list[float]:
+        """Numeric features for fusing into downstream models."""
+        s = self.sample
+        return [s.wind_u_mps, s.wind_v_mps, s.current_u_mps,
+                s.current_v_mps, s.wave_height_m]
+
+
+def enrich_cells(field: WeatherField, cells: list[int], t: float
+                 ) -> dict[int, CellWeather]:
+    """Weather at the centre of each cell at stream time ``t``.
+
+    Keys are the same cell ids used by the traffic-flow raster and the
+    Patterns-of-Life aggregates, so callers join on cell id directly.
+    """
+    out = {}
+    for cell in cells:
+        lat, lon = cell_to_latlng(cell)
+        out[cell] = CellWeather(cell=cell, t=t,
+                                sample=field.sample(lat, lon, t))
+    return out

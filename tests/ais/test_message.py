@@ -1,0 +1,146 @@
+"""Tests for the AIS message model and NMEA codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ais import (
+    AISMessage,
+    NavigationStatus,
+    StaticReport,
+    decode_nmea,
+    encode_nmea,
+)
+
+
+def _msg(**overrides):
+    base = dict(mmsi=239123456, t=1_000.0, lat=37.9421, lon=23.6465,
+                sog=12.3, cog=245.7, heading=246,
+                status=NavigationStatus.UNDER_WAY)
+    base.update(overrides)
+    return AISMessage(**base)
+
+
+class TestPositionRoundtrip:
+    def test_roundtrip_basic_fields(self):
+        msg = _msg()
+        out = decode_nmea(encode_nmea(msg), t=msg.t)
+        assert isinstance(out, AISMessage)
+        assert out.mmsi == msg.mmsi
+        assert out.status == msg.status
+        assert out.heading == msg.heading
+
+    def test_roundtrip_position_quantisation(self):
+        # ITU-R M.1371 stores lat/lon at 1/600000 degree.
+        msg = _msg()
+        out = decode_nmea(encode_nmea(msg), t=msg.t)
+        assert out.lat == pytest.approx(msg.lat, abs=1.0 / 600_000 + 1e-9)
+        assert out.lon == pytest.approx(msg.lon, abs=1.0 / 600_000 + 1e-9)
+
+    def test_roundtrip_sog_cog_quantisation(self):
+        msg = _msg()
+        out = decode_nmea(encode_nmea(msg), t=msg.t)
+        assert out.sog == pytest.approx(msg.sog, abs=0.05 + 1e-9)
+        assert out.cog == pytest.approx(msg.cog, abs=0.05 + 1e-9)
+
+    def test_negative_coordinates(self):
+        msg = _msg(lat=-33.9, lon=-73.55)
+        out = decode_nmea(encode_nmea(msg), t=msg.t)
+        assert out.lat == pytest.approx(-33.9, abs=1e-5)
+        assert out.lon == pytest.approx(-73.55, abs=1e-5)
+
+    def test_missing_heading(self):
+        msg = _msg(heading=None)
+        out = decode_nmea(encode_nmea(msg), t=msg.t)
+        assert out.heading is None
+
+    def test_receiver_time_passthrough(self):
+        out = decode_nmea(encode_nmea(_msg()), t=123.456)
+        assert out.t == 123.456
+
+    @given(mmsi=st.integers(min_value=1, max_value=999_999_999),
+           lat=st.floats(min_value=-89.9, max_value=89.9),
+           lon=st.floats(min_value=-179.9, max_value=179.9),
+           sog=st.floats(min_value=0.0, max_value=60.0),
+           cog=st.floats(min_value=0.0, max_value=359.9))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, mmsi, lat, lon, sog, cog):
+        msg = _msg(mmsi=mmsi, lat=lat, lon=lon, sog=sog, cog=cog)
+        out = decode_nmea(encode_nmea(msg), t=msg.t)
+        assert out.mmsi == mmsi
+        assert out.lat == pytest.approx(lat, abs=2.0 / 600_000)
+        assert out.lon == pytest.approx(lon, abs=2.0 / 600_000)
+        assert out.sog == pytest.approx(min(sog, 102.2), abs=0.051)
+        assert out.cog == pytest.approx(cog, abs=0.051)
+
+
+class TestStaticRoundtrip:
+    def test_roundtrip(self):
+        rep = StaticReport(mmsi=239000001, t=0.0, name="AEGEAN SPIRIT",
+                           ship_type=70, to_bow=90, to_stern=95,
+                           to_port=15, to_starboard=16, draught=10.4)
+        out = decode_nmea(encode_nmea(rep), t=0.0)
+        assert isinstance(out, StaticReport)
+        assert out.mmsi == rep.mmsi
+        assert out.name == "AEGEAN SPIRIT"
+        assert out.ship_type == 70
+        assert (out.to_bow, out.to_stern) == (90, 95)
+        assert out.draught == pytest.approx(10.4, abs=0.051)
+
+    def test_length_beam_properties(self):
+        rep = StaticReport(mmsi=1, t=0.0, name="X", ship_type=70,
+                           to_bow=90, to_stern=95, to_port=15,
+                           to_starboard=16, draught=10.0)
+        assert rep.length == 185
+        assert rep.beam == 31
+
+    @given(name=st.text(
+        alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 "),
+        min_size=0, max_size=20))
+    @settings(max_examples=50)
+    def test_name_roundtrip(self, name):
+        rep = StaticReport(mmsi=1, t=0.0, name=name, ship_type=70,
+                           to_bow=10, to_stern=10, to_port=3,
+                           to_starboard=3, draught=5.0)
+        out = decode_nmea(encode_nmea(rep), t=0.0)
+        assert out.name == name.rstrip()
+
+
+class TestFraming:
+    def test_sentence_shape(self):
+        sentence = encode_nmea(_msg())
+        assert sentence.startswith("!AIVDM,1,1,,A,")
+        assert "*" in sentence
+
+    def test_channel_selection(self):
+        assert ",B," in encode_nmea(_msg(), channel="B")
+
+    def test_checksum_rejected_on_corruption(self):
+        sentence = encode_nmea(_msg())
+        body, cs = sentence.rsplit("*", 1)
+        corrupted = body[:-2] + ("00" if body[-2:] != "00" else "11") + "*" + cs
+        with pytest.raises(ValueError):
+            decode_nmea(corrupted)
+
+    def test_missing_bang_rejected(self):
+        with pytest.raises(ValueError):
+            decode_nmea("AIVDM,1,1,,A,foo,0*00")
+
+    def test_missing_checksum_rejected(self):
+        with pytest.raises(ValueError):
+            decode_nmea("!AIVDM,1,1,,A,foo,0")
+
+    def test_non_aivdm_rejected(self):
+        body = "GPGGA,1,1,,A,x,0"
+        cs = 0
+        for ch in body:
+            cs ^= ord(ch)
+        with pytest.raises(ValueError):
+            decode_nmea(f"!{body}*{cs:02X}")
+
+    def test_with_time_copy(self):
+        msg = _msg()
+        moved = msg.with_time(999.0)
+        assert moved.t == 999.0
+        assert moved.mmsi == msg.mmsi
+        assert msg.t == 1_000.0  # original untouched

@@ -1,0 +1,173 @@
+"""Tests for the event-driven scenario simulator and channel model."""
+
+import random
+
+import pytest
+
+from repro.ais import (
+    ChannelModel,
+    ScenarioSimulator,
+    VesselAgent,
+    make_route,
+    random_statics,
+    solas_reporting_interval_s,
+)
+from repro.ais.message import AISMessage
+from repro.ais.ports import PORTS
+from repro.geo import haversine_m
+from repro.geo.constants import KNOTS_TO_MPS
+
+
+def _agent(seed=0, mmsi=239000001, **kwargs):
+    rng = random.Random(seed)
+    statics = random_statics(rng, mmsi)
+    by_name = {p.name: p for p in PORTS}
+    route = make_route(by_name["Piraeus"], by_name["Heraklion"], rng)
+    return VesselAgent(statics=statics, route=route, **kwargs)
+
+
+class TestSolasIntervals:
+    def test_anchored(self):
+        assert solas_reporting_interval_s(0.0, anchored=True) == 180.0
+
+    def test_slow(self):
+        assert solas_reporting_interval_s(10.0) == 10.0
+
+    def test_medium(self):
+        assert solas_reporting_interval_s(18.0) == 6.0
+
+    def test_fast(self):
+        assert solas_reporting_interval_s(25.0) == 2.0
+
+    def test_turning_shrinks_interval(self):
+        assert (solas_reporting_interval_s(10.0, turning=True)
+                < solas_reporting_interval_s(10.0))
+
+    def test_interval_monotone_in_speed(self):
+        assert (solas_reporting_interval_s(25.0)
+                <= solas_reporting_interval_s(18.0)
+                <= solas_reporting_interval_s(10.0))
+
+
+class TestChannelModel:
+    def _msg(self, t=100.0, source="terrestrial"):
+        return AISMessage(mmsi=1, t=t, lat=0.0, lon=0.0, sog=10.0, cog=0.0,
+                          source=source)
+
+    def test_full_coverage_delivers(self):
+        ch = ChannelModel(coverage=1.0, jitter_s=0.0, duplicate_prob=0.0)
+        out = ch.deliver(self._msg(), random.Random(0))
+        assert len(out) == 1
+
+    def test_zero_coverage_drops(self):
+        ch = ChannelModel(coverage=0.0)
+        assert ch.deliver(self._msg(), random.Random(0)) == []
+
+    def test_jitter_bounds(self):
+        ch = ChannelModel(coverage=1.0, jitter_s=2.0, duplicate_prob=0.0)
+        rng = random.Random(1)
+        for _ in range(50):
+            out = ch.deliver(self._msg(t=50.0), rng)
+            assert 50.0 <= out[0].t <= 52.0
+
+    def test_duplicates_possible(self):
+        ch = ChannelModel(coverage=1.0, duplicate_prob=1.0, jitter_s=0.0)
+        out = ch.deliver(self._msg(), random.Random(0))
+        assert len(out) == 2
+
+    def test_satellite_gated_outside_pass(self):
+        ch = ChannelModel(coverage=1.0, satellite_pass_period_s=1000.0,
+                          satellite_pass_duration_s=100.0)
+        inside = ch.deliver(self._msg(t=50.0, source="satellite"),
+                            random.Random(0))
+        outside = ch.deliver(self._msg(t=500.0, source="satellite"),
+                             random.Random(0))
+        assert len(inside) == 1
+        assert outside == []
+
+
+class TestVesselAgent:
+    def test_agent_moves_along_route(self):
+        agent = _agent()
+        rng = random.Random(0)
+        start = (agent.lat, agent.lon)
+        for tick in range(60):
+            agent.step(tick * 10.0, 10.0, rng)
+        moved = haversine_m(start[0], start[1], agent.lat, agent.lon)
+        # 10 minutes at cruise speed.
+        expected = agent.statics.cruise_speed_kn * KNOTS_TO_MPS * 600.0
+        assert moved == pytest.approx(expected, rel=0.35)
+
+    def test_agent_finishes_route_eventually(self):
+        agent = _agent()
+        rng = random.Random(0)
+        t, dt = 0.0, 30.0
+        # Piraeus-Heraklion is ~300 km; cap the loop generously.
+        while not agent.finished and t < 3 * 86_400.0:
+            agent.step(t, dt, rng)
+            t += dt
+        assert agent.finished
+
+    def test_broadcast_respects_schedule(self):
+        agent = _agent()
+        rng = random.Random(0)
+        agent.step(0.0, 10.0, rng)
+        first = agent.maybe_broadcast(0.0, rng)
+        assert first is not None
+        immediately_after = agent.maybe_broadcast(1.0, rng)
+        assert immediately_after is None
+
+    def test_switch_off_window_silences(self):
+        agent = _agent(switch_off_windows=((0.0, 1_000.0),))
+        rng = random.Random(0)
+        agent.step(0.0, 10.0, rng)
+        assert agent.maybe_broadcast(0.0, rng) is None
+
+    def test_broadcast_carries_sensor_noise_not_truth(self):
+        agent = _agent()
+        rng = random.Random(0)
+        agent.step(0.0, 10.0, rng)
+        msg = agent.maybe_broadcast(0.0, rng)
+        assert msg.lat == agent.lat  # position is exact
+        assert msg.sog != agent.speed_kn  # sensors are noisy
+
+    def test_start_time_delays_activity(self):
+        agent = _agent(start_time=500.0)
+        rng = random.Random(0)
+        lat0 = agent.lat
+        agent.step(0.0, 10.0, rng)
+        assert agent.lat == lat0
+        assert agent.maybe_broadcast(0.0, rng) is None
+
+
+class TestScenarioSimulator:
+    def test_duplicate_mmsis_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSimulator([_agent(mmsi=5), _agent(seed=1, mmsi=5)])
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSimulator([])
+
+    def test_run_produces_sorted_stream_and_truth(self):
+        sim = ScenarioSimulator([_agent(mmsi=7), _agent(seed=1, mmsi=8)],
+                                dt_s=10.0, seed=0)
+        result = sim.run(1_800.0)
+        ts = [m.t for m in result.messages]
+        assert ts == sorted(ts)
+        assert set(result.truth) == {7, 8}
+        assert len(result.truth[7]) > 100
+
+    def test_reproducible(self):
+        def run():
+            sim = ScenarioSimulator([_agent(mmsi=7)], dt_s=10.0, seed=42)
+            return sim.run(600.0)
+        r1, r2 = run(), run()
+        assert [(m.t, m.lat) for m in r1.messages] == \
+               [(m.t, m.lat) for m in r2.messages]
+
+    def test_messages_for_filters_by_mmsi(self):
+        sim = ScenarioSimulator([_agent(mmsi=7), _agent(seed=1, mmsi=8)],
+                                dt_s=10.0, seed=0)
+        result = sim.run(600.0)
+        assert all(m.mmsi == 7 for m in result.messages_for(7))

@@ -1,0 +1,128 @@
+"""Tests for vessel statics, the port catalogue and route generation."""
+
+import random
+
+import pytest
+
+from repro.ais import PORTS, Port, VesselType, make_route, random_statics
+from repro.ais.ports import ports_in_bbox, ports_in_region
+from repro.geo import haversine_m
+from repro.geo.bbox import AEGEAN_BBOX, PAPER_EVAL_BBOX
+
+
+class TestStatics:
+    def test_deterministic_given_seed(self):
+        a = random_statics(random.Random(5), 200000001)
+        b = random_statics(random.Random(5), 200000001)
+        assert a == b
+
+    def test_mmsi_assignment(self):
+        s = random_statics(random.Random(0), 239000007)
+        assert s.mmsi == 239000007
+
+    def test_explicit_type_respected(self):
+        s = random_statics(random.Random(0), 1, vessel_type=VesselType.TANKER)
+        assert s.vessel_type is VesselType.TANKER
+
+    def test_plausible_dimensions(self):
+        rng = random.Random(1)
+        for i in range(100):
+            s = random_statics(rng, i + 1)
+            assert 10.0 <= s.length_m <= 500.0
+            assert 3.0 <= s.beam_m <= 80.0
+            assert 1.0 <= s.draught_m <= 30.0
+            assert s.dwt > 0
+            assert 4.0 <= s.cruise_speed_kn <= 50.0
+
+    def test_fleet_mix_dominated_by_cargo_and_tankers(self):
+        rng = random.Random(2)
+        types = [random_statics(rng, i).vessel_type for i in range(600)]
+        share = (types.count(VesselType.CARGO) +
+                 types.count(VesselType.TANKER)) / len(types)
+        assert share > 0.45
+
+    def test_static_report_roundtrips_dimensions(self):
+        s = random_statics(random.Random(3), 42)
+        rep = s.to_static_report()
+        assert rep.mmsi == 42
+        assert rep.length == pytest.approx(s.length_m, abs=1.5)
+        assert rep.ship_type == s.vessel_type.ais_code
+
+    def test_feature_vector_length(self):
+        s = random_statics(random.Random(3), 42)
+        assert len(s.feature_vector()) == 6
+
+
+class TestPorts:
+    def test_catalogue_is_nonempty_and_unique(self):
+        names = [p.name for p in PORTS]
+        assert len(names) == len(set(names))
+        assert len(PORTS) >= 50
+
+    def test_aegean_ports_exist(self):
+        aegean = ports_in_region("aegean")
+        assert {"Piraeus", "Thessaloniki"} <= {p.name for p in aegean}
+
+    def test_ports_in_paper_bbox(self):
+        inside = ports_in_bbox(PAPER_EVAL_BBOX)
+        assert len(inside) >= 30
+        assert all(PAPER_EVAL_BBOX.contains(p.lat, p.lon) for p in inside)
+
+    def test_ports_in_aegean_bbox(self):
+        inside = ports_in_bbox(AEGEAN_BBOX)
+        assert len(inside) >= 5
+
+    def test_coordinates_valid(self):
+        for p in PORTS:
+            assert -90.0 <= p.lat <= 90.0
+            assert -180.0 <= p.lon <= 180.0
+            assert p.weight > 0
+
+
+class TestRoutes:
+    def _pair(self):
+        by_name = {p.name: p for p in PORTS}
+        return by_name["Piraeus"], by_name["Valletta"]
+
+    def test_endpoints_pinned(self):
+        origin, dest = self._pair()
+        route = make_route(origin, dest, random.Random(0))
+        assert route.waypoints[0] == (origin.lat, origin.lon)
+        assert route.waypoints[-1] == (dest.lat, dest.lon)
+
+    def test_route_longer_than_great_circle_but_bounded(self):
+        origin, dest = self._pair()
+        route = make_route(origin, dest, random.Random(0))
+        gc = haversine_m(origin.lat, origin.lon, dest.lat, dest.lon)
+        assert gc <= route.length_m <= gc * 1.4
+
+    def test_corridor_shared_across_voyages(self):
+        """Two voyages on the same pair stay near each other; a reversed
+        pair gets a different corridor."""
+        origin, dest = self._pair()
+        r1 = make_route(origin, dest, random.Random(1))
+        r2 = make_route(origin, dest, random.Random(2))
+        mid1 = r1.waypoints[len(r1.waypoints) // 2]
+        mid2 = r2.waypoints[len(r2.waypoints) // 2]
+        assert haversine_m(*mid1, *mid2) < 40_000  # same corridor
+
+    def test_voyage_variation_exists(self):
+        origin, dest = self._pair()
+        r1 = make_route(origin, dest, random.Random(1))
+        r2 = make_route(origin, dest, random.Random(2))
+        assert r1.waypoints != r2.waypoints
+
+    def test_waypoint_count(self):
+        origin, dest = self._pair()
+        route = make_route(origin, dest, random.Random(0), n_waypoints=30)
+        assert len(route.waypoints) == 30
+
+    def test_too_few_waypoints_rejected(self):
+        origin, dest = self._pair()
+        with pytest.raises(ValueError):
+            make_route(origin, dest, random.Random(0), n_waypoints=1)
+
+    def test_coincident_ports_rejected(self):
+        p = Port("Here", 10.0, 10.0, "x")
+        with pytest.raises(ValueError):
+            make_route(p, p, random.Random(0))

@@ -1,0 +1,213 @@
+"""Tests for metrics, the experiment drivers and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.ais.datasets import proximity_scenario
+from repro.evaluation import (
+    DetectionCounts,
+    ade_per_horizon,
+    displacement_errors_m,
+    run_figure6,
+    run_table1,
+    run_table2,
+)
+from repro.evaluation.reporting import (
+    format_figure6,
+    format_table1,
+    format_table2,
+    sparkline,
+)
+from repro.evaluation.table2 import assign_event_leads
+from repro.models import LinearKinematicModel, SVRFConfig
+
+
+class TestDisplacementMetrics:
+    def test_zero_error(self):
+        lat = np.full((3, 6), 38.0)
+        lon = np.full((3, 6), 23.0)
+        err = displacement_errors_m(lat, lon, lat, lon)
+        np.testing.assert_allclose(err, 0.0)
+
+    def test_known_offset(self):
+        lat = np.full((2, 6), 38.0)
+        lon = np.full((2, 6), 23.0)
+        err = displacement_errors_m(lat + 0.001, lon, lat, lon)
+        np.testing.assert_allclose(err, 111.19, rtol=0.01)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            displacement_errors_m(np.zeros((2, 6)), np.zeros((2, 6)),
+                                  np.zeros((3, 6)), np.zeros((3, 6)))
+
+    def test_ade_per_horizon(self):
+        errors = np.arange(12, dtype=float).reshape(2, 6)
+        np.testing.assert_allclose(ade_per_horizon(errors),
+                                   [3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+
+
+class TestDetectionCounts:
+    def test_perfect(self):
+        c = DetectionCounts(tp=10, fp=0, fn=0)
+        assert c.precision == 1.0
+        assert c.recall == 1.0
+        assert c.f1 == 1.0
+        assert c.accuracy == 1.0
+
+    def test_paper_row_values(self):
+        # Table 2 row 1: TP=203 FP=3 FN=34.
+        c = DetectionCounts(tp=203, fp=3, fn=34)
+        assert c.precision == pytest.approx(0.98, abs=0.01)
+        assert c.recall == pytest.approx(0.85, abs=0.01)
+        assert c.f1 == pytest.approx(0.91, abs=0.01)
+        assert c.accuracy == pytest.approx(203 / 240, abs=1e-9)
+
+    def test_empty_counts_are_zero(self):
+        c = DetectionCounts()
+        assert c.precision == 0.0
+        assert c.recall == 0.0
+        assert c.f1 == 0.0
+        assert c.accuracy == 0.0
+
+    def test_merged(self):
+        a = DetectionCounts(tp=1, fp=2, fn=3)
+        b = DetectionCounts(tp=10, fp=20, fn=30)
+        m = a.merged(b)
+        assert (m.tp, m.fp, m.fn) == (11, 22, 33)
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Tiny configuration: enough to exercise the full pipeline fast.
+        return run_table1(n_vessels=100, duration_s=6 * 3600.0, seed=5,
+                          epochs=12, svrf_config=SVRFConfig(hidden=24,
+                                                            dense=32),
+                          cache=False)
+
+    def test_six_horizons(self, result):
+        assert result.horizons_min == [5, 10, 15, 20, 25, 30]
+        assert len(result.linear_ade_m) == 6
+        assert len(result.svrf_ade_m) == 6
+
+    def test_errors_grow_with_horizon(self, result):
+        assert all(b > a for a, b in zip(result.linear_ade_m,
+                                         result.linear_ade_m[1:]))
+        assert all(b > a for a, b in zip(result.svrf_ade_m,
+                                         result.svrf_ade_m[1:]))
+
+    def test_magnitudes_in_paper_regime(self, result):
+        # Hundreds of metres, not centimetres or hundreds of km.
+        assert 10.0 < result.linear_ade_m[0] < 1_000.0
+        assert 50.0 < result.linear_ade_m[-1] < 5_000.0
+
+    def test_svrf_wins(self, result):
+        assert result.svrf_wins_all_horizons()
+        assert result.mean_difference_pct < 0.0
+
+    def test_formatting(self, result):
+        text = format_table1(result)
+        assert "Mean ADE" in text
+        assert "t = 30min" in text
+
+
+class TestTable2Driver:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return proximity_scenario(n_event_pairs=12, n_near_miss_pairs=4,
+                                  n_background=4, duration_s=5_400.0,
+                                  seed=23)
+
+    def test_scenario_has_events(self, scenario):
+        assert len(scenario.events) >= 8
+        assert scenario.n_vessels == 36
+
+    def test_leads_assigned_deterministically(self, scenario):
+        a = assign_event_leads(scenario.events, seed=3)
+        b = assign_event_leads(scenario.events, seed=3)
+        assert a == b
+        assert all(30.0 <= lead <= 1_200.0 for lead in a.values())
+
+    def test_run_with_kinematic_as_both_models(self, scenario):
+        # Using the kinematic model in both slots exercises the full
+        # harness without training a network.
+        result = run_table2(scenario, LinearKinematicModel())
+        assert len(result.rows) == 8
+        datasets = {r.dataset for r in result.rows}
+        assert datasets == {"All Events", "Sub dataset A", "Sub dataset B"}
+
+    def test_sub_datasets_are_subsets(self, scenario):
+        result = run_table2(scenario, LinearKinematicModel())
+        all_n = result.row("All Events", "S-VRF", 2.0).total_events
+        sub_a = result.row("Sub dataset A", "S-VRF", 2.0).total_events
+        sub_b = result.row("Sub dataset B", "S-VRF", 5.0).total_events
+        assert sub_a <= sub_b <= all_n
+
+    def test_counts_consistent(self, scenario):
+        result = run_table2(scenario, LinearKinematicModel())
+        for row in result.rows:
+            assert row.tp + row.fn == row.total_events
+
+    def test_identical_models_give_identical_rows(self, scenario):
+        result = run_table2(scenario, LinearKinematicModel())
+        for dataset, thr in [("All Events", 2.0), ("All Events", 5.0)]:
+            lin = result.row(dataset, "Linear Kinematic", thr)
+            svrf = result.row(dataset, "S-VRF", thr)
+            assert (lin.tp, lin.fp, lin.fn) == (svrf.tp, svrf.fp, svrf.fn)
+
+    def test_formatting(self, scenario):
+        result = run_table2(scenario, LinearKinematicModel())
+        text = format_table2(result)
+        assert "Sub dataset A" in text
+        assert "Rec" in text
+
+
+class TestFigure6Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure6(LinearKinematicModel(), n_vessels=150,
+                           duration_s=1_200.0, seed=4)
+
+    def test_series_nonempty_and_positive(self, result):
+        assert result.actor_counts.size > 10
+        assert (result.avg_processing_time_s > 0).all()
+
+    def test_actor_counts_monotone(self, result):
+        assert (np.diff(result.actor_counts) > 0).all()
+
+    def test_tracks_most_of_fleet(self, result):
+        assert result.total_vessels >= 100
+        assert result.total_messages > 1_000
+
+    def test_plateau_statistics(self, result):
+        assert result.plateau_mean_s() > 0
+        assert result.peak_time_s >= result.plateau_mean_s()
+
+    def test_throughput_positive(self, result):
+        assert result.throughput_msgs_per_s > 0
+
+    def test_formatting(self, result):
+        text = format_figure6(result)
+        assert "Figure 6" in text
+        assert "plateau" in text
+
+    def test_requires_metrics(self):
+        from repro.platform import PlatformConfig
+        with pytest.raises(ValueError):
+            run_figure6(LinearKinematicModel(), n_vessels=10,
+                        duration_s=60.0,
+                        platform_config=PlatformConfig(record_metrics=False))
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline(np.zeros(0)) == ""
+
+    def test_constant_series(self):
+        line = sparkline(np.ones(10))
+        assert len(line) == 10
+
+    def test_range_mapping(self):
+        line = sparkline(np.array([0.0, 1.0]))
+        assert line[0] == " "
+        assert line[-1] == "@"

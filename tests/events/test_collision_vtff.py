@@ -1,0 +1,224 @@
+"""Tests for collision forecasting and traffic flow forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    CollisionForecaster,
+    DirectVTFF,
+    FlowGrid,
+    IndirectVTFF,
+    TrafficLevel,
+    trajectories_intersect,
+)
+from repro.geo import Position
+from repro.models.base import RouteForecast
+
+
+def _forecast(mmsi, t0, lat0, lon0, dlat_per_step, dlon_per_step, steps=6):
+    """A straight forecast trajectory at 5-minute marks."""
+    positions = [Position(t=t0, lat=lat0, lon=lon0)]
+    for k in range(1, steps + 1):
+        positions.append(Position(t=t0 + 300.0 * k,
+                                  lat=lat0 + dlat_per_step * k,
+                                  lon=lon0 + dlon_per_step * k))
+    return RouteForecast(mmsi=mmsi, positions=tuple(positions))
+
+
+def _converging_pair(miss_deg=0.0):
+    """Two trajectories meeting at (38.0, 23.5 + miss) around t=900s."""
+    a = _forecast(1, t0=0.0, lat0=38.0, lon0=23.40,
+                  dlat_per_step=0.0, dlon_per_step=0.0333)
+    b = _forecast(2, t0=0.0, lat0=38.1 + miss_deg, lon0=23.50,
+                  dlat_per_step=-0.0333, dlon_per_step=0.0)
+    return a, b
+
+
+class TestTrajectoriesIntersect:
+    def test_converging_trajectories_hit(self):
+        a, b = _converging_pair()
+        hit = trajectories_intersect(a, b, temporal_threshold_s=120.0,
+                                     spatial_threshold_m=2_000.0)
+        assert hit is not None
+        assert hit.pair == (1, 2)
+        assert hit.min_distance_m < 2_000.0
+        assert 0.0 < hit.t_expected <= 1_800.0
+
+    def test_parallel_trajectories_miss(self):
+        a = _forecast(1, 0.0, 38.0, 23.0, 0.01, 0.0)
+        b = _forecast(2, 0.0, 38.5, 23.0, 0.01, 0.0)  # 55 km north, same course
+        assert trajectories_intersect(a, b) is None
+
+    def test_spatial_but_not_temporal_miss(self):
+        """Crossing paths but half an hour apart in time -> no collision."""
+        a = _forecast(1, t0=0.0, lat0=38.0, lon0=23.40,
+                      dlat_per_step=0.0, dlon_per_step=0.0333)
+        b = _forecast(2, t0=1_500.0, lat0=38.1, lon0=23.50,
+                      dlat_per_step=-0.0333, dlon_per_step=0.0)
+        hit_strict = trajectories_intersect(a, b, temporal_threshold_s=60.0,
+                                            spatial_threshold_m=2_000.0)
+        # positions at overlapping wall-clock times are far apart spatially
+        assert hit_strict is None
+
+    def test_threshold_sensitivity(self):
+        # Same course, laterally offset by ~2.2 km: the true CPA is the
+        # offset itself, so it sits between the two thresholds.
+        a = _forecast(1, 0.0, 38.00, 23.0, 0.0, 0.0333)
+        b = _forecast(2, 0.0, 38.02, 23.0, 0.0, 0.0333)
+        tight = trajectories_intersect(a, b, spatial_threshold_m=500.0,
+                                       temporal_threshold_s=120.0)
+        loose = trajectories_intersect(a, b, spatial_threshold_m=5_000.0,
+                                       temporal_threshold_s=120.0)
+        assert tight is None
+        assert loose is not None
+        assert loose.min_distance_m == pytest.approx(2_224.0, rel=0.05)
+
+    def test_lead_time(self):
+        a, b = _converging_pair()
+        hit = trajectories_intersect(a, b, spatial_threshold_m=2_000.0)
+        assert hit.lead_time_s == pytest.approx(hit.t_expected, abs=1e-9)
+
+
+class TestCollisionForecaster:
+    def test_detects_converging_pair(self):
+        engine = CollisionForecaster(spatial_threshold_m=2_000.0)
+        a, b = _converging_pair()
+        assert engine.submit(a) == []
+        events = engine.submit(b)
+        assert len(events) == 1
+        assert events[0].pair == (1, 2)
+
+    def test_distant_vessels_never_checked(self):
+        engine = CollisionForecaster()
+        engine.submit(_forecast(1, 0.0, 38.0, 23.0, 0.001, 0.0))
+        events = engine.submit(_forecast(2, 0.0, 45.0, 10.0, 0.001, 0.0))
+        assert events == []
+
+    def test_debounce(self):
+        engine = CollisionForecaster(spatial_threshold_m=2_000.0,
+                                     debounce_s=900.0)
+        a, b = _converging_pair()
+        engine.submit(a)
+        assert len(engine.submit(b)) == 1
+        # Refreshed forecasts a few seconds later: same encounter, no dup.
+        a2, b2 = _converging_pair()
+        engine.submit(RouteForecast(mmsi=1, positions=tuple(
+            p for p in a2.positions)))
+        assert engine.submit(b2) == []
+
+    def test_resubmission_replaces_cells(self):
+        engine = CollisionForecaster()
+        engine.submit(_forecast(1, 0.0, 38.0, 23.0, 0.001, 0.0))
+        cells_before = engine.active_cells
+        # Vessel moves far away; old cells must be vacated.
+        engine.submit(_forecast(1, 600.0, 52.0, 4.0, 0.001, 0.0))
+        assert engine.tracked_vessels == 1
+        assert engine.active_cells <= cells_before * 2
+
+    def test_prune(self):
+        engine = CollisionForecaster()
+        engine.submit(_forecast(1, 0.0, 38.0, 23.0, 0.001, 0.0))
+        assert engine.prune(now=10_000.0) == 1
+        assert engine.tracked_vessels == 0
+        assert engine.active_cells == 0
+
+    def test_near_boundary_pair_found_via_neighbor_ring(self):
+        """Vessels converging across a cell boundary are still candidates
+        thanks to the n+1-ring fan-out of Section 5.2."""
+        engine = CollisionForecaster(spatial_threshold_m=2_000.0,
+                                     neighbor_rings=1)
+        a, b = _converging_pair()
+        engine.submit(a)
+        assert len(engine.submit(b)) == 1
+
+
+class TestFlowGrid:
+    def test_distinct_vessel_counting(self):
+        grid = FlowGrid()
+        grid.add(1, t=0.0, lat=38.0, lon=23.5)
+        grid.add(1, t=10.0, lat=38.0, lon=23.5)  # same vessel, same window
+        grid.add(2, t=20.0, lat=38.0, lon=23.5)
+        cells = grid.window_counts(0)
+        assert list(cells.values()) == [2]
+
+    def test_windows_separate(self):
+        grid = FlowGrid(window_s=300.0)
+        grid.add(1, t=0.0, lat=38.0, lon=23.5)
+        grid.add(1, t=400.0, lat=38.0, lon=23.5)
+        assert grid.windows() == [0, 1]
+
+    def test_series(self):
+        grid = FlowGrid()
+        grid.add(1, t=0.0, lat=38.0, lon=23.5)
+        grid.add(2, t=310.0, lat=38.0, lon=23.5)
+        cell = next(iter(grid.active_cells()))
+        np.testing.assert_array_equal(grid.series(cell, [0, 1, 2]),
+                                      [1.0, 1.0, 0.0])
+
+    def test_classification_levels(self):
+        grid = FlowGrid()
+        assert grid.classify(1) is TrafficLevel.LOW
+        assert grid.classify(4) is TrafficLevel.MEDIUM
+        assert grid.classify(9) is TrafficLevel.HIGH
+
+
+class TestIndirectVTFF:
+    def test_forecast_positions_fill_future_windows(self):
+        vtff = IndirectVTFF(window_s=300.0)
+        vtff.submit(_forecast(1, t0=0.0, lat0=38.0, lon0=23.5,
+                              dlat_per_step=0.0, dlon_per_step=0.0))
+        # All six predictions in the same cell, windows 1..6.
+        for w in range(1, 7):
+            assert sum(vtff.predicted_flow(w).values()) == 1
+
+    def test_resubmission_replaces_contribution(self):
+        vtff = IndirectVTFF()
+        vtff.submit(_forecast(1, 0.0, 38.0, 23.5, 0.0, 0.0))
+        vtff.submit(_forecast(1, 0.0, 52.0, 4.0, 0.0, 0.0))  # moved far away
+        total = sum(sum(vtff.predicted_flow(w).values()) for w in range(1, 7))
+        assert total == 6  # one vessel's worth, not two
+
+    def test_multiple_vessels_accumulate(self):
+        vtff = IndirectVTFF()
+        vtff.submit(_forecast(1, 0.0, 38.0, 23.5, 0.0, 0.0))
+        vtff.submit(_forecast(2, 0.0, 38.0, 23.5, 0.0, 0.0))
+        assert max(vtff.predicted_flow(1).values()) == 2
+
+    def test_predicted_level(self):
+        vtff = IndirectVTFF()
+        for mmsi in range(8):
+            vtff.submit(_forecast(mmsi, 0.0, 38.0, 23.5, 0.0, 0.0))
+        cell = next(iter(vtff.predicted_flow(1)))
+        assert vtff.predicted_level(cell, 1) is TrafficLevel.HIGH
+
+
+class TestDirectVTFF:
+    def test_learns_constant_series(self):
+        model = DirectVTFF(order=3)
+        model.fit({613: np.full(40, 5.0)})
+        np.testing.assert_allclose(model.predict(613, steps=3), 5.0, atol=0.2)
+
+    def test_learns_linear_trend(self):
+        model = DirectVTFF(order=4, ridge=1e-6)
+        model.fit({7: np.arange(40, dtype=float)})
+        pred = model.predict(7, steps=2)
+        assert pred[0] == pytest.approx(40.0, abs=1.0)
+
+    def test_short_history_falls_back_to_persistence(self):
+        model = DirectVTFF(order=6)
+        model.fit({9: np.array([1.0, 2.0, 3.0])})
+        np.testing.assert_array_equal(model.predict(9, steps=2), [3.0, 3.0])
+
+    def test_unknown_cell_predicts_zero(self):
+        model = DirectVTFF()
+        np.testing.assert_array_equal(model.predict(404, steps=2), [0.0, 0.0])
+
+    def test_predictions_non_negative(self):
+        model = DirectVTFF(order=3)
+        model.fit({1: np.array([5.0, 3.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                                0.0, 0.0, 0.0, 0.0])})
+        assert (model.predict(1, steps=5) >= 0.0).all()
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            DirectVTFF(order=0)

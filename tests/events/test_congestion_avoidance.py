@@ -1,0 +1,181 @@
+"""Tests for the future-work assets: port congestion and collision
+avoidance."""
+
+import pytest
+
+from repro.ais.ports import PORTS, Port
+from repro.events import (
+    AvoidanceManeuver,
+    PortCongestionMonitor,
+    plan_avoidance,
+)
+from repro.geo import Position, destination_point
+from repro.geo.constants import KNOTS_TO_MPS
+from repro.models.base import RouteForecast
+from repro.models.kinematic import LinearKinematicModel
+
+PIRAEUS = next(p for p in PORTS if p.name == "Piraeus")
+
+
+def _forecast_towards(mmsi, lat, lon, course, sog_kn, t0=0.0):
+    """A straight route forecast from (lat, lon) along course."""
+    return LinearKinematicModel().forecast(
+        mmsi, [Position(t=t0, lat=lat, lon=lon, sog=sog_kn, cog=course)])
+
+
+class TestPortCongestionMonitor:
+    def _monitor(self, **kwargs):
+        return PortCongestionMonitor(ports=[PIRAEUS], **kwargs)
+
+    def test_dwelling_vs_moving_classification(self):
+        mon = self._monitor()
+        mon.observe(1, t=0.0, lat=PIRAEUS.lat, lon=PIRAEUS.lon, sog=0.2)
+        mon.observe(2, t=0.0, lat=PIRAEUS.lat + 0.02, lon=PIRAEUS.lon,
+                    sog=11.0)
+        report = mon.report(PIRAEUS, now=0.0)
+        assert report.dwelling == (1,)
+        assert report.moving == (2,)
+
+    def test_outside_radius_excluded(self):
+        mon = self._monitor(radius_m=5_000.0)
+        mon.observe(1, t=0.0, lat=PIRAEUS.lat + 1.0, lon=PIRAEUS.lon,
+                    sog=0.0)
+        report = mon.report(PIRAEUS, now=0.0)
+        assert report.occupancy == 0
+
+    def test_stale_states_excluded(self):
+        mon = self._monitor()
+        mon.observe(1, t=0.0, lat=PIRAEUS.lat, lon=PIRAEUS.lon, sog=0.0)
+        report = mon.report(PIRAEUS, now=10_000.0)
+        assert report.occupancy == 0
+
+    def test_forecast_arrival_predicted(self):
+        mon = self._monitor()
+        # A vessel an hour out (~22 km, beyond the 15 km radius), heading
+        # straight for the harbour: its forecast track enters the radius
+        # within the 30-minute horizon.
+        sog = 12.0
+        dist = sog * KNOTS_TO_MPS * 3_600.0
+        lat0, lon0 = destination_point(PIRAEUS.lat, PIRAEUS.lon, 180.0, dist)
+        fc = _forecast_towards(7, lat0, lon0, 0.0, sog)
+        mon.observe(7, t=0.0, lat=lat0, lon=lon0, sog=sog, forecast=fc)
+        report = mon.report(PIRAEUS, now=0.0, arrival_horizon_s=1_800.0)
+        assert report.expected_arrivals == (7,)
+        assert report.projected_occupancy == 1
+
+    def test_arrival_beyond_horizon_not_counted(self):
+        mon = self._monitor()
+        sog = 12.0
+        dist = sog * KNOTS_TO_MPS * 3_600.0
+        lat0, lon0 = destination_point(PIRAEUS.lat, PIRAEUS.lon, 180.0, dist)
+        fc = _forecast_towards(7, lat0, lon0, 0.0, sog)
+        mon.observe(7, t=0.0, lat=lat0, lon=lon0, sog=sog, forecast=fc)
+        report = mon.report(PIRAEUS, now=0.0, arrival_horizon_s=300.0)
+        assert report.expected_arrivals == ()
+
+    def test_congestion_flag(self):
+        tiny = Port("Tiny", 36.0, 25.0, "aegean", weight=0.1)
+        mon = PortCongestionMonitor(ports=[tiny], capacities={"Tiny": 2})
+        for i in range(3):
+            mon.observe(i, t=0.0, lat=tiny.lat, lon=tiny.lon, sog=0.0)
+        report = mon.report(tiny, now=0.0)
+        assert report.congested
+        assert report.utilisation == pytest.approx(1.5)
+        assert mon.congested_ports(now=0.0)[0].port.name == "Tiny"
+
+    def test_default_capacity_scales_with_weight(self):
+        mon = self._monitor()
+        assert mon.capacity_of(PIRAEUS) >= 6
+
+    def test_out_of_order_update_ignored(self):
+        mon = self._monitor()
+        mon.observe(1, t=100.0, lat=PIRAEUS.lat, lon=PIRAEUS.lon, sog=0.0)
+        mon.observe(1, t=50.0, lat=0.0, lon=0.0, sog=0.0)
+        report = mon.report(PIRAEUS, now=100.0)
+        assert report.occupancy == 1
+
+
+class TestAvoidancePlanner:
+    def _head_on_pair(self, sog_kn=12.0):
+        """Own ship northbound, intruder southbound on the same line."""
+        dist = sog_kn * KNOTS_TO_MPS * 1_800.0  # meet in ~15 minutes
+        own = _forecast_towards(1, 37.0, 24.0, 0.0, sog_kn)
+        ilat, ilon = destination_point(37.0, 24.0, 0.0, dist)
+        intruder = _forecast_towards(2, ilat, ilon, 180.0, sog_kn)
+        return own, intruder
+
+    def test_head_on_resolved_to_starboard(self):
+        own, intruder = self._head_on_pair()
+        plan = plan_avoidance(own, intruder, own_sog_kn=12.0,
+                              own_cog_deg=0.0, separation_m=1_000.0)
+        assert plan is not None
+        assert plan.course_change_deg != 0.0
+        assert plan.is_starboard  # COLREGs preference: starboard first
+        assert plan.predicted_min_separation_m >= 1_000.0
+
+    def test_clear_pass_stands_on(self):
+        own = _forecast_towards(1, 37.0, 24.0, 0.0, 12.0)
+        intruder = _forecast_towards(2, 37.0, 25.5, 0.0, 12.0)  # parallel,
+        plan = plan_avoidance(own, intruder, own_sog_kn=12.0,  # ~130 km east
+                              own_cog_deg=0.0, separation_m=1_000.0)
+        assert plan is not None
+        assert plan.course_change_deg == 0.0
+        assert plan.speed_factor == 1.0
+
+    def test_smallest_sufficient_alteration_chosen(self):
+        own, intruder = self._head_on_pair()
+        plan = plan_avoidance(own, intruder, own_sog_kn=12.0,
+                              own_cog_deg=0.0, separation_m=500.0)
+        big = plan_avoidance(own, intruder, own_sog_kn=12.0,
+                             own_cog_deg=0.0, separation_m=3_000.0)
+        assert abs(plan.course_change_deg) <= abs(big.course_change_deg)
+
+    def test_impossible_separation_returns_none(self):
+        own, intruder = self._head_on_pair()
+        plan = plan_avoidance(own, intruder, own_sog_kn=12.0,
+                              own_cog_deg=0.0, separation_m=1e7)
+        assert plan is None
+
+    def test_negative_speed_rejected(self):
+        own, intruder = self._head_on_pair()
+        with pytest.raises(ValueError):
+            plan_avoidance(own, intruder, own_sog_kn=-1.0, own_cog_deg=0.0)
+
+    def test_describe_is_readable(self):
+        m = AvoidanceManeuver(mmsi=1, course_change_deg=30.0,
+                              speed_factor=1.0,
+                              predicted_min_separation_m=1_200.0)
+        text = m.describe()
+        assert "starboard" in text
+        assert "30" in text
+
+
+class TestOutputTopics:
+    def test_states_and_events_mirrored_to_broker(self):
+        from repro.ais.datasets import proximity_scenario
+        from repro.platform import Platform, PlatformConfig
+        from repro.streams import ConsumerGroup
+
+        scenario = proximity_scenario(n_event_pairs=3, n_near_miss_pairs=1,
+                                      n_background=1, duration_s=3_000.0,
+                                      seed=8)
+        platform = Platform(forecaster=LinearKinematicModel(),
+                            config=PlatformConfig(output_topics=True))
+        platform.publish_messages(scenario.result.messages)
+        platform.process_available()
+
+        states = ConsumerGroup(platform.broker, "ext", "out.vessel.states")
+        records = states.join().poll(max_records=100_000)
+        assert len(records) > 0
+        assert records[0].value.mmsi == records[0].key
+
+        if platform.api.event_count("proximity"):
+            events = ConsumerGroup(platform.broker, "ext2",
+                                   "out.events.proximity")
+            ev_records = events.join().poll(max_records=1_000)
+            assert len(ev_records) == platform.api.event_count("proximity")
+
+    def test_output_topics_off_by_default(self):
+        from repro.platform import Platform
+        platform = Platform(forecaster=LinearKinematicModel())
+        assert not platform.broker.topic_exists("out.vessel.states")

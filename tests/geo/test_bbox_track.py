@@ -1,0 +1,153 @@
+"""Tests for bounding boxes and track interpolation/resampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    BoundingBox,
+    Position,
+    cumulative_distances_m,
+    downsample_track,
+    haversine_m,
+    interpolate_track,
+    resample_track,
+    track_length_m,
+)
+from repro.geo.bbox import AEGEAN_BBOX, PAPER_EVAL_BBOX
+
+
+class TestBoundingBox:
+    def test_contains_inside(self):
+        box = BoundingBox(0.0, 10.0, 0.0, 10.0)
+        assert box.contains(5.0, 5.0)
+
+    def test_contains_boundary(self):
+        box = BoundingBox(0.0, 10.0, 0.0, 10.0)
+        assert box.contains(0.0, 0.0)
+        assert box.contains(10.0, 10.0)
+
+    def test_excludes_outside(self):
+        box = BoundingBox(0.0, 10.0, 0.0, 10.0)
+        assert not box.contains(11.0, 5.0)
+        assert not box.contains(5.0, -1.0)
+
+    def test_antimeridian_box(self):
+        box = BoundingBox(-10.0, 10.0, 170.0, -170.0)
+        assert box.crosses_antimeridian
+        assert box.contains(0.0, 175.0)
+        assert box.contains(0.0, -175.0)
+        assert not box.contains(0.0, 0.0)
+
+    def test_invalid_latitudes_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(10.0, 0.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            BoundingBox(-100.0, 0.0, 0.0, 10.0)
+
+    def test_invalid_longitudes_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 10.0, -190.0, 10.0)
+
+    def test_sample_inside(self):
+        rng = random.Random(7)
+        box = AEGEAN_BBOX
+        for _ in range(50):
+            lat, lon = box.sample(rng)
+            assert box.contains(lat, lon)
+
+    def test_sample_antimeridian_inside(self):
+        rng = random.Random(7)
+        box = BoundingBox(-10.0, 10.0, 170.0, -170.0)
+        for _ in range(50):
+            lat, lon = box.sample(rng)
+            assert box.contains(lat, lon)
+
+    def test_expanded(self):
+        box = BoundingBox(0.0, 10.0, 0.0, 10.0).expanded(1.0)
+        assert box.contains(-0.5, -0.5)
+        assert box.contains(10.5, 10.5)
+
+    def test_expanded_clamps_at_poles(self):
+        box = BoundingBox(80.0, 90.0, 0.0, 10.0).expanded(5.0)
+        assert box.lat_max == 90.0
+
+    def test_paper_bbox_matches_section_6_1(self):
+        assert PAPER_EVAL_BBOX.lat_min == pytest.approx(24.0)
+        assert PAPER_EVAL_BBOX.lat_max == pytest.approx(78.9862)
+        assert PAPER_EVAL_BBOX.lon_min == pytest.approx(-41.99983)
+        assert PAPER_EVAL_BBOX.lon_max == pytest.approx(68.9986)
+
+
+def _straight_track():
+    return [Position(t=0.0, lat=0.0, lon=0.0),
+            Position(t=600.0, lat=0.0, lon=0.1),
+            Position(t=1200.0, lat=0.0, lon=0.2)]
+
+
+class TestTrack:
+    def test_cumulative_distances_monotone(self):
+        cum = cumulative_distances_m(_straight_track())
+        assert cum[0] == 0.0
+        assert all(b >= a for a, b in zip(cum, cum[1:]))
+
+    def test_track_length(self):
+        length = track_length_m(_straight_track())
+        expected = haversine_m(0.0, 0.0, 0.0, 0.2)
+        assert length == pytest.approx(expected, rel=1e-9)
+
+    def test_track_length_trivial(self):
+        assert track_length_m([]) == 0.0
+        assert track_length_m([Position(0.0, 0.0, 0.0)]) == 0.0
+
+    def test_interpolate_midpoint(self):
+        pos = interpolate_track(_straight_track(), 300.0)
+        assert pos.lat == pytest.approx(0.0, abs=1e-9)
+        assert pos.lon == pytest.approx(0.05, abs=1e-6)
+
+    def test_interpolate_at_fix(self):
+        pos = interpolate_track(_straight_track(), 600.0)
+        assert pos.lon == pytest.approx(0.1, abs=1e-9)
+
+    def test_interpolate_extrapolates_past_end(self):
+        pos = interpolate_track(_straight_track(), 1800.0)
+        assert pos.lon == pytest.approx(0.3, abs=1e-4)
+
+    def test_interpolate_empty_raises(self):
+        with pytest.raises(ValueError):
+            interpolate_track([], 0.0)
+
+    def test_interpolate_single_point(self):
+        pos = interpolate_track([Position(0.0, 5.0, 6.0)], 100.0)
+        assert (pos.lat, pos.lon) == (5.0, 6.0)
+
+    def test_resample(self):
+        out = resample_track(_straight_track(), [0.0, 300.0, 600.0])
+        assert len(out) == 3
+        assert out[1].lon == pytest.approx(0.05, abs=1e-6)
+
+    def test_downsample_keeps_first(self):
+        track = [Position(t=float(i), lat=0.0, lon=0.0) for i in range(10)]
+        kept = downsample_track(track, 30.0)
+        assert kept == [track[0]]
+
+    def test_downsample_interval_respected(self):
+        track = [Position(t=10.0 * i, lat=0.0, lon=0.0) for i in range(20)]
+        kept = downsample_track(track, 30.0)
+        gaps = [b.t - a.t for a, b in zip(kept, kept[1:])]
+        assert all(g >= 30.0 for g in gaps)
+
+    def test_downsample_zero_interval_is_identity(self):
+        track = _straight_track()
+        assert downsample_track(track, 0.0) == track
+
+    @given(interval=st.floats(min_value=1.0, max_value=120.0))
+    @settings(max_examples=30)
+    def test_downsample_property(self, interval):
+        track = [Position(t=7.0 * i, lat=0.0, lon=0.0) for i in range(60)]
+        kept = downsample_track(track, interval)
+        assert kept[0] == track[0]
+        gaps = [b.t - a.t for a, b in zip(kept, kept[1:])]
+        assert all(g >= interval for g in gaps)

@@ -1,0 +1,179 @@
+"""Unit and property tests for the great-circle geodesy primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    EARTH_RADIUS_M,
+    bearing_deg,
+    destination_point,
+    equirectangular_distance_m,
+    haversine_m,
+    initial_bearing_deg,
+    normalize_lon,
+    wrap_bearing_deg,
+)
+from repro.geo.geodesy import cross_track_distance_m, midpoint
+
+LATS = st.floats(min_value=-80.0, max_value=80.0)
+LONS = st.floats(min_value=-179.9, max_value=179.9)
+
+
+class TestNormalization:
+    def test_normalize_lon_identity_in_range(self):
+        assert normalize_lon(12.5) == pytest.approx(12.5)
+
+    def test_normalize_lon_wraps_east(self):
+        assert normalize_lon(190.0) == pytest.approx(-170.0)
+
+    def test_normalize_lon_wraps_west(self):
+        assert normalize_lon(-200.0) == pytest.approx(160.0)
+
+    def test_normalize_lon_array(self):
+        out = normalize_lon(np.array([0.0, 360.0, -360.0, 540.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 0.0, -180.0])
+
+    def test_wrap_bearing(self):
+        assert wrap_bearing_deg(-10.0) == pytest.approx(350.0)
+        assert wrap_bearing_deg(370.0) == pytest.approx(10.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.19 km on the spherical Earth.
+        d = haversine_m(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(111_195, rel=1e-3)
+
+    def test_quarter_circumference(self):
+        d = haversine_m(0.0, 0.0, 0.0, 90.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M / 2.0, rel=1e-9)
+
+    def test_known_pair_piraeus_syros(self):
+        # Piraeus (37.942, 23.646) to Ermoupolis, Syros (37.444, 24.941):
+        # roughly 127 km.
+        d = haversine_m(37.942, 23.646, 37.444, 24.941)
+        assert 120_000 < d < 135_000
+
+    def test_array_broadcasting(self):
+        lats = np.array([0.0, 10.0])
+        d = haversine_m(lats, 0.0, lats + 1.0, 0.0)
+        assert d.shape == (2,)
+        np.testing.assert_allclose(d, [111_195, 111_195], rtol=1e-3)
+
+    @given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS)
+    @settings(max_examples=80)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d12 = haversine_m(lat1, lon1, lat2, lon2)
+        d21 = haversine_m(lat2, lon2, lat1, lon1)
+        assert d12 == pytest.approx(d21, abs=1e-6)
+
+    @given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS)
+    @settings(max_examples=80)
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_m(lat1, lon1, lat2, lon2)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_M + 1.0
+
+
+class TestEquirectangular:
+    @given(lat=st.floats(min_value=-60, max_value=60),
+           lon=LONS,
+           dlat=st.floats(min_value=-0.05, max_value=0.05),
+           dlon=st.floats(min_value=-0.05, max_value=0.05))
+    @settings(max_examples=60)
+    def test_close_to_haversine_for_short_legs(self, lat, lon, dlat, dlon):
+        lat2 = lat + dlat
+        lon2 = lon + dlon
+        exact = haversine_m(lat, lon, lat2, lon2)
+        approx = equirectangular_distance_m(lat, lon, lat2, lon2)
+        assert approx == pytest.approx(exact, rel=1e-3, abs=1.0)
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(0.0, 0.0, 1.0, 0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(90.0, abs=1e-9)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(1.0, 0.0, 0.0, 0.0) == pytest.approx(180.0, abs=1e-9)
+
+    def test_due_west(self):
+        assert initial_bearing_deg(0.0, 1.0, 0.0, 0.0) == pytest.approx(270.0, abs=1e-9)
+
+    def test_alias(self):
+        assert bearing_deg is initial_bearing_deg
+
+
+class TestDestinationPoint:
+    def test_destination_north(self):
+        lat, lon = destination_point(0.0, 0.0, 0.0, 111_195.0)
+        assert lat == pytest.approx(1.0, abs=1e-3)
+        assert lon == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_distance_is_identity(self):
+        lat, lon = destination_point(42.0, 13.0, 123.0, 0.0)
+        assert lat == pytest.approx(42.0)
+        assert lon == pytest.approx(13.0)
+
+    @given(lat=LATS, lon=LONS,
+           brg=st.floats(min_value=0, max_value=360),
+           dist=st.floats(min_value=0, max_value=500_000))
+    @settings(max_examples=80)
+    def test_roundtrip_distance(self, lat, lon, brg, dist):
+        lat2, lon2 = destination_point(lat, lon, brg, dist)
+        d = haversine_m(lat, lon, lat2, lon2)
+        assert d == pytest.approx(dist, rel=1e-6, abs=1e-3)
+
+    @given(lat=st.floats(min_value=-70, max_value=70), lon=LONS,
+           brg=st.floats(min_value=0, max_value=360),
+           dist=st.floats(min_value=1_000, max_value=200_000))
+    @settings(max_examples=60)
+    def test_bearing_consistency(self, lat, lon, brg, dist):
+        lat2, lon2 = destination_point(lat, lon, brg, dist)
+        measured = initial_bearing_deg(lat, lon, lat2, lon2)
+        diff = (measured - brg + 180.0) % 360.0 - 180.0
+        assert abs(diff) < 0.5
+
+    def test_array_input(self):
+        lats, lons = destination_point(np.zeros(3), np.zeros(3),
+                                       np.array([0.0, 90.0, 180.0]), 111_195.0)
+        np.testing.assert_allclose(lats, [1.0, 0.0, -1.0], atol=1e-3)
+
+
+class TestCrossTrack:
+    def test_point_on_track_is_zero(self):
+        xt = cross_track_distance_m(0.0, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert xt == pytest.approx(0.0, abs=1.0)
+
+    def test_sign_convention(self):
+        # A point north of an eastbound track lies to the left (negative).
+        left = cross_track_distance_m(0.1, 0.5, 0.0, 0.0, 0.0, 1.0)
+        right = cross_track_distance_m(-0.1, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert left < 0 < right
+
+    def test_magnitude(self):
+        xt = cross_track_distance_m(0.1, 0.5, 0.0, 0.0, 0.0, 1.0)
+        assert abs(xt) == pytest.approx(111_19.5, rel=0.01)
+
+
+class TestMidpoint:
+    def test_equator_midpoint(self):
+        lat, lon = midpoint(0.0, 0.0, 0.0, 10.0)
+        assert lat == pytest.approx(0.0, abs=1e-9)
+        assert lon == pytest.approx(5.0, abs=1e-9)
+
+    @given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS)
+    @settings(max_examples=60)
+    def test_midpoint_equidistant(self, lat1, lon1, lat2, lon2):
+        latm, lonm = midpoint(lat1, lon1, lat2, lon2)
+        d1 = haversine_m(lat1, lon1, latm, lonm)
+        d2 = haversine_m(lat2, lon2, latm, lonm)
+        assert d1 == pytest.approx(d2, rel=1e-6, abs=0.5)

@@ -1,0 +1,260 @@
+"""Tests for the KV store and pub/sub."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import KeyValueStore, PubSub, WrongTypeError
+
+
+class TestStrings:
+    def test_set_get(self):
+        kv = KeyValueStore()
+        kv.set("a", "1")
+        assert kv.get("a") == "1"
+
+    def test_get_missing(self):
+        assert KeyValueStore().get("nope") is None
+
+    def test_delete(self):
+        kv = KeyValueStore()
+        kv.set("a", "1")
+        assert kv.delete("a", "b") == 1
+        assert not kv.exists("a")
+
+    def test_incr(self):
+        kv = KeyValueStore()
+        assert kv.incr("n") == 1
+        assert kv.incr("n", 5) == 6
+
+    def test_incr_wrong_type(self):
+        kv = KeyValueStore()
+        kv.hset("h", "f", 1)
+        with pytest.raises(WrongTypeError):
+            kv.incr("h")
+
+    def test_type_confusion_raises(self):
+        kv = KeyValueStore()
+        kv.set("a", "1")
+        with pytest.raises(WrongTypeError):
+            kv.hset("a", "f", 1)
+        with pytest.raises(WrongTypeError):
+            kv.rpush("a", 1)
+
+
+class TestTTL:
+    def test_expiry(self):
+        kv = KeyValueStore()
+        kv.set("a", "1", now=0.0, ttl_s=10.0)
+        assert kv.get("a", now=5.0) == "1"
+        assert kv.get("a", now=10.0) is None
+
+    def test_ttl_readback(self):
+        kv = KeyValueStore()
+        kv.set("a", "1", now=0.0, ttl_s=10.0)
+        assert kv.ttl("a", now=4.0) == pytest.approx(6.0)
+
+    def test_ttl_none_without_expiry(self):
+        kv = KeyValueStore()
+        kv.set("a", "1")
+        assert kv.ttl("a") is None
+
+    def test_ttl_missing_key(self):
+        assert KeyValueStore().ttl("nope") == -1.0
+
+    def test_expire_command(self):
+        kv = KeyValueStore()
+        kv.set("a", "1")
+        assert kv.expire("a", 5.0, now=0.0)
+        assert kv.get("a", now=6.0) is None
+
+    def test_expire_missing(self):
+        assert not KeyValueStore().expire("nope", 5.0)
+
+    def test_overwrite_clears_ttl(self):
+        kv = KeyValueStore()
+        kv.set("a", "1", now=0.0, ttl_s=5.0)
+        kv.set("a", "2", now=1.0)
+        assert kv.get("a", now=100.0) == "2"
+
+
+class TestHashes:
+    def test_hset_hget(self):
+        kv = KeyValueStore()
+        kv.hset("vessel:1", "lat", 37.9)
+        assert kv.hget("vessel:1", "lat") == 37.9
+
+    def test_hmset_hgetall(self):
+        kv = KeyValueStore()
+        kv.hmset("v", {"a": 1, "b": 2})
+        assert kv.hgetall("v") == {"a": 1, "b": 2}
+
+    def test_hgetall_returns_copy(self):
+        kv = KeyValueStore()
+        kv.hset("v", "a", 1)
+        snapshot = kv.hgetall("v")
+        snapshot["a"] = 999
+        assert kv.hget("v", "a") == 1
+
+    def test_hdel_hlen(self):
+        kv = KeyValueStore()
+        kv.hmset("v", {"a": 1, "b": 2})
+        assert kv.hdel("v", "a", "zz") == 1
+        assert kv.hlen("v") == 1
+
+    def test_hget_missing(self):
+        kv = KeyValueStore()
+        assert kv.hget("nope", "f") is None
+        assert kv.hgetall("nope") == {}
+
+
+class TestLists:
+    def test_rpush_lrange(self):
+        kv = KeyValueStore()
+        kv.rpush("l", 1, 2, 3)
+        assert kv.lrange("l", 0, -1) == [1, 2, 3]
+
+    def test_lpush_order(self):
+        kv = KeyValueStore()
+        kv.lpush("l", 1, 2)
+        assert kv.lrange("l", 0, -1) == [2, 1]
+
+    def test_negative_indices(self):
+        kv = KeyValueStore()
+        kv.rpush("l", *range(5))
+        assert kv.lrange("l", -2, -1) == [3, 4]
+
+    def test_ltrim(self):
+        kv = KeyValueStore()
+        kv.rpush("l", *range(10))
+        kv.ltrim("l", -3, -1)
+        assert kv.lrange("l", 0, -1) == [7, 8, 9]
+
+    def test_llen(self):
+        kv = KeyValueStore()
+        assert kv.llen("l") == 0
+        kv.rpush("l", 1)
+        assert kv.llen("l") == 1
+
+
+class TestSortedSets:
+    def test_zadd_zscore(self):
+        kv = KeyValueStore()
+        kv.zadd("z", 5.0, "a")
+        assert kv.zscore("z", "a") == 5.0
+
+    def test_zrange_ordering(self):
+        kv = KeyValueStore()
+        kv.zadd("z", 3.0, "c")
+        kv.zadd("z", 1.0, "a")
+        kv.zadd("z", 2.0, "b")
+        assert [m for m, _ in kv.zrange("z", 0, -1)] == ["a", "b", "c"]
+
+    def test_zrangebyscore(self):
+        kv = KeyValueStore()
+        for i, m in enumerate("abcde"):
+            kv.zadd("z", float(i), m)
+        hits = kv.zrangebyscore("z", 1.0, 3.0)
+        assert [m for m, _ in hits] == ["b", "c", "d"]
+
+    def test_zremrangebyscore(self):
+        kv = KeyValueStore()
+        for i, m in enumerate("abcde"):
+            kv.zadd("z", float(i), m)
+        assert kv.zremrangebyscore("z", 0.0, 2.0) == 3
+        assert kv.zcard("z") == 2
+
+    def test_zadd_updates_score(self):
+        kv = KeyValueStore()
+        kv.zadd("z", 1.0, "a")
+        kv.zadd("z", 9.0, "a")
+        assert kv.zscore("z", "a") == 9.0
+        assert kv.zcard("z") == 1
+
+
+class TestKeyspace:
+    def test_keys_pattern(self):
+        kv = KeyValueStore()
+        kv.set("vessel:1", "x")
+        kv.set("vessel:2", "y")
+        kv.set("cell:9", "z")
+        assert kv.keys("vessel:*") == ["vessel:1", "vessel:2"]
+
+    def test_dbsize_and_flush(self):
+        kv = KeyValueStore()
+        kv.set("a", "1")
+        kv.hset("b", "f", 1)
+        assert kv.dbsize() == 2
+        kv.flushall()
+        assert kv.dbsize() == 0
+
+    def test_keys_purges_expired(self):
+        kv = KeyValueStore()
+        kv.set("a", "1", now=0.0, ttl_s=1.0)
+        assert kv.keys("*", now=2.0) == []
+
+    @given(st.dictionaries(st.text(alphabet="abcde", min_size=1, max_size=4),
+                           st.text(max_size=4), max_size=20))
+    @settings(max_examples=30)
+    def test_set_get_property(self, mapping):
+        kv = KeyValueStore()
+        for k, v in mapping.items():
+            kv.set(k, v)
+        for k, v in mapping.items():
+            assert kv.get(k) == v
+        assert kv.dbsize() == len(mapping)
+
+    def test_thread_safety_counter(self):
+        kv = KeyValueStore()
+
+        def bump():
+            for _ in range(500):
+                kv.incr("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert kv.get("n") == "2000"
+
+
+class TestPubSub:
+    def test_publish_to_matching_subscriber(self):
+        ps = PubSub()
+        sub = ps.subscribe("events:*")
+        assert ps.publish("events:collision", {"id": 1}) == 1
+        assert sub.get() == ("events:collision", {"id": 1})
+
+    def test_no_match_no_delivery(self):
+        ps = PubSub()
+        sub = ps.subscribe("events:collision")
+        assert ps.publish("events:proximity", "x") == 0
+        assert sub.pending() == 0
+
+    def test_fanout(self):
+        ps = PubSub()
+        s1, s2 = ps.subscribe("e:*"), ps.subscribe("e:a")
+        assert ps.publish("e:a", 1) == 2
+        assert s1.pending() == 1 and s2.pending() == 1
+
+    def test_get_all_drains(self):
+        ps = PubSub()
+        sub = ps.subscribe("*")
+        ps.publish("a", 1)
+        ps.publish("b", 2)
+        assert sub.get_all() == [("a", 1), ("b", 2)]
+        assert sub.pending() == 0
+
+    def test_unsubscribe(self):
+        ps = PubSub()
+        sub = ps.subscribe("*")
+        sub.close()
+        assert ps.publish("a", 1) == 0
+        assert ps.subscriber_count() == 0
+
+    def test_get_empty_returns_none(self):
+        ps = PubSub()
+        assert ps.subscribe("*").get() is None

@@ -1,0 +1,122 @@
+"""Gradient checks proving the hand-derived backward passes correct."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LSTM, Bidirectional, Dense
+from repro.ml.gradcheck import (
+    analytic_grads,
+    max_relative_error,
+    numeric_input_grad,
+    numeric_param_grad,
+)
+
+TOL = 1e-5
+
+
+def _data(shape_in, shape_out, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape_in), rng.normal(size=shape_out)
+
+
+class TestDenseGradients:
+    @pytest.mark.parametrize("activation", ["linear", "tanh", "relu"])
+    def test_param_and_input_grads(self, activation):
+        layer = Dense(4, 3, activation=activation, seed=1)
+        x, y = _data((5, 4), (5, 3))
+        grads, dx = analytic_grads(layer, x, y)
+        for name in ("W", "b"):
+            num = numeric_param_grad(layer, name, x, y)
+            assert max_relative_error(grads[name], num) < TOL, name
+        num_dx = numeric_input_grad(layer, x, y)
+        assert max_relative_error(dx, num_dx) < TOL
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="softmax")
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestLSTMGradients:
+    def test_param_grads(self):
+        layer = LSTM(3, 4, seed=2)
+        x, y = _data((4, 6, 3), (4, 4))
+        grads, _ = analytic_grads(layer, x, y)
+        for name in ("W", "U", "b"):
+            num = numeric_param_grad(layer, name, x, y)
+            assert max_relative_error(grads[name], num) < TOL, name
+
+    def test_input_grads(self):
+        layer = LSTM(3, 4, seed=3)
+        x, y = _data((3, 5, 3), (3, 4))
+        _, dx = analytic_grads(layer, x, y)
+        num_dx = numeric_input_grad(layer, x, y)
+        assert max_relative_error(dx, num_dx) < TOL
+
+    def test_shape_validation(self):
+        layer = LSTM(3, 4)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 5, 7)))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 3)))
+
+    def test_hidden_sequence_shape(self):
+        layer = LSTM(3, 4)
+        x, _ = _data((2, 5, 3), (2, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 4)
+        assert layer.hidden_sequence.shape == (2, 5, 4)
+        np.testing.assert_array_equal(layer.hidden_sequence[:, -1, :], out)
+
+    def test_forget_bias_applied(self):
+        layer = LSTM(3, 4, forget_bias=1.0)
+        np.testing.assert_allclose(layer.params["b"][4:8], 1.0)
+        np.testing.assert_allclose(layer.params["b"][:4], 0.0)
+
+
+class TestBidirectionalGradients:
+    def test_param_grads(self):
+        layer = Bidirectional(3, 3, seed=4)
+        x, y = _data((3, 5, 3), (3, 6))
+        grads, _ = analytic_grads(layer, x, y)
+        for name in grads:
+            num = numeric_param_grad(layer, name, x, y)
+            assert max_relative_error(grads[name], num) < TOL, name
+
+    def test_input_grads(self):
+        layer = Bidirectional(3, 3, seed=5)
+        x, y = _data((2, 4, 3), (2, 6))
+        _, dx = analytic_grads(layer, x, y)
+        num_dx = numeric_input_grad(layer, x, y)
+        assert max_relative_error(dx, num_dx) < TOL
+
+    def test_output_concatenates_directions(self):
+        layer = Bidirectional(3, 4)
+        x, _ = _data((2, 5, 3), (2, 8))
+        out = layer.forward(x)
+        assert out.shape == (2, 8)
+        np.testing.assert_array_equal(out[:, :4], layer.fwd.forward(x))
+
+    def test_reversal_direction(self):
+        """The backward LSTM must read the sequence reversed: its output on
+        x equals the forward child's output on reversed x when weights are
+        copied across."""
+        layer = Bidirectional(3, 4, seed=6)
+        for name in ("W", "U", "b"):
+            layer.bwd.params[name][...] = layer.fwd.params[name]
+        x, _ = _data((2, 5, 3), (2, 8))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[:, :4],
+                                   layer.fwd.forward(x), atol=1e-12)
+        np.testing.assert_allclose(out[:, 4:],
+                                   layer.fwd.forward(x[:, ::-1, :]),
+                                   atol=1e-12)
+
+    def test_regularizable_excludes_biases(self):
+        layer = Bidirectional(3, 4)
+        names = layer.regularizable
+        assert "fwd_W" in names and "bwd_U" in names
+        assert all(not n.endswith("b") for n in names)

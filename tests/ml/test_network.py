@@ -1,0 +1,214 @@
+"""Tests for the model container, optimizers, scalers and regularizers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SGD,
+    Adam,
+    Bidirectional,
+    Dense,
+    L1Regularizer,
+    L2Regularizer,
+    Model,
+    MSELoss,
+    StandardScaler,
+)
+
+
+def _linear_problem(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    w = np.array([[1.0, -2.0], [0.5, 0.0], [-1.5, 3.0]])
+    y = x @ w + 0.7
+    return x, y
+
+
+class TestMSELoss:
+    def test_zero_loss(self):
+        loss, grad = MSELoss()(np.ones((2, 2)), np.ones((2, 2)))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_known_value(self):
+        loss, _ = MSELoss()(np.array([[2.0]]), np.array([[0.0]]))
+        assert loss == 4.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        param = {(0, "w"): np.array([10.0])}
+        opt = SGD(lr=0.1)
+        for _ in range(100):
+            grads = {(0, "w"): 2.0 * param[(0, "w")]}
+            opt.step(param, grads)
+        assert abs(param[(0, "w")][0]) < 1e-3
+
+    def test_sgd_momentum_descends(self):
+        param = {(0, "w"): np.array([10.0])}
+        opt = SGD(lr=0.05, momentum=0.9)
+        for _ in range(200):
+            grads = {(0, "w"): 2.0 * param[(0, "w")]}
+            opt.step(param, grads)
+        assert abs(param[(0, "w")][0]) < 1e-2
+
+    def test_adam_descends_quadratic(self):
+        param = {(0, "w"): np.array([10.0])}
+        opt = Adam(lr=0.5)
+        for _ in range(200):
+            grads = {(0, "w"): 2.0 * param[(0, "w")]}
+            opt.step(param, grads)
+        assert abs(param[(0, "w")][0]) < 1e-2
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=-1.0)
+
+    def test_updates_in_place(self):
+        w = np.array([1.0])
+        opt = SGD(lr=0.1)
+        opt.step({(0, "w"): w}, {(0, "w"): np.array([1.0])})
+        assert w[0] == pytest.approx(0.9)
+
+
+class TestModelTraining:
+    def test_learns_linear_map(self):
+        x, y = _linear_problem()
+        model = Model([Dense(3, 2, seed=1)])
+        history = model.fit(x, y, epochs=200, batch_size=64, lr=0.02)
+        assert history.train_loss[-1] < 1e-3
+        assert history.train_loss[-1] < history.train_loss[0] / 100
+
+    def test_bilstm_model_learns_sequence_sum(self):
+        """A BiLSTM head can learn to regress the sequence mean."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 8, 2))
+        y = x.mean(axis=(1, 2), keepdims=False).reshape(-1, 1)
+        model = Model([Bidirectional(2, 8, seed=1), Dense(16, 1, seed=2)])
+        history = model.fit(x, y, epochs=40, batch_size=64, lr=0.01)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.2
+
+    def test_validation_and_early_stopping(self):
+        x, y = _linear_problem()
+        model = Model([Dense(3, 2, seed=1)])
+        history = model.fit(x[:200], y[:200], x[200:], y[200:],
+                            epochs=500, lr=0.02, patience=10)
+        assert history.epochs < 500  # stopped early
+        assert history.best_val_loss == min(history.val_loss)
+
+    def test_early_stopping_restores_best(self):
+        x, y = _linear_problem()
+        model = Model([Dense(3, 2, seed=1)])
+        model.fit(x[:200], y[:200], x[200:], y[200:], epochs=60, lr=0.05,
+                  patience=5)
+        final_val = model.evaluate(x[200:], y[200:])
+        # Final params should achieve (about) the best recorded val loss.
+        assert final_val <= min(
+            model.fit(x[:1], y[:1], epochs=0).val_loss or [np.inf])
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            Model([])
+
+    def test_regularizer_index_validated(self):
+        with pytest.raises(ValueError):
+            Model([Dense(2, 2)], regularizers={3: L1Regularizer(0.1)})
+
+    def test_l1_shrinks_weights(self):
+        x, y = _linear_problem()
+        plain = Model([Dense(3, 2, seed=1)])
+        sparse = Model([Dense(3, 2, seed=1)],
+                       regularizers={0: L1Regularizer(0.05)})
+        plain.fit(x, y, epochs=100, lr=0.02)
+        sparse.fit(x, y, epochs=100, lr=0.02)
+        assert (np.abs(sparse.layers[0].params["W"]).sum()
+                < np.abs(plain.layers[0].params["W"]).sum())
+
+    def test_parameter_count(self):
+        model = Model([Dense(3, 2)])
+        assert model.parameter_count() == 3 * 2 + 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        x, y = _linear_problem(64)
+        model = Model([Bidirectional(3, 4, seed=1), Dense(8, 2, seed=2)])
+        model.fit(x.reshape(64, 1, 3).repeat(4, axis=1), y, epochs=2)
+        path = tmp_path / "model.npz"
+        model.save_params(path)
+
+        clone = Model([Bidirectional(3, 4, seed=9), Dense(8, 2, seed=9)])
+        clone.load_params(path)
+        xs = x.reshape(64, 1, 3).repeat(4, axis=1)
+        np.testing.assert_allclose(model.predict(xs), clone.predict(xs))
+
+    def test_load_shape_mismatch_rejected(self, tmp_path):
+        small = Model([Dense(2, 2)])
+        big = Model([Dense(3, 3)])
+        path = tmp_path / "m.npz"
+        small.save_params(path)
+        with pytest.raises(ValueError):
+            big.load_params(path)
+
+
+class TestRegularizers:
+    def test_l1_penalty_and_grad(self):
+        reg = L1Regularizer(0.5)
+        w = np.array([-2.0, 0.0, 3.0])
+        assert reg.penalty(w) == pytest.approx(2.5)
+        np.testing.assert_array_equal(reg.grad(w), [-0.5, 0.0, 0.5])
+
+    def test_l2_penalty_and_grad(self):
+        reg = L2Regularizer(0.5)
+        w = np.array([1.0, -2.0])
+        assert reg.penalty(w) == pytest.approx(2.5)
+        np.testing.assert_array_equal(reg.grad(w), [1.0, -2.0])
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            L1Regularizer(-0.1)
+        with pytest.raises(ValueError):
+            L2Regularizer(-0.1)
+
+
+class TestScaler:
+    def test_fit_transform_standardizes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 6, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-12)
+
+    def test_sequence_stats_pool_time_axis(self):
+        x = np.zeros((10, 5, 2))
+        x[:, :, 0] = np.arange(50).reshape(10, 5)
+        scaler = StandardScaler().fit(x)
+        assert scaler.mean_[0] == pytest.approx(24.5)
+
+    def test_constant_feature_safe(self):
+        x = np.ones((10, 3))
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_state_roundtrip(self):
+        x = np.random.default_rng(2).normal(size=(20, 3))
+        scaler = StandardScaler().fit(x)
+        clone = StandardScaler.from_state(scaler.state())
+        np.testing.assert_allclose(clone.transform(x), scaler.transform(x))

@@ -1,0 +1,268 @@
+"""Tests for the EnvClus* long-term route forecasting stack."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ais import ScenarioSimulator, VesselAgent, make_route, random_statics
+from repro.ais.ports import PORTS
+from repro.geo import Position, haversine_m
+from repro.geo.bbox import BoundingBox
+from repro.models.envclus import (
+    JunctionClassifier,
+    LVRFModel,
+    PatternsOfLife,
+    TransitionGraph,
+    Trip,
+    TripCorpus,
+)
+from repro.models.envclus.graph import PathNotFoundError
+
+_BY_NAME = {p.name: p for p in PORTS}
+
+
+def _simulated_trips(origin_name, dest_name, n=6, seed=0, mmsi_base=500000000):
+    """Generate historical voyages by running the scenario simulator."""
+    rng = random.Random(seed)
+    origin, dest = _BY_NAME[origin_name], _BY_NAME[dest_name]
+    trips = []
+    for k in range(n):
+        statics = random_statics(rng, mmsi_base + k)
+        route = make_route(origin, dest, rng)
+        agent = VesselAgent(statics=statics, route=route)
+        sim = ScenarioSimulator([agent], dt_s=60.0, seed=seed + k)
+        result = sim.run(48 * 3600.0)
+        track = result.truth[statics.mmsi]
+        # Thin the dense truth to AIS-like density.
+        track = track[::5]
+        if len(track) >= 2:
+            trips.append(Trip(mmsi=statics.mmsi, origin=origin_name,
+                              destination=dest_name, track=track,
+                              statics=statics))
+    return trips
+
+
+@pytest.fixture(scope="module")
+def piraeus_heraklion_trips():
+    return _simulated_trips("Piraeus", "Heraklion", n=6, seed=3)
+
+
+class TestTripCorpus:
+    def test_cell_sequence_deduplicated(self, piraeus_heraklion_trips):
+        seq = piraeus_heraklion_trips[0].cell_sequence()
+        assert len(seq) > 3
+        assert all(a != b for a, b in zip(seq, seq[1:]))
+
+    def test_cell_sequence_connected(self, piraeus_heraklion_trips):
+        from repro.hexgrid import grid_distance
+        seq = piraeus_heraklion_trips[0].cell_sequence()
+        assert all(grid_distance(a, b) == 1 for a, b in zip(seq, seq[1:]))
+
+    def test_corpus_accumulates(self, piraeus_heraklion_trips):
+        corpus = TripCorpus()
+        for trip in piraeus_heraklion_trips:
+            corpus.add(trip)
+        assert len(corpus) == len(piraeus_heraklion_trips)
+        assert corpus.cell_counts
+        assert corpus.transition_counts
+        assert corpus.od_pairs() == {("Piraeus", "Heraklion")}
+
+    def test_short_trip_rejected(self):
+        corpus = TripCorpus()
+        with pytest.raises(ValueError):
+            corpus.add(Trip(mmsi=1, origin="A", destination="B",
+                            track=[Position(0.0, 0.0, 0.0)]))
+
+    def test_cell_center_is_mean_of_observations(self, piraeus_heraklion_trips):
+        corpus = TripCorpus()
+        corpus.add(piraeus_heraklion_trips[0])
+        cell = max(corpus.cell_counts, key=corpus.cell_counts.get)
+        lat, lon = corpus.cell_center(cell)
+        from repro.hexgrid import average_edge_length_m, cell_to_latlng
+        clat, clon = cell_to_latlng(cell)
+        assert haversine_m(lat, lon, clat, clon) < \
+            average_edge_length_m(corpus.resolution) * 2.5
+
+
+class TestTransitionGraph:
+    @pytest.fixture(scope="class")
+    def graph(self, piraeus_heraklion_trips):
+        corpus = TripCorpus()
+        for trip in piraeus_heraklion_trips:
+            corpus.add(trip)
+        return TransitionGraph(corpus, min_cell_support=2)
+
+    def test_nonempty(self, graph):
+        assert graph.n_nodes > 5
+        assert graph.n_edges > 5
+
+    def test_probabilities_normalised(self, graph):
+        for node in graph.graph.nodes:
+            branches = graph.branch_probabilities(node)
+            if branches:
+                assert sum(branches.values()) == pytest.approx(1.0)
+
+    def test_most_probable_path_exists(self, graph, piraeus_heraklion_trips):
+        seq = piraeus_heraklion_trips[0].cell_sequence()
+        nodes = [c for c in seq if c in graph.graph]
+        path = graph.most_probable_path(nodes[0], nodes[-1])
+        assert path[0] == nodes[0]
+        assert path[-1] == nodes[-1]
+
+    def test_path_log_probability_non_positive(self, graph,
+                                               piraeus_heraklion_trips):
+        seq = piraeus_heraklion_trips[0].cell_sequence()
+        nodes = [c for c in seq if c in graph.graph]
+        path = graph.most_probable_path(nodes[0], nodes[-1])
+        assert graph.path_log_probability(path) <= 0.0
+
+    def test_unknown_cells_raise(self, graph):
+        with pytest.raises(PathNotFoundError):
+            graph.most_probable_path(1, 2)
+
+    def test_branch_probabilities_unknown_cell(self, graph):
+        with pytest.raises(KeyError):
+            graph.branch_probabilities(999)
+
+
+class TestJunctionClassifier:
+    def _separable_data(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        # Branch by the sign of feature 0, with margin.
+        x[:, 0] = np.where(np.arange(n) % 2 == 0, 2.0, -2.0) + \
+            rng.normal(0, 0.3, n)
+        branches = [100 if v > 0 else 200 for v in x[:, 0]]
+        return x, branches
+
+    def test_learns_separable_branching(self):
+        x, branches = self._separable_data()
+        clf = JunctionClassifier(epochs=200).fit(x, branches)
+        assert clf.accuracy(x, branches) > 0.95
+
+    def test_predict_proba_normalised(self):
+        x, branches = self._separable_data()
+        clf = JunctionClassifier(epochs=100).fit(x, branches)
+        proba = clf.predict_proba(x[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_three_way_junction(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 2))
+        branches = [int(np.argmax([row[0], row[1], -row[0] - row[1]]))
+                    for row in x]
+        clf = JunctionClassifier(epochs=500).fit(x, branches)
+        assert clf.accuracy(x, branches) > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            JunctionClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            JunctionClassifier().fit(np.zeros((5, 2)), [1, 2])
+
+
+class TestLVRFModel:
+    @pytest.fixture(scope="class")
+    def model(self, piraeus_heraklion_trips):
+        return LVRFModel().fit(piraeus_heraklion_trips)
+
+    def test_od_pairs_known(self, model):
+        assert ("Piraeus", "Heraklion") in model.known_od_pairs()
+
+    def test_forecast_reaches_destination(self, model):
+        origin = _BY_NAME["Piraeus"]
+        dest = _BY_NAME["Heraklion"]
+        fc = model.forecast(
+            Position(t=0.0, lat=origin.lat, lon=origin.lon, sog=12.0),
+            "Piraeus", "Heraklion")
+        assert len(fc.waypoints) >= 2
+        end_lat, end_lon = fc.waypoints[-1]
+        assert haversine_m(end_lat, end_lon, dest.lat, dest.lon) < 40_000
+
+    def test_forecast_distance_plausible(self, model):
+        origin = _BY_NAME["Piraeus"]
+        dest = _BY_NAME["Heraklion"]
+        fc = model.forecast(
+            Position(t=0.0, lat=origin.lat, lon=origin.lon, sog=12.0),
+            "Piraeus", "Heraklion")
+        gc = haversine_m(origin.lat, origin.lon, dest.lat, dest.lon)
+        assert gc * 0.8 <= fc.distance_m <= gc * 2.0
+
+    def test_etas_monotone(self, model):
+        origin = _BY_NAME["Piraeus"]
+        fc = model.forecast(
+            Position(t=0.0, lat=origin.lat, lon=origin.lon, sog=12.0),
+            "Piraeus", "Heraklion")
+        assert all(b >= a for a, b in zip(fc.etas_s, fc.etas_s[1:]))
+        assert fc.eta_total_s > 0
+
+    def test_forecast_mid_route(self, model, piraeus_heraklion_trips):
+        mid = piraeus_heraklion_trips[0].track[
+            len(piraeus_heraklion_trips[0].track) // 2]
+        fc = model.forecast(mid, "Piraeus", "Heraklion")
+        dest = _BY_NAME["Heraklion"]
+        end_lat, end_lon = fc.waypoints[-1]
+        assert haversine_m(end_lat, end_lon, dest.lat, dest.lon) < 40_000
+
+    def test_unknown_od_raises(self, model):
+        with pytest.raises(PathNotFoundError):
+            model.forecast(Position(t=0.0, lat=0.0, lon=0.0),
+                           "Atlantis", "Eldorado")
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            LVRFModel().fit([])
+
+    def test_log_probability_non_positive(self, model):
+        origin = _BY_NAME["Piraeus"]
+        fc = model.forecast(
+            Position(t=0.0, lat=origin.lat, lon=origin.lon, sog=12.0),
+            "Piraeus", "Heraklion")
+        assert fc.log_probability <= 0.0
+
+
+class TestPatternsOfLife:
+    def test_observe_and_query(self, piraeus_heraklion_trips):
+        pol = PatternsOfLife()
+        for trip in piraeus_heraklion_trips:
+            pol.observe_trip(trip)
+        assert len(pol) > 0
+        busiest = pol.busiest_cells(3)
+        assert busiest[0].visits >= busiest[-1].visits
+        assert busiest[0].distinct_vessels >= 1
+
+    def test_stats_at_position(self, piraeus_heraklion_trips):
+        pol = PatternsOfLife()
+        pol.observe_trip(piraeus_heraklion_trips[0])
+        pos = piraeus_heraklion_trips[0].track[0]
+        stats = pol.stats_at(pos.lat, pos.lon)
+        assert stats is not None
+        assert stats.visits >= 1
+
+    def test_speed_statistics(self):
+        pol = PatternsOfLife()
+        for i in range(10):
+            pol.observe_position(1, 37.9, 23.6, sog=10.0 + i, cog=90.0)
+        stats = pol.stats_at(37.9, 23.6)
+        assert stats.mean_speed_kn == pytest.approx(14.5)
+        assert stats.speed_std_kn > 0
+
+    def test_heading_rose(self):
+        pol = PatternsOfLife()
+        for _ in range(5):
+            pol.observe_position(1, 37.9, 23.6, sog=10.0, cog=90.0)
+        stats = pol.stats_at(37.9, 23.6)
+        assert stats.dominant_heading_deg == pytest.approx(112.5)
+        assert stats.heading_rose.sum() == 5
+
+    def test_bbox_query(self, piraeus_heraklion_trips):
+        pol = PatternsOfLife()
+        for trip in piraeus_heraklion_trips:
+            pol.observe_trip(trip)
+        aegean = BoundingBox(34.0, 41.0, 22.0, 27.0)
+        inside = pol.in_bbox(aegean)
+        assert len(inside) > 0
+        assert inside[0].visits >= inside[-1].visits

@@ -1,0 +1,214 @@
+"""Tests for the stream broker, producer and consumer groups."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import Broker, Consumer, ConsumerGroup, Producer, TopicConfig
+
+
+def _broker(partitions=4, retention=0):
+    broker = Broker()
+    broker.create_topic(TopicConfig("ais", num_partitions=partitions,
+                                    retention_per_partition=retention))
+    return broker
+
+
+class TestTopics:
+    def test_create_and_exists(self):
+        broker = _broker()
+        assert broker.topic_exists("ais")
+        assert not broker.topic_exists("other")
+        assert broker.topics() == ["ais"]
+
+    def test_duplicate_topic_rejected(self):
+        broker = _broker()
+        with pytest.raises(ValueError):
+            broker.create_topic(TopicConfig("ais"))
+
+    def test_invalid_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            TopicConfig("x", num_partitions=0)
+
+    def test_unknown_topic_raises(self):
+        broker = Broker()
+        with pytest.raises(KeyError):
+            broker.append("ghost", 1, "v", 0.0)
+
+
+class TestProduceFetch:
+    def test_offsets_increase_per_partition(self):
+        broker = _broker(partitions=1)
+        offsets = [broker.append("ais", key=1, value=i, timestamp=float(i))[1]
+                   for i in range(5)]
+        assert offsets == [0, 1, 2, 3, 4]
+
+    def test_key_routing_is_deterministic(self):
+        broker = _broker()
+        p1 = broker.partition_for_key("ais", 239000001)
+        p2 = broker.partition_for_key("ais", 239000001)
+        assert p1 == p2
+
+    def test_same_key_stays_ordered(self):
+        broker = _broker()
+        producer = Producer(broker)
+        for i in range(20):
+            producer.send("ais", key=7, value=i, timestamp=float(i))
+        partition = broker.partition_for_key("ais", 7)
+        records = broker.fetch("ais", partition, 0, 100)
+        values = [r.value for r in records if r.key == 7]
+        assert values == list(range(20))
+
+    def test_none_key_rejected(self):
+        broker = _broker()
+        with pytest.raises(ValueError):
+            broker.append("ais", None, "v", 0.0)
+
+    def test_explicit_partition(self):
+        broker = _broker()
+        partition, offset = broker.append("ais", 1, "v", 0.0, partition=2)
+        assert partition == 2
+        assert broker.fetch("ais", 2, 0)[0].value == "v"
+
+    def test_partition_out_of_range(self):
+        broker = _broker(partitions=2)
+        with pytest.raises(ValueError):
+            broker.append("ais", 1, "v", 0.0, partition=5)
+
+    def test_retention_truncates_head(self):
+        broker = _broker(partitions=1, retention=10)
+        for i in range(25):
+            broker.append("ais", 1, i, float(i))
+        records = broker.fetch("ais", 0, 0, 100)
+        assert len(records) == 10
+        assert records[0].value == 15  # head truncated
+        assert broker.end_offset("ais", 0) == 25
+
+    def test_producer_counts(self):
+        broker = _broker()
+        producer = Producer(broker)
+        producer.send_batch("ais", [(1, "a", 0.0), (2, "b", 1.0)])
+        assert producer.records_sent == 2
+        assert broker.total_records("ais") == 2
+
+
+class TestConsumerGroups:
+    def test_single_consumer_gets_all_partitions(self):
+        broker = _broker(partitions=4)
+        group = ConsumerGroup(broker, "g1", "ais")
+        consumer = group.join()
+        assert sorted(consumer.assignment) == [0, 1, 2, 3]
+
+    def test_two_consumers_split_partitions(self):
+        broker = _broker(partitions=4)
+        group = ConsumerGroup(broker, "g1", "ais")
+        c1, c2 = group.join(), group.join()
+        assert sorted(c1.assignment + c2.assignment) == [0, 1, 2, 3]
+        assert not (set(c1.assignment) & set(c2.assignment))
+
+    def test_rebalance_on_leave(self):
+        broker = _broker(partitions=4)
+        group = ConsumerGroup(broker, "g1", "ais")
+        c1, c2 = group.join(), group.join()
+        gen = group.generation
+        c2.close()
+        assert group.generation > gen
+        assert sorted(c1.assignment) == [0, 1, 2, 3]
+
+    def test_unknown_topic_rejected(self):
+        with pytest.raises(KeyError):
+            ConsumerGroup(Broker(), "g1", "nope")
+
+    def test_poll_and_commit_progress(self):
+        broker = _broker(partitions=2)
+        producer = Producer(broker)
+        for i in range(10):
+            producer.send("ais", key=i, value=i, timestamp=float(i))
+        group = ConsumerGroup(broker, "g1", "ais")
+        consumer = group.join()
+        first = consumer.poll(max_records=100)
+        assert len(first) == 10
+        consumer.commit()
+        assert group.lag() == 0
+        assert consumer.poll() == []
+
+    def test_uncommitted_records_redelivered_to_new_group_member(self):
+        broker = _broker(partitions=1)
+        Producer(broker).send("ais", key=1, value="x", timestamp=0.0)
+        group = ConsumerGroup(broker, "g1", "ais")
+        c1 = group.join()
+        assert len(c1.poll()) == 1
+        c1.close()  # left without committing
+        c2 = group.join()
+        assert len(c2.poll()) == 1  # at-least-once
+
+    def test_independent_groups_see_all_records(self):
+        broker = _broker(partitions=2)
+        producer = Producer(broker)
+        for i in range(6):
+            producer.send("ais", key=i, value=i, timestamp=float(i))
+        ga = ConsumerGroup(broker, "ga", "ais").join()
+        gb = ConsumerGroup(broker, "gb", "ais").join()
+        assert len(ga.poll(100)) == 6
+        assert len(gb.poll(100)) == 6
+
+    def test_seek_to_beginning_replays(self):
+        broker = _broker(partitions=1)
+        Producer(broker).send("ais", key=1, value="x", timestamp=0.0)
+        consumer = ConsumerGroup(broker, "g", "ais").join()
+        assert len(consumer.poll()) == 1
+        consumer.seek_to_beginning()
+        assert len(consumer.poll()) == 1
+
+    def test_commit_backwards_rejected(self):
+        broker = _broker(partitions=1)
+        broker.commit("g", "ais", 0, 5)
+        with pytest.raises(ValueError):
+            broker.commit("g", "ais", 0, 3)
+
+    def test_max_records_respected(self):
+        broker = _broker(partitions=1)
+        producer = Producer(broker)
+        for i in range(50):
+            producer.send("ais", key=1, value=i, timestamp=float(i))
+        consumer = ConsumerGroup(broker, "g", "ais").join()
+        assert len(consumer.poll(max_records=10)) == 10
+        assert len(consumer.poll(max_records=100)) == 40
+
+
+class TestConcurrency:
+    def test_parallel_producers_lose_nothing(self):
+        broker = _broker(partitions=4)
+
+        def produce(base):
+            producer = Producer(broker)
+            for i in range(200):
+                producer.send("ais", key=base + i, value=i, timestamp=float(i))
+
+        threads = [threading.Thread(target=produce, args=(k * 1000,))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert broker.total_records("ais") == 800
+
+
+class TestPropertyOrdering:
+    @given(keys=st.lists(st.integers(min_value=0, max_value=5),
+                         min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_per_key_order_preserved(self, keys):
+        broker = _broker(partitions=3)
+        producer = Producer(broker)
+        for seq, key in enumerate(keys):
+            producer.send("ais", key=key, value=seq, timestamp=float(seq))
+        consumer = ConsumerGroup(broker, "g", "ais").join()
+        records = consumer.poll(max_records=1000)
+        by_key = {}
+        for r in records:
+            by_key.setdefault(r.key, []).append(r.value)
+        for key, seqs in by_key.items():
+            assert seqs == sorted(seqs)

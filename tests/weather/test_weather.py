@@ -1,0 +1,96 @@
+"""Tests for the synthetic weather field and H3-cell enrichment."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hexgrid import latlng_to_cell
+from repro.weather import WeatherField, enrich_cells
+
+LATS = st.floats(min_value=-70.0, max_value=70.0)
+LONS = st.floats(min_value=-179.0, max_value=179.0)
+TIMES = st.floats(min_value=0.0, max_value=7 * 86_400.0)
+
+
+class TestWeatherField:
+    def test_deterministic(self):
+        a = WeatherField(seed=4).sample(38.0, 24.0, 3_600.0)
+        b = WeatherField(seed=4).sample(38.0, 24.0, 3_600.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = WeatherField(seed=1).sample(38.0, 24.0, 0.0)
+        b = WeatherField(seed=2).sample(38.0, 24.0, 0.0)
+        assert a != b
+
+    @given(lat=LATS, lon=LONS, t=TIMES)
+    @settings(max_examples=80)
+    def test_magnitudes_physical(self, lat, lon, t):
+        s = WeatherField(seed=0).sample(lat, lon, t)
+        assert s.wind_speed_mps <= 30.0
+        assert s.current_speed_mps <= 2.0
+        assert 0.0 <= s.wave_height_m <= 9.0
+
+    @given(lat=LATS, lon=LONS, t=TIMES)
+    @settings(max_examples=40)
+    def test_smooth_in_space(self, lat, lon, t):
+        """Weather 1 km away differs by a small fraction of the range."""
+        field = WeatherField(seed=0)
+        a = field.sample(lat, lon, t)
+        b = field.sample(lat + 0.009, lon, t)
+        assert abs(a.wind_u_mps - b.wind_u_mps) < 2.0
+
+    @given(lat=LATS, lon=LONS, t=TIMES)
+    @settings(max_examples=40)
+    def test_smooth_in_time(self, lat, lon, t):
+        field = WeatherField(seed=0)
+        a = field.sample(lat, lon, t)
+        b = field.sample(lat, lon, t + 60.0)
+        assert abs(a.wind_u_mps - b.wind_u_mps) < 1.0
+
+    def test_latitude_validated(self):
+        with pytest.raises(ValueError):
+            WeatherField().sample(95.0, 0.0, 0.0)
+
+    def test_wind_direction_convention(self):
+        field = WeatherField(seed=0)
+        s = field.sample(40.0, 10.0, 0.0)
+        blowing_to = math.degrees(math.atan2(s.wind_u_mps,
+                                             s.wind_v_mps)) % 360.0
+        assert s.wind_direction_deg == pytest.approx(
+            (blowing_to + 180.0) % 360.0)
+
+    def test_rough_flag(self):
+        field = WeatherField(seed=0, max_wind_mps=0.1)
+        s = field.sample(38.0, 24.0, 0.0)
+        assert not s.is_rough
+
+    def test_forecast_matches_future_samples(self):
+        field = WeatherField(seed=3)
+        fc = field.forecast(38.0, 24.0, 0.0, [300.0, 600.0])
+        assert fc[0] == field.sample(38.0, 24.0, 300.0)
+        assert fc[1] == field.sample(38.0, 24.0, 600.0)
+
+
+class TestEnrichment:
+    def test_enrich_cells_keys_and_features(self):
+        field = WeatherField(seed=1)
+        cells = [latlng_to_cell(38.0, 24.0, 6),
+                 latlng_to_cell(39.0, 25.0, 6)]
+        enriched = enrich_cells(field, cells, t=1_000.0)
+        assert set(enriched) == set(cells)
+        for cw in enriched.values():
+            assert len(cw.feature_vector()) == 5
+            assert cw.t == 1_000.0
+
+    def test_neighbouring_cells_get_similar_weather(self):
+        from repro.hexgrid import neighbors
+        field = WeatherField(seed=1)
+        cell = latlng_to_cell(38.0, 24.0, 6)
+        cells = [cell] + neighbors(cell)
+        enriched = enrich_cells(field, cells, t=0.0)
+        base = enriched[cell].sample.wind_u_mps
+        for nbr in neighbors(cell):
+            assert abs(enriched[nbr].sample.wind_u_mps - base) < 3.0
