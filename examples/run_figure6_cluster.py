@@ -1,0 +1,303 @@
+"""Distributed Figure 6: the sharded platform across two OS processes.
+
+Spawns a second worker process, forms a TCP cluster (seed-node join,
+heartbeats, consistent-hash shard table), then streams the scaled global
+AIS workload through the sharded platform twice — once on a single node,
+once with vessel/cell actors spread over both nodes — and writes the
+machine-readable comparison to ``BENCH_cluster.json``:
+
+    {"one_node": {"msgs_per_s": ..., "p50_ms": ..., "p99_ms": ...},
+     "two_node": {..., "vessel_distribution": {...}}}
+
+Run:  python examples/run_figure6_cluster.py [--vessels N] [--minutes M]
+      python examples/run_figure6_cluster.py --smoke      # CI-sized run
+
+The paper's deployment shards 170K vessel actors over an Akka cluster;
+this driver demonstrates the same topology end to end: remote transport,
+membership, location-transparent refs, and collision/proximity events
+resolved by cell actors regardless of which node hosts them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.ais.datasets import (  # noqa: E402
+    proximity_scenario,
+    scalability_fleet_config,
+)
+from repro.ais.fleet import FleetEngine  # noqa: E402
+from repro.cluster import ClusterConfig, ClusterNode, TcpTransport  # noqa: E402
+from repro.platform import DistributedPlatform  # noqa: E402
+
+#: Generous timeouts — a loaded CI box must not trip the failure detector.
+CLUSTER_CONFIG = ClusterConfig(heartbeat_interval_s=0.5,
+                               suspect_after_s=5.0, down_after_s=15.0)
+SEED_ID = "node-00"
+WORKER_ID = "node-01"
+
+
+def make_node(node_id: str, record_metrics: bool = True) -> ClusterNode:
+    node = ClusterNode(node_id, TcpTransport(port=0),
+                       config=CLUSTER_CONFIG, system_mode="threaded",
+                       workers=max(2, (os.cpu_count() or 2) // 2),
+                       record_metrics=record_metrics)
+    node.start()
+    return node
+
+
+def ticker(node: ClusterNode, stop) -> None:
+    while not stop.is_set():
+        node.tick()
+        stop.wait(CLUSTER_CONFIG.heartbeat_interval_s / 2)
+
+
+# -- worker process ------------------------------------------------------------------
+
+
+def worker_main(args) -> None:
+    import threading
+
+    node = make_node(WORKER_ID)
+    platform = DistributedPlatform(node, is_seed=False)
+    stop = threading.Event()
+    node.register_control("shutdown", lambda params: stop.set() or {"ok": 1})
+    node.join(SEED_ID, (args.seed_host, args.seed_port))
+    if not node.joined.wait(timeout=30.0):
+        print("worker: join timed out", file=sys.stderr)
+        sys.exit(2)
+    print(f"worker: joined cluster as {WORKER_ID}", flush=True)
+    ticker(node, stop)
+    # Drain any in-flight work before exiting so late frames don't error.
+    node.system.await_idle(timeout=10.0)
+    time.sleep(0.5)
+    platform.shutdown()
+
+
+# -- driver --------------------------------------------------------------------------
+
+
+def spawn_worker(seed_address) -> subprocess.Popen:
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--worker",
+         "--seed-host", str(seed_address[0]),
+         "--seed-port", str(seed_address[1])],
+        env=env)
+
+
+def wait_until_stable(platforms_stats, lag_fn, timeout_s: float = 120.0,
+                      polls: int = 3, interval_s: float = 0.25) -> None:
+    """Poll processed-message counters until the cluster goes quiet."""
+    deadline = time.monotonic() + timeout_s
+    stable = 0
+    last = None
+    while time.monotonic() < deadline:
+        current = tuple(s()["messages_processed"] for s in platforms_stats)
+        if lag_fn() == 0 and current == last:
+            stable += 1
+            if stable >= polls:
+                return
+        else:
+            stable = 0
+        last = current
+        time.sleep(interval_s)
+    raise TimeoutError("cluster did not reach quiescence")
+
+
+def drive_stream(platform: DistributedPlatform, engine: FleetEngine,
+                 sync_nodes: list[str]) -> int:
+    total = 0
+    for tick in engine.stream():
+        if len(tick):
+            platform.publish_batch(tick)
+            total += platform.ingest_available()
+    now = platform.system.now
+    for node_id in sync_nodes:
+        try:
+            platform.node.ask_control(node_id, "sync_clock", {"now": now})
+        except Exception:
+            pass
+    return total
+
+
+def run_event_check(platform: DistributedPlatform, node: ClusterNode,
+                    stats_fns, before: dict) -> dict:
+    """Stream a small Aegean proximity scenario through the running
+    cluster and report the events its cell actors resolve — proof that
+    proximity/collision detection works across node boundaries."""
+    scenario = proximity_scenario(n_event_pairs=4, n_near_miss_pairs=2,
+                                  n_background=2, duration_s=3_600.0)
+    messages = sorted(scenario.result.messages, key=lambda m: m.t)
+    platform.publish_messages(messages)
+    while platform.ingest_available() or platform.ingestion.lag:
+        pass
+    platform.system.await_idle(timeout=60.0)
+    wait_until_stable(stats_fns, lambda: platform.ingestion.lag)
+
+    proximity = platform.event_count("proximity")
+    collision = platform.event_count("collision")
+    remote = node.ask_control(WORKER_ID, "platform_stats").result(10.0)
+    proximity += remote["events_proximity"]
+    collision += remote["events_collision"]
+    return {"scenario_vessels": scenario.n_vessels,
+            "scenario_messages": len(messages),
+            "ground_truth_events": len(scenario.events),
+            "proximity": proximity - before["proximity"],
+            "collision": collision - before["collision"]}
+
+
+def run_benchmark(num_nodes: int, vessels: int, minutes: float,
+                  seed: int) -> dict:
+    import threading
+
+    node = make_node(SEED_ID)
+    platform = DistributedPlatform(node, is_seed=True)
+    stop = threading.Event()
+    tick_thread = threading.Thread(target=ticker, args=(node, stop),
+                                   daemon=True)
+    tick_thread.start()
+    worker = None
+    try:
+        if num_nodes == 2:
+            worker = spawn_worker(node.transport.address)
+            deadline = time.monotonic() + 60.0
+            while WORKER_ID not in node.membership.alive_ids():
+                if time.monotonic() > deadline:
+                    raise TimeoutError("worker never joined")
+                time.sleep(0.1)
+            print(f"  cluster formed: {node.membership.alive_ids()}, "
+                  f"shard table epoch {node.table.epoch}")
+
+        engine = FleetEngine(scalability_fleet_config(
+            n_vessels=vessels, duration_s=minutes * 60.0, seed=seed))
+        stats_fns = [lambda: platform.stats()]
+        if num_nodes == 2:
+            stats_fns.append(
+                lambda: node.ask_control(WORKER_ID,
+                                         "platform_stats").result(10.0))
+
+        start = time.perf_counter()
+        total = drive_stream(platform, engine,
+                             [WORKER_ID] if num_nodes == 2 else [])
+        platform.system.await_idle(timeout=120.0)
+        wait_until_stable(stats_fns, lambda: platform.ingestion.lag)
+        wall = time.perf_counter() - start
+
+        snapshots = {SEED_ID: platform.metrics_snapshot()}
+        distribution = {SEED_ID: platform.vessel_count}
+        events = {"proximity": platform.event_count("proximity"),
+                  "collision": platform.event_count("collision")}
+        if num_nodes == 2:
+            snapshots[WORKER_ID] = node.ask_control(
+                WORKER_ID, "metrics_snapshot").result(10.0)
+            remote = node.ask_control(WORKER_ID,
+                                      "platform_stats").result(10.0)
+            distribution[WORKER_ID] = remote["vessels_local"]
+            events["proximity"] += remote["events_proximity"]
+            events["collision"] += remote["events_collision"]
+            event_check = run_event_check(platform, node, stats_fns, events)
+
+        samples = sum(s.get("samples", 0) for s in snapshots.values()) or 1
+        merged = {
+            "msgs_per_s": total / wall if wall else 0.0,
+            "p50_ms": sum(s.get("p50_ms", 0.0) * s.get("samples", 0)
+                          for s in snapshots.values()) / samples,
+            "p99_ms": sum(s.get("p99_ms", 0.0) * s.get("samples", 0)
+                          for s in snapshots.values()) / samples,
+            "messages": total,
+            "wall_s": wall,
+            "vessel_distribution": distribution,
+            "events": events,
+            "per_node": snapshots,
+        }
+        if num_nodes == 2:
+            merged["event_check"] = event_check
+        return merged
+    finally:
+        if worker is not None:
+            try:
+                node.ask_control(WORKER_ID, "shutdown").result(5.0)
+            except Exception:
+                pass
+            try:
+                worker.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+        stop.set()
+        platform.shutdown()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vessels", type=int, default=1_000)
+    parser.add_argument("--minutes", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (200 vessels, 10 minutes)")
+    parser.add_argument("--output", default="BENCH_cluster.json")
+    parser.add_argument("--worker", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--seed-host", default="127.0.0.1",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--seed-port", type=int, default=0,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.worker:
+        worker_main(args)
+        return
+    if args.smoke:
+        args.vessels, args.minutes = 200, 10.0
+
+    print(f"Figure 6 (distributed): {args.vessels} vessels, "
+          f"{args.minutes:.0f} simulated minutes, TCP transport")
+    print("[1/2] single-node baseline...")
+    one = run_benchmark(1, args.vessels, args.minutes, args.seed)
+    print(f"      {one['messages']} msgs in {one['wall_s']:.1f}s "
+          f"({one['msgs_per_s']:.0f} msg/s, p50 {one['p50_ms']:.2f} ms, "
+          f"p99 {one['p99_ms']:.2f} ms)")
+    print("[2/2] two-node sharded cluster (second node = child process)...")
+    two = run_benchmark(2, args.vessels, args.minutes, args.seed)
+    print(f"      {two['messages']} msgs in {two['wall_s']:.1f}s "
+          f"({two['msgs_per_s']:.0f} msg/s, p50 {two['p50_ms']:.2f} ms, "
+          f"p99 {two['p99_ms']:.2f} ms)")
+    print(f"      vessels sharded: {two['vessel_distribution']}, "
+          f"events: {two['events']}")
+    check = two["event_check"]
+    print(f"      event check (Aegean scenario through the cluster): "
+          f"{check['proximity']} proximity / {check['collision']} collision "
+          f"events resolved ({check['ground_truth_events']} in ground truth)")
+
+    report = {
+        "workload": {"vessels": args.vessels,
+                     "sim_minutes": args.minutes, "seed": args.seed},
+        "one_node": one,
+        "two_node": two,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not two["vessel_distribution"].get(WORKER_ID):
+        print("WARNING: no vessels landed on the worker node", file=sys.stderr)
+        sys.exit(1)
+    if not check["proximity"]:
+        print("WARNING: no proximity events resolved by the cluster",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

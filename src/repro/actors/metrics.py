@@ -6,10 +6,16 @@ window of 100 actors. :class:`MetricsRecorder` captures exactly the samples
 that plot needs: for every processed message, the actor count at that moment
 and the wall time the delivery took (including any actor spawn it
 triggered, which is what produces the paper's initialisation spike).
+
+Samples are recorded by whichever dispatcher runs the delivery — the
+deterministic loop and the threaded worker pool both feed the same
+recorder, so a short lock keeps the two sample arrays in step when worker
+threads record concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 from array import array
 
 import numpy as np
@@ -21,21 +27,52 @@ class MetricsRecorder:
     def __init__(self) -> None:
         self._actor_counts = array("q")
         self._durations = array("d")
+        self._lock = threading.Lock()
 
     def record(self, actor_count: int, duration_s: float) -> None:
-        self._actor_counts.append(actor_count)
-        self._durations.append(duration_s)
+        with self._lock:
+            self._actor_counts.append(actor_count)
+            self._durations.append(duration_s)
 
     def __len__(self) -> int:
-        return len(self._durations)
+        with self._lock:
+            return len(self._durations)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """``(actor_counts, durations_s)`` as numpy arrays."""
-        return (np.frombuffer(self._actor_counts, dtype=np.int64).copy(),
-                np.frombuffer(self._durations, dtype=np.float64).copy())
+        with self._lock:
+            counts = np.frombuffer(self._actor_counts, dtype=np.int64).copy()
+            durations = np.frombuffer(self._durations,
+                                      dtype=np.float64).copy()
+        return counts, durations
 
     def total_time_s(self) -> float:
-        return float(sum(self._durations))
+        with self._lock:
+            return float(sum(self._durations))
+
+    def snapshot(self) -> dict:
+        """Summary statistics for the writer/telemetry path.
+
+        Machine-readable (plain floats/ints only): sample count, total and
+        mean processing seconds, latency percentiles in milliseconds, and
+        the peak actor count observed — the per-node payload aggregated by
+        the distributed Figure 6 driver.
+        """
+        counts, durations = self.as_arrays()
+        if durations.size == 0:
+            return {"samples": 0, "total_s": 0.0, "mean_ms": 0.0,
+                    "p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0,
+                    "peak_actor_count": 0}
+        ms = durations * 1e3
+        return {
+            "samples": int(durations.size),
+            "total_s": float(durations.sum()),
+            "mean_ms": float(ms.mean()),
+            "p50_ms": float(np.percentile(ms, 50)),
+            "p99_ms": float(np.percentile(ms, 99)),
+            "max_ms": float(ms.max()),
+            "peak_actor_count": int(counts.max()),
+        }
 
     def curve_by_actor_count(self, window_actors: int = 100
                              ) -> tuple[np.ndarray, np.ndarray]:

@@ -50,6 +50,15 @@ class KeyRouter:
         """Route-and-send in one step."""
         self.route(key).tell(message, sender=sender)
 
+    def forget(self, key: Any) -> bool:
+        """Drop the ref for ``key`` so a later route spawns a fresh actor.
+
+        Used by shard handoff: after the actor for a key is stopped and its
+        shard moves to another node, the stale ref must not shadow a future
+        re-acquisition of the shard. Returns True if the key was known.
+        """
+        return self._refs.pop(key, None) is not None
+
     def known_keys(self) -> list[Any]:
         return list(self._refs)
 

@@ -1,0 +1,75 @@
+"""Wire serialization for cluster messages.
+
+The paper's Akka cluster serializes actor messages with a configured
+serializer before they cross node boundaries. Here every
+:class:`~repro.cluster.protocol.WireEnvelope` — carrying the existing
+``repro.platform.messages`` payloads (``PositionIngested``,
+``CellObservation``, ``ForecastShared``, alerts, state updates) plus the
+cluster control vocabulary — is encoded with pickle and decoded through a
+*restricted* unpickler that only resolves classes from trusted modules
+(``repro.*``, numpy, and a small stdlib allowlist). That keeps the loopback
+and TCP transports byte-for-byte identical: the loopback transport round
+trips the same frames the sockets carry, so serialization bugs surface in
+the deterministic tests.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any
+
+#: Module prefixes whose classes may appear in a wire frame.
+TRUSTED_PREFIXES = ("repro.",)
+
+#: Exact modules from outside the project that payloads legitimately use
+#: (numpy arrays inside forecasts, deques inside actor state snapshots).
+TRUSTED_MODULES = frozenset({
+    "builtins",
+    "collections",
+    "numpy",
+    "numpy.core.multiarray",
+    "numpy._core.multiarray",
+    "numpy.core.numeric",
+    "numpy._core.numeric",
+    "numpy.dtypes",
+})
+
+#: Builtins that restricted frames may reference. Notably *not* ``eval``,
+#: ``exec``, ``getattr`` or ``__import__``.
+_SAFE_BUILTINS = frozenset({
+    "complex", "dict", "frozenset", "list", "set", "tuple", "bytearray",
+    "bytes", "float", "int", "str", "bool", "slice", "range", "object",
+})
+
+
+class WireDecodeError(ValueError):
+    """A frame failed to decode or referenced an untrusted class."""
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str) -> Any:
+        if module == "builtins":
+            if name not in _SAFE_BUILTINS:
+                raise WireDecodeError(
+                    f"wire frame references forbidden builtin {name!r}")
+            return super().find_class(module, name)
+        if module in TRUSTED_MODULES or module.startswith(TRUSTED_PREFIXES):
+            return super().find_class(module, name)
+        raise WireDecodeError(
+            f"wire frame references untrusted class {module}.{name}")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize one wire message to a byte frame."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize a byte frame, resolving only trusted classes."""
+    try:
+        return _RestrictedUnpickler(io.BytesIO(data)).load()
+    except WireDecodeError:
+        raise
+    except Exception as exc:
+        raise WireDecodeError(f"undecodable wire frame: {exc}") from exc

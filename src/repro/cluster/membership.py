@@ -1,0 +1,173 @@
+"""Cluster membership and heartbeat-based failure detection.
+
+State machine per member (a gossip-free subset of Akka cluster's):
+
+``JOINING -> UP -> SUSPECT -> DOWN``
+
+A member becomes SUSPECT after ``suspect_after_s`` without a heartbeat and
+DOWN after ``down_after_s``; a heartbeat from a SUSPECT member restores it
+to UP (DOWN is terminal — a downed node must rejoin under a fresh id, which
+sidesteps split-brain resurrection). Time is injected through a ``clock``
+callable so deterministic tests drive the detector from a virtual clock
+while TCP deployments use ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class MemberState(enum.Enum):
+    JOINING = "joining"
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+@dataclass
+class Member:
+    """One node's view of a peer."""
+
+    node_id: str
+    address: Any
+    state: MemberState
+    last_heartbeat: float
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of membership, failure detection and sharding."""
+
+    #: Seconds between outbound heartbeats.
+    heartbeat_interval_s: float = 0.5
+    #: Silence after which a member is suspected.
+    suspect_after_s: float = 2.0
+    #: Silence after which a suspect is declared down.
+    down_after_s: float = 5.0
+    #: Number of shards entity keys hash into (Akka's default is 1000;
+    #: anything ≫ max node count gives smooth rebalancing).
+    num_shards: int = 64
+    #: Virtual nodes per member on the consistent-hash ring.
+    ring_replicas: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if not (0 < self.suspect_after_s <= self.down_after_s):
+            raise ValueError(
+                "need 0 < suspect_after_s <= down_after_s")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """A state transition observed by the failure detector."""
+
+    node_id: str
+    state: MemberState
+
+
+class Membership:
+    """This node's registry of cluster members (itself included)."""
+
+    def __init__(self, node_id: str, address: Any,
+                 config: ClusterConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.node_id = node_id
+        self.config = config or ClusterConfig()
+        self.clock = clock
+        self._members: dict[str, Member] = {
+            node_id: Member(node_id, address, MemberState.UP, clock()),
+        }
+
+    # -- views ---------------------------------------------------------------------
+
+    def members(self) -> list[Member]:
+        return sorted(self._members.values(), key=lambda m: m.node_id)
+
+    def get(self, node_id: str) -> Member | None:
+        return self._members.get(node_id)
+
+    def alive_ids(self) -> list[str]:
+        """Members counted for shard ownership: UP and SUSPECT (suspicion
+        alone must not reshuffle shards — only a DOWN declaration does)."""
+        return sorted(m.node_id for m in self._members.values()
+                      if m.state in (MemberState.UP, MemberState.SUSPECT))
+
+    def peer_ids(self) -> list[str]:
+        """Every non-self member that is not DOWN (heartbeat targets)."""
+        return sorted(m.node_id for m in self._members.values()
+                      if m.node_id != self.node_id
+                      and m.state is not MemberState.DOWN)
+
+    def leader(self) -> str:
+        """The coordinator node: lowest id among alive members (stable,
+        deterministic, recomputed identically on every node)."""
+        alive = self.alive_ids()
+        return alive[0] if alive else self.node_id
+
+    def is_leader(self) -> bool:
+        return self.leader() == self.node_id
+
+    # -- mutations -----------------------------------------------------------------
+
+    def add(self, node_id: str, address: Any) -> bool:
+        """Admit (or refresh) a member as UP; returns True if the alive set
+        changed."""
+        member = self._members.get(node_id)
+        now = self.clock()
+        if member is None:
+            self._members[node_id] = Member(node_id, address,
+                                            MemberState.UP, now)
+            return True
+        member.address = address
+        member.last_heartbeat = now
+        if member.state is not MemberState.UP:
+            changed = member.state is MemberState.DOWN
+            member.state = MemberState.UP
+            return changed
+        return False
+
+    def heartbeat(self, node_id: str) -> bool:
+        """Record a heartbeat; returns True if it revived a SUSPECT."""
+        member = self._members.get(node_id)
+        if member is None or member.state is MemberState.DOWN:
+            return False
+        member.last_heartbeat = self.clock()
+        if member.state is MemberState.SUSPECT:
+            member.state = MemberState.UP
+            return True
+        return False
+
+    def mark_down(self, node_id: str) -> bool:
+        member = self._members.get(node_id)
+        if member is None or member.state is MemberState.DOWN:
+            return False
+        member.state = MemberState.DOWN
+        return True
+
+    def remove(self, node_id: str) -> None:
+        if node_id != self.node_id:
+            self._members.pop(node_id, None)
+
+    def check(self) -> list[MembershipEvent]:
+        """Run the failure detector; returns the transitions it performed."""
+        now = self.clock()
+        events: list[MembershipEvent] = []
+        for member in self._members.values():
+            if member.node_id == self.node_id:
+                continue
+            silence = now - member.last_heartbeat
+            if (member.state is MemberState.UP
+                    and silence >= self.config.suspect_after_s):
+                member.state = MemberState.SUSPECT
+                events.append(MembershipEvent(member.node_id,
+                                              MemberState.SUSPECT))
+            if (member.state is MemberState.SUSPECT
+                    and silence >= self.config.down_after_s):
+                member.state = MemberState.DOWN
+                events.append(MembershipEvent(member.node_id,
+                                              MemberState.DOWN))
+        return events

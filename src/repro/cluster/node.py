@@ -1,0 +1,541 @@
+"""The cluster node: one ActorSystem + transport + membership + shards.
+
+A :class:`ClusterNode` is the multi-node analogue of a bare
+:class:`~repro.actors.system.ActorSystem`: it owns a local system, speaks
+:class:`~repro.cluster.protocol.WireEnvelope` frames over a
+:class:`~repro.cluster.transport.Transport`, runs the heartbeat failure
+detector, and — when it is the cluster leader — acts as the
+:class:`ShardCoordinator` that assigns consistent-hash shards to nodes and
+orchestrates handoff when membership changes.
+
+Delivery guarantees (the documented in-flight window): messages routed to
+a shard are buffered and redelivered whenever the owner is unreachable or
+unknown; what can be lost is only what a crashed node had already accepted
+into its mailboxes, plus TCP frames written to a socket whose peer died
+before reading them. The platform layer narrows that window further by
+replaying the AIS topic from committed offsets after a node loss.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Callable, Iterable
+
+from repro.actors.actor import ActorRef, Envelope
+from repro.actors.system import ActorSystem, Future
+from repro.cluster import codec
+from repro.cluster.membership import (
+    ClusterConfig,
+    Membership,
+    MembershipEvent,
+    MemberState,
+)
+from repro.cluster.protocol import (
+    MAX_HOPS,
+    ControlRequest,
+    Heartbeat,
+    Join,
+    Leave,
+    MemberDown,
+    MemberUp,
+    ShardTableUpdate,
+    Welcome,
+    WireEnvelope,
+)
+from repro.cluster.remote import RemoteActorRef, ReplyRelay
+from repro.cluster.sharding import ShardRouter, ShardTable, shard_for_key
+from repro.cluster.transport import Transport, TransportError
+
+
+class ShardCoordinator:
+    """The leader-side authority over the shard table.
+
+    Every node instantiates one, but only the current leader *acts*: on any
+    membership change it bumps the table epoch, installs the new table
+    locally and broadcasts ``ShardTableUpdate(epoch, nodes)`` — each
+    receiver derives the identical consistent-hash assignment from the node
+    list, so the table itself never crosses the wire.
+    """
+
+    def __init__(self, node: "ClusterNode") -> None:
+        self._node = node
+        self.rebalances = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self._node.membership.is_leader()
+
+    def membership_changed(self) -> None:
+        """Recompute and broadcast the shard table (leader only)."""
+        if not self.is_active:
+            return
+        node = self._node
+        alive = tuple(node.membership.alive_ids())
+        update = ShardTableUpdate(epoch=node.table.epoch + 1, nodes=alive)
+        self.rebalances += 1
+        node._install_table(update)
+        node.broadcast_control(update)
+
+
+class ClusterNode:
+    """One member of the sharded actor cluster."""
+
+    def __init__(self, node_id: str, transport: Transport,
+                 config: ClusterConfig | None = None,
+                 system_mode: str = "deterministic", workers: int = 4,
+                 record_metrics: bool = False,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.node_id = node_id
+        self.transport = transport
+        self.config = config or ClusterConfig()
+        self.clock = clock
+        self.system = ActorSystem(name=node_id, mode=system_mode,
+                                  workers=workers,
+                                  record_metrics=record_metrics)
+        self.membership = Membership(node_id, transport.address,
+                                     self.config, clock)
+        self.coordinator = ShardCoordinator(self)
+        self.table = ShardTable(1, (node_id,), self.config.num_shards,
+                                self.config.ring_replicas)
+        self.joined = threading.Event()
+
+        self._routers: dict[str, ShardRouter] = {}
+        self._control: dict[str, Callable[[dict], Any]] = {}
+        self._pending: dict[int, list[WireEnvelope]] = {}
+        self._asks: dict[int, Future] = {}
+        self._corr = itertools.count(1)
+        self._lock = threading.RLock()
+        self._last_heartbeat_sent = float("-inf")
+        self._closed = False
+        #: Hooks fired after a new shard table is installed
+        #: (``fn(old_table, new_table)``) — the platform uses this to
+        #: trigger stream replay for reassigned shards.
+        self.on_table_change: list[Callable[[ShardTable, ShardTable], None]] = []
+        #: Hooks fired on membership transitions (``fn(event)``).
+        self.on_member_event: list[Callable[[MembershipEvent], None]] = []
+
+        self.frames_in = 0
+        self.frames_out = 0
+        self.forwarded = 0
+        self.buffered = 0
+        self.redelivered = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        self.transport.start(self._on_frame)
+
+    def join(self, seed_id: str, seed_address: Any) -> None:
+        """Ask the seed node for admission (the gossip-free join protocol).
+
+        Over loopback, pump the hub afterwards; over TCP, wait on
+        :attr:`joined`.
+        """
+        self.transport.add_peer(seed_id, seed_address)
+        self.send_control(seed_id, Join(self.node_id,
+                                        self.transport.address))
+
+    def leave(self) -> None:
+        """Announce graceful departure so shards hand off immediately."""
+        self.broadcast_control(Leave(self.node_id))
+
+    def shutdown(self) -> None:
+        self._closed = True
+        self.transport.close()
+        self.system.shutdown()
+
+    # -- entities -----------------------------------------------------------------
+
+    def register_entity(self, entity: str, factory, strategy=None
+                        ) -> ShardRouter:
+        """Declare a sharded entity type (e.g. ``vessel``); returns its
+        location-transparent router. Every node must register the same
+        entity set — an entity's actors can live on any of them."""
+        if entity in self._routers:
+            raise ValueError(f"entity {entity!r} already registered")
+        router = ShardRouter(self, entity, factory, strategy=strategy)
+        self._routers[entity] = router
+        return router
+
+    def router(self, entity: str) -> ShardRouter:
+        return self._routers[entity]
+
+    def register_control(self, op: str, handler: Callable[[dict], Any]
+                         ) -> None:
+        """Register a node-level request handler reachable via
+        :meth:`ask_control` (e.g. ``"stats"``, ``"metrics"``)."""
+        self._control[op] = handler
+
+    # -- shard routing -------------------------------------------------------------
+
+    def shard_owner(self, shard: int) -> str:
+        return self.table.owner_of(shard)
+
+    def _sender_info(self, sender) -> tuple[str | None, str | None]:
+        if sender is None:
+            return None, None
+        if isinstance(sender, RemoteActorRef):
+            return sender.node_id, sender.name
+        return self.node_id, sender.name
+
+    def _materialize_sender(self, env: WireEnvelope):
+        if env.sender_name is None:
+            return None
+        if env.sender_node == self.node_id:
+            return ActorRef(env.sender_name, self.system)
+        return RemoteActorRef(env.sender_name, env.sender_node, self)
+
+    def send_sharded(self, entity: str, key: Any, message: Any,
+                     sender=None) -> None:
+        """Route a message to the owner of ``key``'s shard (the remote leg
+        of :meth:`ShardRouter.tell`)."""
+        sender_node, sender_name = self._sender_info(sender)
+        env = WireEnvelope(kind="sharded", src=self.node_id, entity=entity,
+                           key=key, message=message,
+                           sender_node=sender_node, sender_name=sender_name)
+        self._route_sharded(env)
+
+    def _route_sharded(self, env: WireEnvelope) -> None:
+        shard = shard_for_key(env.entity, env.key, self.config.num_shards)
+        owner = self.table.owner_of(shard)
+        if owner == self.node_id:
+            router = self._routers.get(env.entity)
+            if router is None:
+                self._dead_letter(env)
+                return
+            router.deliver_local(env.key, env.message,
+                                 sender=self._materialize_sender(env))
+            return
+        member = self.membership.get(owner)
+        if member is None or member.state is not MemberState.UP:
+            # Owner unreachable or suspect: buffer for redelivery once the
+            # coordinator reassigns the shard (or the owner recovers).
+            self._buffer(shard, env)
+            return
+        if not self._send(owner, env):
+            self._buffer(shard, env)
+
+    def _buffer(self, shard: int, env: WireEnvelope) -> None:
+        with self._lock:
+            self._pending.setdefault(shard, []).append(env)
+            self.buffered += 1
+
+    def flush_pending(self) -> int:
+        """Re-route buffered shard messages (called after table installs
+        and heartbeat recoveries). Returns how many were redelivered."""
+        with self._lock:
+            pending = self._pending
+            self._pending = {}
+        count = 0
+        for shard, envelopes in pending.items():
+            for env in envelopes:
+                count += 1
+                self._route_sharded(replace(env, hops=0))
+        if count:
+            self.redelivered += count
+        return count
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._pending.values())
+
+    # -- named refs / asks ---------------------------------------------------------
+
+    def actor_ref(self, name: str, node_id: str | None = None):
+        """A ref to a named (non-sharded) actor anywhere in the cluster."""
+        if node_id is None or node_id == self.node_id:
+            return self.system.actor_ref(name)
+        return RemoteActorRef(name, node_id, self)
+
+    def send_named(self, node_id: str, name: str, message: Any,
+                   sender=None) -> None:
+        if node_id == self.node_id:
+            self.system.actor_ref(name).tell(message, sender=sender)
+            return
+        sender_node, sender_name = self._sender_info(sender)
+        env = WireEnvelope(kind="named", src=self.node_id, target=name,
+                           message=message, sender_node=sender_node,
+                           sender_name=sender_name)
+        self._send(node_id, env)
+
+    def ask_named(self, node_id: str, name: str, message: Any) -> Future:
+        if node_id == self.node_id:
+            return self.system.actor_ref(name).ask(message)
+        future = Future()
+        with self._lock:
+            corr = next(self._corr)
+            self._asks[corr] = future
+        env = WireEnvelope(kind="ask", src=self.node_id, target=name,
+                           message=message, corr_id=corr)
+        if not self._send(node_id, env):
+            with self._lock:
+                self._asks.pop(corr, None)
+            raise TransportError(f"ask to {node_id} failed to send")
+        return future
+
+    def ask_control(self, node_id: str, op: str,
+                    params: dict | None = None) -> Future:
+        """Ask a node-level control handler (local or remote)."""
+        request = ControlRequest(op=op, params=params or {})
+        future = Future()
+        if node_id == self.node_id:
+            future.complete(self._handle_control_request(request))
+            return future
+        with self._lock:
+            corr = next(self._corr)
+            self._asks[corr] = future
+        env = WireEnvelope(kind="ask", src=self.node_id, target=None,
+                           message=request, corr_id=corr)
+        if not self._send(node_id, env):
+            with self._lock:
+                self._asks.pop(corr, None)
+            raise TransportError(f"control ask to {node_id} failed to send")
+        return future
+
+    def send_reply(self, node_id: str, corr_id: int, value: Any) -> None:
+        if node_id == self.node_id:
+            self._complete_ask(corr_id, value)
+            return
+        env = WireEnvelope(kind="reply", src=self.node_id, corr_id=corr_id,
+                           message=value)
+        self._send(node_id, env)
+
+    def _complete_ask(self, corr_id: int, value: Any) -> None:
+        with self._lock:
+            future = self._asks.pop(corr_id, None)
+        if future is not None:
+            future.complete(value)
+
+    # -- control plane -------------------------------------------------------------
+
+    def send_control(self, node_id: str, message: Any) -> bool:
+        env = WireEnvelope(kind="control", src=self.node_id,
+                           message=message)
+        return self._send(node_id, env)
+
+    def broadcast_control(self, message: Any) -> None:
+        for peer in self.membership.peer_ids():
+            self.send_control(peer, message)
+
+    def tick(self, now: float | None = None) -> list[MembershipEvent]:
+        """Drive heartbeats and the failure detector.
+
+        Deterministic runs call this from a virtual-clock loop; TCP runs
+        call it from a ticker thread. Returns the membership transitions
+        performed (SUSPECT / DOWN declarations).
+        """
+        if now is None:
+            now = self.clock()
+        if (now - self._last_heartbeat_sent
+                >= self.config.heartbeat_interval_s):
+            self._last_heartbeat_sent = now
+            beat = Heartbeat(self.node_id)
+            for peer in self.membership.peer_ids():
+                self.send_control(peer, beat)
+        events = self.membership.check()
+        downs = [e for e in events if e.state is MemberState.DOWN]
+        if downs:
+            # The (possibly new) leader reassigns the dead nodes' shards.
+            self.coordinator.membership_changed()
+        for event in events:
+            for hook in self.on_member_event:
+                hook(event)
+        return events
+
+    # -- inbound frames ------------------------------------------------------------
+
+    def _send(self, node_id: str, env: WireEnvelope) -> bool:
+        try:
+            self.transport.send(node_id, codec.encode(env))
+            self.frames_out += 1
+            return True
+        except TransportError:
+            return False
+
+    def _on_frame(self, frame: bytes) -> None:
+        if self._closed:
+            return
+        env = codec.decode(frame)
+        self.frames_in += 1
+        self._on_envelope(env)
+
+    def _on_envelope(self, env: WireEnvelope) -> None:
+        if env.kind == "sharded":
+            self._on_sharded(env)
+        elif env.kind == "named":
+            self.system.actor_ref(env.target).tell(
+                env.message, sender=self._materialize_sender(env))
+        elif env.kind == "ask":
+            self._on_ask(env)
+        elif env.kind == "reply":
+            self._complete_ask(env.corr_id, env.message)
+        elif env.kind == "control":
+            self._on_control(env.src, env.message)
+
+    def _on_sharded(self, env: WireEnvelope) -> None:
+        shard = shard_for_key(env.entity, env.key, self.config.num_shards)
+        owner = self.table.owner_of(shard)
+        if owner != self.node_id and env.hops < MAX_HOPS:
+            # The sender routed with a stale table — forward to the owner
+            # we know (one extra hop per epoch of staleness, bounded).
+            self.forwarded += 1
+            forwarded = replace(env, hops=env.hops + 1)
+            if not self._send(owner, forwarded):
+                self._buffer(shard, forwarded)
+            return
+        router = self._routers.get(env.entity)
+        if router is None:
+            self._dead_letter(env)
+            return
+        router.deliver_local(env.key, env.message,
+                             sender=self._materialize_sender(env))
+
+    def _dead_letter(self, env: WireEnvelope) -> None:
+        self.system.dead_letters.append(
+            (f"{env.entity}-{env.key}", Envelope(message=env.message)))
+        self.system.dead_letter_count += 1
+
+    def _on_ask(self, env: WireEnvelope) -> None:
+        if env.target is None and isinstance(env.message, ControlRequest):
+            result = self._handle_control_request(env.message)
+            self.send_reply(env.src, env.corr_id, result)
+            return
+        relay = ReplyRelay(self, env.src, env.corr_id)
+        self.system._deliver(env.target,
+                             Envelope(message=env.message, reply_to=relay))
+
+    def _handle_control_request(self, request: ControlRequest) -> Any:
+        handler = self._control.get(request.op)
+        if handler is None:
+            return {"error": f"unknown control op {request.op!r}"}
+        return handler(request.params)
+
+    def _on_control(self, src: str, message: Any) -> None:
+        if isinstance(message, Heartbeat):
+            if self.membership.heartbeat(message.node_id):
+                self.flush_pending()  # a suspect recovered
+        elif isinstance(message, Join):
+            self._on_join(message)
+        elif isinstance(message, Welcome):
+            self._on_welcome(message)
+        elif isinstance(message, MemberUp):
+            self.transport.add_peer(message.node_id, message.address)
+            self.membership.add(message.node_id, message.address)
+        elif isinstance(message, MemberDown):
+            if self.membership.mark_down(message.node_id):
+                self.coordinator.membership_changed()
+        elif isinstance(message, Leave):
+            if self.membership.mark_down(message.node_id):
+                self.coordinator.membership_changed()
+        elif isinstance(message, ShardTableUpdate):
+            self._install_table(message)
+
+    def _on_join(self, join: Join) -> None:
+        self.transport.add_peer(join.node_id, join.address)
+        changed = self.membership.add(join.node_id, join.address)
+        members = tuple((m.node_id, m.address)
+                        for m in self.membership.members()
+                        if m.state is not MemberState.DOWN)
+        # Tell the newcomer who is here; the table update follows from the
+        # coordinator broadcast below (epoch in Welcome covers the race
+        # where the newcomer sends sharded messages before the update).
+        self.send_control(join.node_id, Welcome(
+            members=members, table_epoch=self.table.epoch,
+            table_nodes=self.table.nodes))
+        for peer in self.membership.peer_ids():
+            if peer != join.node_id:
+                self.send_control(peer, MemberUp(join.node_id, join.address))
+        if changed:
+            self.coordinator.membership_changed()
+
+    def _on_welcome(self, welcome: Welcome) -> None:
+        for node_id, address in welcome.members:
+            if node_id != self.node_id:
+                self.transport.add_peer(node_id, address)
+                self.membership.add(node_id, address)
+        self._install_table(ShardTableUpdate(epoch=welcome.table_epoch,
+                                             nodes=welcome.table_nodes))
+        self.joined.set()
+
+    # -- shard table install + handoff ----------------------------------------------
+
+    def _install_table(self, update: ShardTableUpdate) -> None:
+        with self._lock:
+            if (update.epoch < self.table.epoch
+                    or (update.epoch == self.table.epoch
+                        and update.nodes == self.table.nodes)):
+                return
+            old = self.table
+            self.table = ShardTable(update.epoch, update.nodes,
+                                    self.config.num_shards,
+                                    self.config.ring_replicas)
+        self._handoff(old, self.table)
+        self.flush_pending()
+        for hook in self.on_table_change:
+            hook(old, self.table)
+
+    def _handoff(self, old: ShardTable, new: ShardTable) -> None:
+        """Graceful release of local shards this node no longer owns.
+
+        Each departing entity actor is stopped; envelopes still queued in
+        its mailbox are re-routed through the shard router so they reach
+        the shard's new owner (buffered redelivery).
+        """
+        for router in self._routers.values():
+            for key in router.handoff_keys():
+                pending = router.release(key)
+                for envelope in pending:
+                    router.tell(key, envelope.message,
+                                sender=envelope.sender)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        counters = {
+            "node_id": self.node_id,
+            "epoch": self.table.epoch,
+            "alive": self.membership.alive_ids(),
+            "leader": self.membership.leader(),
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "forwarded": self.forwarded,
+            "buffered": self.buffered,
+            "redelivered": self.redelivered,
+            "pending": self.pending_count,
+            "active_actors": self.system.active_count,
+            "dead_letters": self.system.dead_letter_count,
+        }
+        with self.system._lock:
+            counters["messages_processed"] = sum(
+                c.messages_processed for c in self.system._cells.values())
+        for entity, router in self._routers.items():
+            counters[f"{entity}_local"] = len(router)
+        return counters
+
+
+def run_cluster_until_idle(nodes: Iterable["ClusterNode"], hub,
+                           max_rounds: int = 100_000) -> int:
+    """Pump a loopback cluster to global quiescence (deterministic).
+
+    Alternates transport delivery with per-node dispatcher runs until no
+    frame moved and no actor processed a message — the cluster-wide
+    analogue of :meth:`ActorSystem.run_until_idle`. Returns the number of
+    actor messages processed.
+    """
+    nodes = list(nodes)
+    total = 0
+    for _ in range(max_rounds):
+        frames = hub.pump()
+        processed = 0
+        for node in nodes:
+            if node.system.mode == "deterministic":
+                processed += node.system.run_until_idle()
+        total += processed
+        if frames == 0 and processed == 0 and hub.pending == 0:
+            return total
+    raise RuntimeError("cluster did not reach quiescence "
+                       f"within {max_rounds} rounds")

@@ -1,0 +1,116 @@
+"""The cluster wire vocabulary.
+
+Exactly one frame type crosses the transport — :class:`WireEnvelope` — and
+its ``message`` field carries either an application payload (one of the
+``repro.platform.messages`` types, or anything picklable from ``repro.*``)
+or one of the control messages below. Control messages implement the
+seed-node join protocol, heartbeating, the shard table broadcast and node
+shutdown; they are deliberately gossip-free — the coordinator (cluster
+leader) is the single writer of the shard table, as in Akka cluster
+sharding's coordinator singleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class WireEnvelope:
+    """One frame on the wire.
+
+    ``kind`` selects the delivery path on the receiving node:
+
+    * ``"sharded"`` — route ``message`` to the ``entity`` actor for ``key``
+      (spawning it if needed); forwarded at most ``MAX_HOPS`` times when the
+      sender's shard table is stale.
+    * ``"named"`` — deliver to the local actor called ``target``.
+    * ``"ask"`` / ``"reply"`` — request/response with ``corr_id``
+      correlation; ``ask`` works for both named actors and control
+      handlers.
+    * ``"control"`` — handled by the node itself (membership & sharding).
+    """
+
+    kind: str
+    src: str
+    message: Any = None
+    entity: str | None = None
+    key: Any = None
+    target: str | None = None
+    sender_node: str | None = None
+    sender_name: str | None = None
+    corr_id: int | None = None
+    hops: int = 0
+
+
+#: Forwarding bound for sharded messages routed with a stale table.
+MAX_HOPS = 3
+
+
+# -- membership control ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Join:
+    """New node -> seed: request admission to the cluster."""
+
+    node_id: str
+    address: Any
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Seed -> new node: the current membership and shard table."""
+
+    members: tuple[tuple[str, Any], ...]   #: ``(node_id, address)`` pairs
+    table_epoch: int
+    table_nodes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MemberUp:
+    """Seed -> everyone: a node was admitted."""
+
+    node_id: str
+    address: Any
+
+
+@dataclass(frozen=True)
+class MemberDown:
+    """Coordinator -> everyone: a node was declared down."""
+
+    node_id: str
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness signal (also refreshes SUSPECT back to UP)."""
+
+    node_id: str
+
+
+@dataclass(frozen=True)
+class Leave:
+    """Graceful departure announcement (shards hand off immediately)."""
+
+    node_id: str
+
+
+@dataclass(frozen=True)
+class ShardTableUpdate:
+    """Coordinator -> everyone: install shard table ``epoch`` computed over
+    ``nodes`` (every node derives the identical assignment from the node
+    list via the shared consistent-hash ring)."""
+
+    epoch: int
+    nodes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """Ask-pattern control message dispatched to a node-level handler
+    registered with :meth:`ClusterNode.register_control`."""
+
+    op: str
+    params: dict = field(default_factory=dict)

@@ -1,0 +1,68 @@
+"""Location-transparent references to actors on other nodes.
+
+A :class:`RemoteActorRef` quacks exactly like
+:class:`~repro.actors.actor.ActorRef` — ``tell`` and ``ask`` with the same
+signatures — so platform actors reply to senders without knowing whether
+the counterparty lives in-process or across the wire. Inbound ask frames
+get a :class:`ReplyRelay` as their ``reply_to``: it satisfies the
+``Future.complete`` surface, but completing it sends the value back over
+the transport to resolve the asker's real future.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.actors.system import Future
+    from repro.cluster.node import ClusterNode
+
+
+class RemoteActorRef:
+    """A handle to a named actor on another cluster node."""
+
+    __slots__ = ("name", "node_id", "_node")
+
+    def __init__(self, name: str, node_id: str, node: "ClusterNode") -> None:
+        self.name = name
+        self.node_id = node_id
+        self._node = node
+
+    def tell(self, message: Any, sender=None) -> None:
+        """Fire-and-forget send across the wire."""
+        self._node.send_named(self.node_id, self.name, message,
+                              sender=sender)
+
+    def ask(self, message: Any) -> "Future":
+        """Request-reply across the wire; the returned future completes
+        when the reply frame arrives."""
+        return self._node.ask_named(self.node_id, self.name, message)
+
+    def __repr__(self) -> str:
+        return f"RemoteActorRef({self.name!r}@{self.node_id})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RemoteActorRef)
+                and other.name == self.name
+                and other.node_id == self.node_id)
+
+    def __hash__(self) -> int:
+        return hash((self.node_id, self.name))
+
+
+class ReplyRelay:
+    """Completes a remote ask by sending the value back to the asker."""
+
+    __slots__ = ("_node", "_dest", "_corr_id", "done")
+
+    def __init__(self, node: "ClusterNode", dest: str, corr_id: int) -> None:
+        self._node = node
+        self._dest = dest
+        self._corr_id = corr_id
+        self.done = False
+
+    def complete(self, value: Any) -> None:
+        if self.done:
+            return
+        self.done = True
+        self._node.send_reply(self._dest, self._corr_id, value)

@@ -1,0 +1,182 @@
+"""Consistent-hash sharding of entity actors across nodes.
+
+Entity keys (MMSIs, H3 cell ids) hash into a fixed number of *shards*;
+shards map to nodes through a consistent-hash ring with virtual nodes. The
+assignment is a pure function of the sorted alive-node list, so every node
+derives the identical table from the coordinator's ``ShardTableUpdate``
+(which only carries ``(epoch, nodes)``) — no per-shard state needs to be
+gossiped, and a node joining or leaving moves only ~1/N of the shards.
+
+All hashing uses :func:`stable_hash` (BLAKE2b over a canonical byte form),
+never the builtin ``hash`` — Python randomises string hashing per process,
+which would silently split the ring between nodes of a TCP cluster.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import TYPE_CHECKING, Any
+
+from repro.actors.router import KeyRouter
+
+if TYPE_CHECKING:
+    from repro.cluster.node import ClusterNode
+
+
+def stable_hash(value: Any) -> int:
+    """A process-independent 64-bit hash of ints, strings and (nested)
+    tuples."""
+    data = _canonical_bytes(value)
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(),
+                          "big")
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    if isinstance(value, tuple):
+        return b"t:" + b"\x1f".join(_canonical_bytes(v) for v in value)
+    if isinstance(value, bool):
+        return b"b:" + (b"1" if value else b"0")
+    if isinstance(value, int):
+        return b"i:" + str(value).encode()
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"y:" + value
+    raise TypeError(f"unhashable shard key type: {type(value).__name__}")
+
+
+def shard_for_key(entity: str, key: Any, num_shards: int) -> int:
+    """The shard an entity key lives in (stable across processes)."""
+    return stable_hash((entity, key)) % num_shards
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes."""
+
+    def __init__(self, nodes: tuple[str, ...] | list[str],
+                 replicas: int = 32) -> None:
+        if not nodes:
+            raise ValueError("hash ring needs at least one node")
+        points: list[tuple[int, str]] = []
+        for node in nodes:
+            for r in range(replicas):
+                points.append((stable_hash(("ring", node, r)), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def owner(self, shard: int) -> str:
+        """The node owning ``shard`` (successor on the ring)."""
+        idx = bisect.bisect_right(self._points, stable_hash(("shard", shard)))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+
+class ShardTable:
+    """An epoch-stamped shard -> node assignment."""
+
+    def __init__(self, epoch: int, nodes: tuple[str, ...], num_shards: int,
+                 replicas: int = 32) -> None:
+        self.epoch = epoch
+        self.nodes = tuple(sorted(nodes))
+        self.num_shards = num_shards
+        ring = HashRing(self.nodes, replicas=replicas)
+        self.assignment: dict[int, str] = {
+            shard: ring.owner(shard) for shard in range(num_shards)}
+
+    def owner_of(self, shard: int) -> str:
+        return self.assignment[shard]
+
+    def shards_of(self, node_id: str) -> list[int]:
+        return [s for s, n in self.assignment.items() if n == node_id]
+
+    def __repr__(self) -> str:
+        counts: dict[str, int] = {}
+        for node in self.assignment.values():
+            counts[node] = counts.get(node, 0) + 1
+        return f"ShardTable(epoch={self.epoch}, {counts})"
+
+
+class ShardRouter:
+    """Location-transparent router for one entity type.
+
+    Drop-in replacement for :class:`~repro.actors.router.KeyRouter` in the
+    platform wiring: ``tell(key, message)`` delivers locally when this node
+    owns the key's shard (lazily spawning the actor, exactly like the
+    single-node router) and otherwise serializes the message to the owner
+    node. ``__len__`` / ``known_keys`` report the *local* entity population,
+    which is what per-node metrics and handoff need.
+    """
+
+    def __init__(self, node: "ClusterNode", entity: str, factory,
+                 strategy=None) -> None:
+        self._node = node
+        self.entity = entity
+        self._local = KeyRouter(node.system, entity, factory,
+                                strategy=strategy)
+        #: Messages routed away from this node (remote deliveries).
+        self.remote_told = 0
+
+    def shard_of(self, key: Any) -> int:
+        return shard_for_key(self.entity, key,
+                             self._node.config.num_shards)
+
+    def owner_of(self, key: Any) -> str:
+        return self._node.shard_owner(self.shard_of(key))
+
+    def is_local(self, key: Any) -> bool:
+        return self.owner_of(key) == self._node.node_id
+
+    def route(self, key: Any):
+        """Local ref for a locally-owned key (used by handoff/tests)."""
+        return self._local.route(key)
+
+    def tell(self, key: Any, message: Any, sender=None) -> None:
+        if self.is_local(key):
+            self._local.tell(key, message, sender=sender)
+        else:
+            self.remote_told += 1
+            self._node.send_sharded(self.entity, key, message, sender=sender)
+
+    def deliver_local(self, key: Any, message: Any, sender=None) -> None:
+        """Entry point for inbound wire messages (bypasses ownership —
+        the node already resolved/forwarded)."""
+        self._local.tell(key, message, sender=sender)
+
+    # -- local population (KeyRouter-compatible surface) -----------------------
+
+    def known_keys(self) -> list[Any]:
+        return self._local.known_keys()
+
+    def __len__(self) -> int:
+        return len(self._local)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._local
+
+    @property
+    def spawned(self) -> int:
+        return self._local.spawned
+
+    # -- handoff ----------------------------------------------------------------
+
+    def handoff_keys(self) -> list[Any]:
+        """Local keys whose shard this node no longer owns."""
+        return [k for k in self._local.known_keys() if not self.is_local(k)]
+
+    def release(self, key: Any) -> list:
+        """Stop the local actor for ``key`` and return the undelivered
+        envelopes drained from its mailbox (for buffered redelivery)."""
+        system = self._node.system
+        name = f"{self.entity}-{key}"
+        pending = []
+        with system._lock:
+            cell = system._cells.get(name)
+            if cell is not None and not cell.stopped:
+                pending = cell.mailbox.get_batch(2 ** 30)
+        if cell is not None and not cell.stopped:
+            system.stop(system.actor_ref(name))
+        self._local.forget(key)
+        return pending

@@ -1,0 +1,291 @@
+"""Node-to-node transports.
+
+Two implementations of one small contract (:class:`Transport`):
+
+* :class:`LoopbackTransport` — in-process queues behind a shared
+  :class:`LoopbackHub`. Frames are *not* delivered inline on ``send``;
+  they sit in the destination's inbox until the hub is pumped, so tests
+  control interleaving exactly (deterministic, no threads, no sleeps).
+* :class:`TcpTransport` — real sockets with length-prefixed frames
+  (4-byte big-endian length + payload) and one background reader thread
+  per connection, for true multi-process runs.
+
+Both carry opaque byte frames; all meaning (sender, target, correlation)
+lives inside the encoded :class:`~repro.cluster.protocol.WireEnvelope`, so
+the two transports are interchangeable above this line.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from collections import deque
+from typing import Any, Callable
+
+
+class TransportError(RuntimeError):
+    """A frame could not be handed to the destination node."""
+
+
+class Transport:
+    """Minimal contract shared by loopback and TCP transports."""
+
+    #: Externally reachable address peers use to send to this transport
+    #: (node id for loopback, ``(host, port)`` for TCP).
+    address: Any = None
+
+    def start(self, on_frame: Callable[[bytes], None]) -> None:
+        """Begin accepting inbound frames, delivering each to ``on_frame``."""
+        raise NotImplementedError
+
+    def add_peer(self, node_id: str, address: Any) -> None:
+        """Register where ``node_id`` can be reached."""
+        raise NotImplementedError
+
+    def send(self, node_id: str, frame: bytes) -> None:
+        """Queue one frame for ``node_id``; raises :class:`TransportError`
+        if the destination is known to be unreachable."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop accepting and release resources."""
+
+
+# -- loopback --------------------------------------------------------------------
+
+
+class LoopbackHub:
+    """The shared medium connecting a set of in-process transports.
+
+    ``pump()`` delivers queued frames in a deterministic order (nodes
+    sorted by id, FIFO within each inbox) — the cluster-level analogue of
+    :meth:`ActorSystem.run_until_idle`.
+    """
+
+    def __init__(self) -> None:
+        self._transports: dict[str, "LoopbackTransport"] = {}
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+
+    def transport(self, node_id: str) -> "LoopbackTransport":
+        """Create (or return) the transport endpoint for ``node_id``."""
+        t = self._transports.get(node_id)
+        if t is None:
+            t = LoopbackTransport(self, node_id)
+            self._transports[node_id] = t
+        return t
+
+    def disconnect(self, node_id: str) -> None:
+        """Abruptly remove a node (simulates a crash/partition): its queued
+        inbox frames are discarded and future sends to it fail."""
+        t = self._transports.pop(node_id, None)
+        if t is not None:
+            self.frames_dropped += len(t._inbox)
+            t._inbox.clear()
+            t._closed = True
+
+    def _enqueue(self, dest: str, frame: bytes) -> None:
+        t = self._transports.get(dest)
+        if t is None or t._on_frame is None:
+            raise TransportError(f"loopback destination {dest!r} unreachable")
+        t._inbox.append(frame)
+
+    def pump(self, max_frames: int = 100_000) -> int:
+        """Deliver queued frames until every inbox is empty.
+
+        Frames enqueued *during* delivery are delivered too (same pump),
+        bounded by ``max_frames`` for livelock protection.
+        """
+        delivered = 0
+        progress = True
+        while progress:
+            progress = False
+            for node_id in sorted(self._transports):
+                t = self._transports.get(node_id)
+                if t is None:
+                    continue
+                while t._inbox:
+                    frame = t._inbox.popleft()
+                    delivered += 1
+                    self.frames_delivered += 1
+                    if delivered > max_frames:
+                        raise RuntimeError(
+                            "loopback pump exceeded max_frames (livelock?)")
+                    t._on_frame(frame)
+                    progress = True
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        return sum(len(t._inbox) for t in self._transports.values())
+
+
+class LoopbackTransport(Transport):
+    """One node's endpoint on a :class:`LoopbackHub`."""
+
+    def __init__(self, hub: LoopbackHub, node_id: str) -> None:
+        self._hub = hub
+        self.node_id = node_id
+        self.address = node_id
+        self._inbox: deque[bytes] = deque()
+        self._on_frame: Callable[[bytes], None] | None = None
+        self._closed = False
+
+    def start(self, on_frame: Callable[[bytes], None]) -> None:
+        self._on_frame = on_frame
+
+    def add_peer(self, node_id: str, address: Any) -> None:
+        # Loopback peers are addressed by node id on the shared hub —
+        # nothing to resolve.
+        pass
+
+    def send(self, node_id: str, frame: bytes) -> None:
+        if self._closed:
+            raise TransportError(f"transport of {self.node_id!r} is closed")
+        self._hub._enqueue(node_id, frame)
+
+    def close(self) -> None:
+        self._hub.disconnect(self.node_id)
+
+
+# -- TCP -------------------------------------------------------------------------
+
+_LEN = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes | None:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+class TcpTransport(Transport):
+    """Length-prefixed frames over TCP with background reader threads.
+
+    One listening socket per node; outbound connections are opened lazily
+    per peer and cached. Frames from any connection are funnelled to the
+    single ``on_frame`` callback — ordering is preserved per sender (one
+    TCP stream each), not across senders, matching actor semantics.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(16)
+        self.address = self._server.getsockname()
+        self._peers: dict[str, tuple[str, int]] = {}
+        self._conns: dict[str, socket.socket] = {}
+        self._send_locks: dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._on_frame: Callable[[bytes], None] | None = None
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        self.send_errors = 0
+
+    def start(self, on_frame: Callable[[bytes], None]) -> None:
+        self._on_frame = on_frame
+        t = threading.Thread(target=self._accept_loop,
+                             name=f"tcp-accept-{self.address[1]}", daemon=True)
+        t.start()
+        self._threads.append(t)
+
+    def add_peer(self, node_id: str, address: Any) -> None:
+        with self._lock:
+            self._peers[node_id] = (str(address[0]), int(address[1]))
+            self._send_locks.setdefault(node_id, threading.Lock())
+
+    def send(self, node_id: str, frame: bytes) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
+        with self._lock:
+            addr = self._peers.get(node_id)
+            lock = self._send_locks.setdefault(node_id, threading.Lock())
+        if addr is None:
+            raise TransportError(f"no known address for node {node_id!r}")
+        payload = _LEN.pack(len(frame)) + frame
+        with lock:
+            sock = self._conns.get(node_id)
+            for attempt in (0, 1):
+                if sock is None:
+                    try:
+                        sock = socket.create_connection(addr, timeout=5.0)
+                        sock.setsockopt(socket.IPPROTO_TCP,
+                                        socket.TCP_NODELAY, 1)
+                        self._conns[node_id] = sock
+                    except OSError as exc:
+                        self.send_errors += 1
+                        raise TransportError(
+                            f"cannot connect to {node_id} at {addr}: {exc}"
+                        ) from exc
+                try:
+                    sock.sendall(payload)
+                    return
+                except OSError as exc:
+                    # Stale connection — drop it and retry once fresh.
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    self._conns.pop(node_id, None)
+                    sock = None
+                    if attempt == 1:
+                        self.send_errors += 1
+                        raise TransportError(
+                            f"send to {node_id} failed: {exc}") from exc
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            t = threading.Thread(target=self._reader_loop, args=(conn,),
+                                 name=f"tcp-reader-{self.address[1]}",
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        try:
+            while not self._closed:
+                header = _read_exact(conn, _LEN.size)
+                if header is None:
+                    return
+                (length,) = _LEN.unpack(header)
+                if length > MAX_FRAME:
+                    return  # protocol violation; drop the connection
+                frame = _read_exact(conn, length)
+                if frame is None:
+                    return
+                if self._on_frame is not None:
+                    self._on_frame(frame)
+        except OSError:
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass

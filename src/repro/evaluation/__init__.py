@@ -19,10 +19,16 @@ from repro.evaluation.metrics import (
 )
 from repro.evaluation.table1 import Table1Result, run_table1
 from repro.evaluation.table2 import Table2Result, Table2Row, run_table2
-from repro.evaluation.figure6 import Figure6Result, run_figure6
+from repro.evaluation.figure6 import (
+    Figure6ClusterResult,
+    Figure6Result,
+    run_figure6,
+    run_figure6_cluster,
+)
 
 __all__ = [
     "DetectionCounts",
+    "Figure6ClusterResult",
     "Figure6Result",
     "Table1Result",
     "Table2Result",
@@ -30,6 +36,7 @@ __all__ = [
     "ade_per_horizon",
     "displacement_errors_m",
     "run_figure6",
+    "run_figure6_cluster",
     "run_table1",
     "run_table2",
 ]

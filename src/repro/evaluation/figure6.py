@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.actors.metrics import MetricsRecorder
 from repro.ais.datasets import scalability_fleet_config
 from repro.ais.fleet import FleetEngine
 from repro.models.base import RouteForecaster
@@ -123,3 +124,115 @@ def run_figure6(forecaster: RouteForecaster, n_vessels: int = 3_000,
                          total_messages=total,
                          total_vessels=platform.vessel_count,
                          wall_time_s=wall)
+
+
+@dataclass
+class Figure6ClusterResult:
+    """The distributed Figure 6 measurement: one series per node plus the
+    cluster-wide roll-up, comparable against a single-node baseline."""
+
+    num_nodes: int
+    total_messages: int
+    total_vessels: int
+    wall_time_s: float
+    #: ``node_id -> MetricsRecorder.snapshot()`` (per-message latency).
+    per_node: dict
+    #: Figure 6 curve over the *cluster-wide* actor count, merged from all
+    #: nodes' samples.
+    actor_counts: np.ndarray
+    avg_processing_time_s: np.ndarray
+    #: node_id -> number of vessel actors hosted there at the end.
+    vessel_distribution: dict
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        return self.total_messages / self.wall_time_s if self.wall_time_s else 0.0
+
+    def combined_snapshot(self) -> dict:
+        """Cluster-wide latency summary (sample-weighted merge)."""
+        merged: dict[str, float] = {"samples": 0, "total_s": 0.0}
+        p50s, p99s, weights = [], [], []
+        for snap in self.per_node.values():
+            n = snap.get("samples", 0)
+            if not n:
+                continue
+            merged["samples"] += n
+            merged["total_s"] += snap["total_s"]
+            p50s.append(snap["p50_ms"])
+            p99s.append(snap["p99_ms"])
+            weights.append(n)
+        if merged["samples"]:
+            merged["mean_ms"] = merged["total_s"] / merged["samples"] * 1e3
+            merged["p50_ms"] = float(np.average(p50s, weights=weights))
+            merged["p99_ms"] = float(np.average(p99s, weights=weights))
+        else:
+            merged.update(mean_ms=0.0, p50_ms=0.0, p99_ms=0.0)
+        merged["msgs_per_s"] = self.throughput_msgs_per_s
+        return merged
+
+
+def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
+                        duration_s: float = 1_800.0, num_nodes: int = 2,
+                        seed: int = 3, window_actors: int = 100,
+                        platform_config: PlatformConfig | None = None
+                        ) -> Figure6ClusterResult:
+    """The Figure 6 measurement over a sharded multi-node cluster.
+
+    Runs the same scaled global stream as :func:`run_figure6` through a
+    deterministic :class:`~repro.platform.distributed.LoopbackCluster`:
+    vessel actors spread over ``num_nodes`` nodes by consistent-hash
+    sharding, the forecasting model mounted once per node, per-message
+    processing time recorded on every node against the *cluster-wide*
+    vessel-actor count. The loopback transport serializes every inter-node
+    message exactly as TCP would, so the measured per-message cost includes
+    the wire codec.
+    """
+    import time
+
+    from repro.ais.datasets import scalability_fleet_config
+    from repro.ais.fleet import FleetEngine
+    from repro.platform.distributed import LoopbackCluster
+
+    config = platform_config or PlatformConfig()
+    cluster = LoopbackCluster(num_nodes=num_nodes,
+                              forecaster_factory=forecaster_factory,
+                              config=config, record_metrics=True)
+    cluster.use_cluster_population()
+    engine = FleetEngine(scalability_fleet_config(
+        n_vessels=n_vessels, duration_s=duration_s, seed=seed))
+
+    total = 0
+    start = time.perf_counter()
+    last_housekeeping = 0.0
+    for tick in engine.stream():
+        if len(tick):
+            cluster.seed.publish_batch(tick)
+            total += cluster.process_available()
+            now = cluster.seed.system.now
+            if now - last_housekeeping > 1_800.0:
+                for platform in cluster.platforms:
+                    platform.housekeeping()
+                cluster.settle()
+                last_housekeeping = now
+    wall = time.perf_counter() - start
+
+    # Merge every node's raw samples into one cluster-wide curve.
+    all_counts, all_durations = [], []
+    for platform in cluster.platforms:
+        counts, durations = platform.system.metrics.as_arrays()
+        all_counts.append(counts)
+        all_durations.append(durations)
+    merged = MetricsRecorder()
+    merged._actor_counts.extend(np.concatenate(all_counts).tolist())
+    merged._durations.extend(np.concatenate(all_durations).tolist())
+    curve_x, curve_y = merged.curve_by_actor_count(
+        window_actors=window_actors)
+
+    result = Figure6ClusterResult(
+        num_nodes=num_nodes, total_messages=total,
+        total_vessels=cluster.total_vessels, wall_time_s=wall,
+        per_node=cluster.metrics_snapshots(),
+        actor_counts=curve_x, avg_processing_time_s=curve_y,
+        vessel_distribution=cluster.vessel_distribution())
+    cluster.shutdown()
+    return result

@@ -15,14 +15,19 @@ This package wires the substrates into the paper's architecture:
 * a single **writer actor** persists actor states and events into the KV
   store, from which the **middleware API** serves the UI.
 
-Entry point: :class:`repro.platform.pipeline.Platform`.
+Entry points: :class:`repro.platform.pipeline.Platform` (single node) and
+:class:`repro.platform.distributed.DistributedPlatform` (one node of a
+sharded cluster; see :mod:`repro.cluster`).
 """
 
 from repro.platform.config import PlatformConfig
 from repro.platform.pipeline import Platform
 from repro.platform.api import MiddlewareAPI
+from repro.platform.distributed import DistributedPlatform, LoopbackCluster
 
 __all__ = [
+    "DistributedPlatform",
+    "LoopbackCluster",
     "MiddlewareAPI",
     "Platform",
     "PlatformConfig",

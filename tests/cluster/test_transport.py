@@ -1,0 +1,187 @@
+"""Tests for the transports: deterministic loopback and real TCP framing.
+
+TCP tests synchronise on events, never on sleeps."""
+
+import threading
+
+import pytest
+
+from repro.cluster import LoopbackHub, TcpTransport, TransportError
+from repro.cluster import codec
+from repro.cluster.protocol import WireEnvelope
+
+
+class Sink:
+    """Collects frames and lets a test wait for an exact count."""
+
+    def __init__(self):
+        self.frames = []
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._want = 0
+
+    def __call__(self, frame: bytes) -> None:
+        with self._lock:
+            self.frames.append(frame)
+            if len(self.frames) >= self._want:
+                self._event.set()
+
+    def wait_for(self, count: int, timeout: float = 10.0) -> list[bytes]:
+        with self._lock:
+            self._want = count
+            if len(self.frames) >= count:
+                return list(self.frames)
+            self._event.clear()
+        assert self._event.wait(timeout), \
+            f"got {len(self.frames)}/{count} frames"
+        with self._lock:
+            return list(self.frames)
+
+
+class TestLoopback:
+    def test_frames_wait_for_pump(self):
+        hub = LoopbackHub()
+        ta, tb = hub.transport("a"), hub.transport("b")
+        got = []
+        ta.start(got.append)
+        tb.start(got.append)
+        ta.add_peer("b", tb.address)
+        ta.send("b", b"hello")
+        assert got == []          # nothing moves until the hub is pumped
+        assert hub.pending == 1
+        hub.pump()
+        assert got == [b"hello"]
+
+    def test_fifo_per_destination(self):
+        hub = LoopbackHub()
+        ta, tb = hub.transport("a"), hub.transport("b")
+        got = []
+        ta.start(lambda f: None)
+        tb.start(got.append)
+        ta.add_peer("b", tb.address)
+        for i in range(10):
+            ta.send("b", str(i).encode())
+        hub.pump()
+        assert got == [str(i).encode() for i in range(10)]
+
+    def test_disconnected_peer_raises(self):
+        hub = LoopbackHub()
+        ta, tb = hub.transport("a"), hub.transport("b")
+        ta.start(lambda f: None)
+        tb.start(lambda f: None)
+        ta.add_peer("b", tb.address)
+        hub.disconnect("b")
+        with pytest.raises(TransportError):
+            ta.send("b", b"x")
+
+    def test_unknown_peer_raises(self):
+        hub = LoopbackHub()
+        ta = hub.transport("a")
+        ta.start(lambda f: None)
+        with pytest.raises(TransportError):
+            ta.send("ghost", b"x")
+
+
+class TestTcp:
+    def test_round_trip_both_directions(self):
+        sink_a, sink_b = Sink(), Sink()
+        ta = TcpTransport(port=0)
+        tb = TcpTransport(port=0)
+        try:
+            ta.start(sink_a)
+            tb.start(sink_b)
+            ta.add_peer("b", tb.address)
+            tb.add_peer("a", ta.address)
+            ta.send("b", b"ping")
+            assert sink_b.wait_for(1) == [b"ping"]
+            tb.send("a", b"pong")
+            assert sink_a.wait_for(1) == [b"pong"]
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_many_frames_stay_ordered(self):
+        sink = Sink()
+        ta = TcpTransport(port=0)
+        tb = TcpTransport(port=0)
+        try:
+            ta.start(lambda f: None)
+            tb.start(sink)
+            ta.add_peer("b", tb.address)
+            frames = [f"frame-{i}".encode() for i in range(500)]
+            for frame in frames:
+                ta.send("b", frame)
+            assert sink.wait_for(500) == frames
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_binary_safety_and_large_frame(self):
+        sink = Sink()
+        ta = TcpTransport(port=0)
+        tb = TcpTransport(port=0)
+        try:
+            ta.start(lambda f: None)
+            tb.start(sink)
+            ta.add_peer("b", tb.address)
+            blob = bytes(range(256)) * 4096   # 1 MiB, every byte value
+            ta.send("b", blob)
+            assert sink.wait_for(1)[0] == blob
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_send_to_unknown_peer_raises(self):
+        ta = TcpTransport(port=0)
+        try:
+            ta.start(lambda f: None)
+            with pytest.raises(TransportError):
+                ta.send("ghost", b"x")
+        finally:
+            ta.close()
+
+    def test_send_to_dead_peer_raises(self):
+        ta = TcpTransport(port=0)
+        tb = TcpTransport(port=0)
+        ta.start(lambda f: None)
+        tb.start(lambda f: None)
+        dead_address = tb.address
+        tb.close()
+        ta.add_peer("b", dead_address)
+        try:
+            with pytest.raises(TransportError):
+                ta.send("b", b"x")
+        finally:
+            ta.close()
+
+
+class TestCodec:
+    def test_wire_envelope_round_trip(self):
+        env = WireEnvelope(kind="sharded", src="n1", entity="vessel",
+                           key=239000001, message={"t": 1.5}, hops=1)
+        assert codec.decode(codec.encode(env)) == env
+
+    def test_platform_message_round_trip(self):
+        from repro.ais.message import AISMessage
+        from repro.platform.messages import PositionIngested
+
+        msg = PositionIngested(AISMessage(mmsi=1, t=0.0, lat=37.9,
+                                          lon=23.5, sog=10.0, cog=90.0))
+        out = codec.decode(codec.encode(msg))
+        assert out.message.mmsi == 1
+        assert out.message.lat == pytest.approx(37.9)
+
+    def test_untrusted_global_rejected(self):
+        import pickle
+
+        payload = pickle.dumps(pytest.raises)  # _pytest.* is not trusted
+        with pytest.raises(codec.WireDecodeError):
+            codec.decode(payload)
+
+    def test_os_system_rejected(self):
+        import os
+        import pickle
+
+        payload = pickle.dumps(os.system)
+        with pytest.raises(codec.WireDecodeError):
+            codec.decode(payload)

@@ -1,0 +1,100 @@
+"""Tests for Consumer.seek / seek_to_beginning (partition replay)."""
+
+import pytest
+
+from repro.streams import Broker, ConsumerGroup, Producer, TopicConfig
+
+
+def build(partitions=2, records=10):
+    broker = Broker()
+    broker.create_topic(TopicConfig("ais", num_partitions=partitions))
+    producer = Producer(broker)
+    for i in range(records):
+        for p in range(partitions):
+            producer.send("ais", key=p, value=(p, i), timestamp=float(i),
+                          partition=p)
+    group = ConsumerGroup(broker, "g", "ais")
+    return broker, group.join()
+
+
+class TestSeek:
+    def test_seek_rewinds_inflight_position(self):
+        _, consumer = build(partitions=1)
+        first = consumer.poll(max_records=100)
+        assert len(first) == 10
+        assert consumer.poll() == []
+        consumer.seek("ais", 0, 4)
+        replayed = consumer.poll(max_records=100)
+        assert [r.offset for r in replayed] == [4, 5, 6, 7, 8, 9]
+
+    def test_seek_forward_skips(self):
+        _, consumer = build(partitions=1)
+        consumer.seek("ais", 0, 8)
+        assert [r.offset for r in consumer.poll()] == [8, 9]
+
+    def test_seek_does_not_touch_committed_offset(self):
+        broker, consumer = build(partitions=1)
+        consumer.poll(max_records=100)
+        consumer.commit()
+        committed = broker.committed("g", "ais", 0)
+        consumer.seek("ais", 0, 0)
+        assert broker.committed("g", "ais", 0) == committed
+        # ...until the replayed records are committed again.
+        consumer.poll(max_records=100)
+        consumer.commit()
+        assert broker.committed("g", "ais", 0) == committed
+
+    def test_seek_wrong_topic_rejected(self):
+        _, consumer = build()
+        with pytest.raises(ValueError, match="subscribed"):
+            consumer.seek("other", 0, 0)
+
+    def test_seek_unassigned_partition_rejected(self):
+        broker = Broker()
+        broker.create_topic(TopicConfig("ais", num_partitions=2))
+        group = ConsumerGroup(broker, "g", "ais")
+        a = group.join()
+        b = group.join()   # rebalance: one partition each
+        assert len(a.assignment) == len(b.assignment) == 1
+        foreign = b.assignment[0]
+        with pytest.raises(ValueError, match="not assigned"):
+            a.seek("ais", foreign, 0)
+
+    def test_negative_offset_rejected(self):
+        _, consumer = build()
+        with pytest.raises(ValueError, match="non-negative"):
+            consumer.seek("ais", 0, -1)
+
+
+class TestSeekToBeginning:
+    def test_all_partitions(self):
+        _, consumer = build(partitions=2)
+        assert len(consumer.poll(max_records=100)) == 20
+        consumer.seek_to_beginning()
+        assert len(consumer.poll(max_records=100)) == 20
+
+    def test_subset(self):
+        _, consumer = build(partitions=2)
+        consumer.poll(max_records=100)
+        consumer.seek_to_beginning(partitions=[0])
+        replayed = consumer.poll(max_records=100)
+        assert {r.partition for r in replayed} == {0}
+        assert len(replayed) == 10
+
+    def test_unassigned_partition_rejected(self):
+        _, consumer = build(partitions=2)
+        with pytest.raises(ValueError, match="not assigned"):
+            consumer.seek_to_beginning(partitions=[7])
+
+    def test_replay_after_commit(self):
+        """The shard-handoff pattern: rewind below the committed offset and
+        re-consume without disturbing group progress."""
+        broker, consumer = build(partitions=1)
+        consumer.poll(max_records=100)
+        consumer.commit()
+        committed = broker.committed("g", "ais", 0)
+        depth = 3
+        consumer.seek("ais", 0, max(0, committed - depth))
+        tail = consumer.poll(max_records=100)
+        assert len(tail) == depth
+        assert tail[-1].offset == committed - 1
