@@ -1,0 +1,77 @@
+"""Micro-benchmark for the wire codec: fast path vs pickle fallback.
+
+The cross-node Figure 6 run serializes one envelope per position report,
+so encode+decode cost is on the hot path of every sharded message. This
+benchmark times round-trips of the hot envelope (``PositionIngested``)
+through the struct fast path, through the restricted-pickle fallback (by
+using a payload type the fast path does not cover), and through the
+batch container, and records the frame sizes alongside the timings.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.ais.message import AISMessage
+from repro.cluster import codec
+from repro.cluster.protocol import WireEnvelope
+from repro.platform.messages import PositionIngested
+
+N_FRAMES = 1_000
+
+
+def _hot_envelope() -> WireEnvelope:
+    msg = AISMessage(mmsi=239000001, t=12_345.0, lat=37.9, lon=23.5,
+                     sog=11.5, cog=184.0)
+    return WireEnvelope(kind="sharded", src="node-00", entity="vessel",
+                        key=239000001, message=PositionIngested(msg))
+
+
+def _fallback_envelope() -> WireEnvelope:
+    # A dict payload has no struct layout, so this exercises the
+    # restricted-pickle fallback inside the same envelope frame.
+    return WireEnvelope(kind="sharded", src="node-00", entity="vessel",
+                        key=239000001,
+                        message={"mmsi": 239000001, "t": 12_345.0,
+                                 "lat": 37.9, "lon": 23.5})
+
+
+class TestCodecThroughput:
+    def test_fast_path_round_trip(self, benchmark):
+        env = _hot_envelope()
+
+        def run():
+            for _ in range(N_FRAMES):
+                codec.decode(codec.encode(env))
+
+        benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+        fast = len(codec.encode(env))
+        fallback = len(codec.encode(_fallback_envelope()))
+        per_us = benchmark.stats.stats.mean / N_FRAMES * 1e6
+        write_result(
+            "codec_throughput",
+            f"Wire codec round trip (PositionIngested envelope)\n"
+            f"  fast-path frame:  {fast:4d} B\n"
+            f"  fallback frame:   {fallback:4d} B\n"
+            f"  round trip:       {per_us:6.1f} us/envelope")
+        assert fast < fallback  # the struct layout must beat pickle on size
+
+    def test_fallback_round_trip(self, benchmark):
+        env = _fallback_envelope()
+
+        def run():
+            for _ in range(N_FRAMES):
+                codec.decode(codec.encode(env))
+
+        benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+        assert codec.decode(codec.encode(env)) == env
+
+    def test_batch_round_trip(self, benchmark):
+        frames = [codec.encode(_hot_envelope()) for _ in range(100)]
+
+        def run():
+            for _ in range(N_FRAMES // 100):
+                codec.decode_batch(codec.encode_batch(frames))
+
+        benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+        assert codec.decode_batch(codec.encode_batch(frames)) == frames

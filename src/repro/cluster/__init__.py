@@ -49,6 +49,7 @@ from repro.cluster.sharding import (
     stable_hash,
 )
 from repro.cluster.transport import (
+    BatchingTransport,
     LoopbackHub,
     LoopbackTransport,
     TcpTransport,
@@ -57,6 +58,7 @@ from repro.cluster.transport import (
 )
 
 __all__ = [
+    "BatchingTransport",
     "ClusterConfig",
     "ClusterNode",
     "HashRing",

@@ -2,22 +2,51 @@
 
 The paper's Akka cluster serializes actor messages with a configured
 serializer before they cross node boundaries. Here every
-:class:`~repro.cluster.protocol.WireEnvelope` — carrying the existing
-``repro.platform.messages`` payloads (``PositionIngested``,
-``CellObservation``, ``ForecastShared``, alerts, state updates) plus the
-cluster control vocabulary — is encoded with pickle and decoded through a
-*restricted* unpickler that only resolves classes from trusted modules
-(``repro.*``, numpy, and a small stdlib allowlist). That keeps the loopback
-and TCP transports byte-for-byte identical: the loopback transport round
-trips the same frames the sockets carry, so serialization bugs surface in
-the deterministic tests.
+:class:`~repro.cluster.protocol.WireEnvelope` crosses the wire in one of
+two forms:
+
+* **fast path** — a compact ``struct``-packed binary encoding, selected by
+  a one-byte tag. Envelope metadata (kind, hops, correlation id, the five
+  routing strings, an int/str key) is never pickled; the hot payload types
+  of the Figure 6 workload (``PositionIngested``, ``CellObservation``,
+  ``ForecastShared`` and heartbeats) get dedicated fixed layouts, so the
+  steady-state stream pays zero pickle headers.
+* **restricted pickle fallback** — anything else (control messages, alerts,
+  arbitrary ask payloads) is pickled, but *only the payload*: the envelope
+  framing around it stays binary. Decoding resolves classes through a
+  restricted unpickler that only admits trusted modules (``repro.*``,
+  numpy, and a small stdlib allowlist).
+
+Both transports carry the same frames — the loopback transport round trips
+exactly the bytes the sockets carry, so serialization bugs surface in the
+deterministic tests. :func:`encode_batch` / :func:`decode_batch` pack many
+frames into one container frame for the batching transport.
+
+Counters (``encoded_size``, ``frames_encoded``, ``fast_path_frames``,
+``pickle_fallbacks``) are module-level and monotonic; under free threading
+they are best-effort observability, not accounting.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import pickle
-from typing import Any
+import struct
+from typing import Any, Sequence
+
+#: Benchmark knob: ``REPRO_WIRE_FAST=0`` forces the legacy whole-frame
+#: pickle path, giving the "before" row of the batched-vs-unbatched
+#: comparison in ``examples/run_figure6_cluster.py``. Decode always
+#: accepts both forms, so mixed clusters interoperate.
+fast_path_enabled = os.environ.get("REPRO_WIRE_FAST", "1") != "0"
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Toggle the struct fast path (and propagate to child processes)."""
+    global fast_path_enabled
+    fast_path_enabled = enabled
+    os.environ["REPRO_WIRE_FAST"] = "1" if enabled else "0"
 
 #: Module prefixes whose classes may appear in a wire frame.
 TRUSTED_PREFIXES = ("repro.",)
@@ -60,16 +89,479 @@ class _RestrictedUnpickler(pickle.Unpickler):
             f"wire frame references untrusted class {module}.{name}")
 
 
+def _restricted_loads(data: bytes) -> Any:
+    return _RestrictedUnpickler(io.BytesIO(data)).load()
+
+
+# -- observability counters --------------------------------------------------------
+
+#: Total bytes produced by :func:`encode` (frame sizes, pre-transport).
+encoded_size = 0
+#: Frames encoded since import / the last :func:`reset_counters`.
+frames_encoded = 0
+#: Frames that took the struct envelope framing (their payload may still
+#: be pickled — see ``pickle_fallbacks``).
+fast_path_frames = 0
+#: Whole frames or envelope payloads that fell back to pickle.
+pickle_fallbacks = 0
+
+
+def reset_counters() -> None:
+    global encoded_size, frames_encoded, fast_path_frames, pickle_fallbacks
+    encoded_size = 0
+    frames_encoded = 0
+    fast_path_frames = 0
+    pickle_fallbacks = 0
+
+
+def counters() -> dict:
+    return {
+        "encoded_size": encoded_size,
+        "frames_encoded": frames_encoded,
+        "fast_path_frames": fast_path_frames,
+        "pickle_fallbacks": pickle_fallbacks,
+    }
+
+
+# -- frame tags --------------------------------------------------------------------
+
+# Pickle protocol >= 2 frames start with 0x80, so the fast-path tags below
+# stay clear of it and decode dispatches on the first byte.
+TAG_ENV = 0x01      #: struct-framed WireEnvelope
+TAG_BATCH = 0x02    #: container of many frames (see encode_batch)
+
+_KIND_CODES = {"sharded": 0, "named": 1, "ask": 2, "reply": 3, "control": 4}
+_KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
+
+# Value/payload tags inside a TAG_ENV frame.
+_P_NONE = 0x00
+_P_PICKLE = 0x01
+_P_INT = 0x02        #: signed 64-bit int
+_P_STR = 0x03
+_P_UINT = 0x04       #: unsigned 64-bit int above INT64_MAX (H3 cell keys)
+_P_POSITION = 0x10   #: platform.messages.PositionIngested
+_P_CELLOBS = 0x11    #: platform.messages.CellObservation
+_P_FORECAST = 0x12   #: platform.messages.ForecastShared
+_P_HEARTBEAT = 0x13  #: cluster.protocol.Heartbeat
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_U64 = struct.Struct(">Q")
+_ENV_HEAD = struct.Struct(">BBq")            # kind, hops, corr_id (-1 = None)
+_AIS_BODY = struct.Struct(">QdddddhBB")      # mmsi,t,lat,lon,sog,cog,hdg,st,src
+#: Cells are unsigned: H3-style ids use the full 64-bit range (indexes
+#: above ``2**63`` are routine at the collision-cell resolution).
+_CELLOBS_BODY = struct.Struct(">QQddd")      # cell, mmsi, t, lat, lon
+_FORECAST_HEAD = struct.Struct(">QQH")       # cell, mmsi, n_positions
+_POS_FIXED = struct.Struct(">Bddd")          # flags, t, lat, lon
+_DOUBLE = struct.Struct(">d")
+
+_NO_STR = 0xFFFF    #: length marker for a None string field
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+
+# The hot message types live in repro.platform (which itself imports
+# repro.cluster), so they are bound lazily on first encode/decode rather
+# than at module import.
+_HOT: dict | None = None
+
+
+def _hot() -> dict:
+    global _HOT
+    if _HOT is None:
+        from repro.ais.message import AISMessage, NavigationStatus
+        from repro.cluster.protocol import Heartbeat, WireEnvelope
+        from repro.geo.track import Position
+        from repro.models.base import RouteForecast
+        from repro.platform.messages import (
+            CellObservation,
+            ForecastShared,
+            PositionIngested,
+        )
+        _HOT = {
+            "AISMessage": AISMessage,
+            "NavigationStatus": NavigationStatus,
+            "Heartbeat": Heartbeat,
+            "WireEnvelope": WireEnvelope,
+            "Position": Position,
+            "RouteForecast": RouteForecast,
+            "CellObservation": CellObservation,
+            "ForecastShared": ForecastShared,
+            "PositionIngested": PositionIngested,
+        }
+    return _HOT
+
+
+_SOURCE_CODES = {"terrestrial": 0, "satellite": 1}
+_SOURCE_NAMES = {v: k for k, v in _SOURCE_CODES.items()}
+
+
+# -- field helpers -----------------------------------------------------------------
+
+
+def _put_str(out: bytearray, value: str | None) -> None:
+    if value is None:
+        out += _U16.pack(_NO_STR)
+        return
+    data = value.encode("utf-8")
+    if len(data) >= _NO_STR:
+        raise ValueError("string field too long for wire encoding")
+    out += _U16.pack(len(data))
+    out += data
+
+
+def _get_str(data: bytes, pos: int) -> tuple[str | None, int]:
+    (length,) = _U16.unpack_from(data, pos)
+    pos += _U16.size
+    if length == _NO_STR:
+        return None, pos
+    return data[pos:pos + length].decode("utf-8"), pos + length
+
+
+def _put_value(out: bytearray, value: Any) -> None:
+    """Encode a small routing value (the envelope ``key``)."""
+    if value is None:
+        out.append(_P_NONE)
+    elif type(value) is int and _INT64_MIN <= value <= _INT64_MAX:
+        out.append(_P_INT)
+        out += _I64.pack(value)
+    elif type(value) is int and _INT64_MAX < value < (1 << 64):
+        out.append(_P_UINT)
+        out += _U64.pack(value)
+    elif type(value) is str:
+        out.append(_P_STR)
+        _put_str(out, value)
+    else:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append(_P_PICKLE)
+        out += _U32.pack(len(blob))
+        out += blob
+
+
+def _get_value(data: bytes, pos: int) -> tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _P_NONE:
+        return None, pos
+    if tag == _P_INT:
+        (value,) = _I64.unpack_from(data, pos)
+        return value, pos + _I64.size
+    if tag == _P_UINT:
+        (value,) = _U64.unpack_from(data, pos)
+        return value, pos + _U64.size
+    if tag == _P_STR:
+        return _get_str(data, pos)
+    if tag == _P_PICKLE:
+        (length,) = _U32.unpack_from(data, pos)
+        pos += _U32.size
+        return _restricted_loads(data[pos:pos + length]), pos + length
+    raise WireDecodeError(f"unknown value tag {tag:#x}")
+
+
+# -- hot payload encodings ---------------------------------------------------------
+
+
+def _try_put_payload(out: bytearray, message: Any) -> bool:
+    """Append a fast-path payload encoding; False if ``message`` needs the
+    pickle fallback. Exact-type checks only — subclasses may carry state the
+    fixed layouts would drop."""
+    hot = _hot()
+    t = type(message)
+    if message is None:
+        out.append(_P_NONE)
+        return True
+    if t is hot["PositionIngested"]:
+        return _try_put_position(out, message.message)
+    if t is hot["CellObservation"]:
+        if not (type(message.cell) is int
+                and 0 <= message.cell < (1 << 64)
+                and type(message.mmsi) is int
+                and 0 <= message.mmsi < (1 << 64)):
+            return False
+        out.append(_P_CELLOBS)
+        out += _CELLOBS_BODY.pack(message.cell, message.mmsi,
+                                  message.t, message.lat, message.lon)
+        return True
+    if t is hot["ForecastShared"]:
+        return _try_put_forecast(out, message)
+    if t is hot["Heartbeat"]:
+        out.append(_P_HEARTBEAT)
+        _put_str(out, message.node_id)
+        return True
+    return False
+
+
+def _try_put_position(out: bytearray, msg: Any) -> bool:
+    hot = _hot()
+    if type(msg) is not hot["AISMessage"]:
+        return False
+    source = _SOURCE_CODES.get(msg.source)
+    if (source is None or not isinstance(msg.status, hot["NavigationStatus"])
+            or not (type(msg.mmsi) is int and 0 <= msg.mmsi < (1 << 64))):
+        return False
+    heading = -1 if msg.heading is None else int(msg.heading)
+    if not -1 <= heading <= 32767:
+        return False
+    out.append(_P_POSITION)
+    out += _AIS_BODY.pack(msg.mmsi, msg.t, msg.lat, msg.lon, msg.sog,
+                          msg.cog, heading, int(msg.status), source)
+    return True
+
+
+#: One-slot caches for the forecast fan-out: a vessel actor shares the
+#: *same* forecast with every collision cell its trajectory touches, so
+#: consecutive ForecastShared frames carry an identical positions tuple.
+#: The encode cache holds a strong reference to the tuple and compares by
+#: identity (no id() reuse hazard); the decode cache compares the packed
+#: bytes. Races under threading at worst cause a miss, never a wrong hit.
+_ENC_POSITIONS_CACHE: tuple | None = None   # (positions tuple, bytes)
+_DEC_POSITIONS_CACHE: tuple | None = None   # (bytes, positions tuple)
+
+
+def _try_put_forecast(out: bytearray, message: Any) -> bool:
+    global _ENC_POSITIONS_CACHE
+    hot = _hot()
+    forecast = message.forecast
+    if (type(forecast) is not hot["RouteForecast"]
+            or type(message.cell) is not int
+            or not 0 <= message.cell < (1 << 64)
+            or type(forecast.mmsi) is not int
+            or not 0 <= forecast.mmsi < (1 << 64)):
+        return False
+    positions = forecast.positions
+    if len(positions) > 0xFFFF:
+        return False
+    cached = _ENC_POSITIONS_CACHE
+    if cached is not None and cached[0] is positions:
+        body = cached[1]
+    else:
+        position_cls = hot["Position"]
+        for p in positions:
+            if type(p) is not position_cls:
+                return False
+        buf = bytearray()
+        for p in positions:
+            flags = (1 if p.sog is not None else 0) | \
+                    (2 if p.cog is not None else 0)
+            buf += _POS_FIXED.pack(flags, p.t, p.lat, p.lon)
+            if p.sog is not None:
+                buf += _DOUBLE.pack(p.sog)
+            if p.cog is not None:
+                buf += _DOUBLE.pack(p.cog)
+        body = bytes(buf)
+        _ENC_POSITIONS_CACHE = (positions, body)
+    out.append(_P_FORECAST)
+    out += _FORECAST_HEAD.pack(message.cell, forecast.mmsi, len(positions))
+    out += body
+    return True
+
+
+def _get_payload(data: bytes, pos: int) -> tuple[Any, int]:
+    global pickle_fallbacks
+    hot = _hot()
+    tag = data[pos]
+    pos += 1
+    if tag == _P_NONE:
+        return None, pos
+    if tag == _P_POSITION:
+        (mmsi, t, lat, lon, sog, cog, heading, status,
+         source) = _AIS_BODY.unpack_from(data, pos)
+        pos += _AIS_BODY.size
+        msg = hot["AISMessage"](
+            mmsi=mmsi, t=t, lat=lat, lon=lon, sog=sog, cog=cog,
+            heading=None if heading == -1 else heading,
+            status=hot["NavigationStatus"](status),
+            source=_SOURCE_NAMES[source])
+        return hot["PositionIngested"](msg), pos
+    if tag == _P_CELLOBS:
+        cell, mmsi, t, lat, lon = _CELLOBS_BODY.unpack_from(data, pos)
+        return hot["CellObservation"](cell=cell, mmsi=mmsi, t=t, lat=lat,
+                                      lon=lon), pos + _CELLOBS_BODY.size
+    if tag == _P_FORECAST:
+        global _DEC_POSITIONS_CACHE
+        cell, mmsi, count = _FORECAST_HEAD.unpack_from(data, pos)
+        pos += _FORECAST_HEAD.size
+        # Walk the flags bytes to find the region end, then check the
+        # decode cache — the fan-out delivers the same positions blob to
+        # every cell of one forecast, and tuples are immutable to share.
+        end = pos
+        for _ in range(count):
+            flags = data[end]
+            end += _POS_FIXED.size + (8 if flags & 1 else 0) \
+                + (8 if flags & 2 else 0)
+        blob = bytes(data[pos:end])
+        cached = _DEC_POSITIONS_CACHE
+        if cached is not None and cached[0] == blob:
+            positions_t = cached[1]
+        else:
+            positions = []
+            position_cls = hot["Position"]
+            while pos < end:
+                flags, t, lat, lon = _POS_FIXED.unpack_from(data, pos)
+                pos += _POS_FIXED.size
+                sog = cog = None
+                if flags & 1:
+                    (sog,) = _DOUBLE.unpack_from(data, pos)
+                    pos += _DOUBLE.size
+                if flags & 2:
+                    (cog,) = _DOUBLE.unpack_from(data, pos)
+                    pos += _DOUBLE.size
+                positions.append(position_cls(t=t, lat=lat, lon=lon,
+                                              sog=sog, cog=cog))
+            positions_t = tuple(positions)
+            _DEC_POSITIONS_CACHE = (blob, positions_t)
+        forecast = hot["RouteForecast"](mmsi=mmsi, positions=positions_t)
+        return hot["ForecastShared"](cell=cell, forecast=forecast), end
+    if tag == _P_HEARTBEAT:
+        node_id, pos = _get_str(data, pos)
+        return hot["Heartbeat"](node_id), pos
+    if tag == _P_PICKLE:
+        (length,) = _U32.unpack_from(data, pos)
+        pos += _U32.size
+        pickle_fallbacks += 1
+        return _restricted_loads(data[pos:pos + length]), pos + length
+    raise WireDecodeError(f"unknown payload tag {tag:#x}")
+
+
+# -- envelope fast path ------------------------------------------------------------
+
+
+def _encode_envelope(env: Any) -> bytes | None:
+    """The TAG_ENV encoding, or None when the envelope doesn't fit it
+    (unknown kind, oversized strings, unpicklable key)."""
+    global pickle_fallbacks
+    kind = _KIND_CODES.get(env.kind)
+    corr = -1 if env.corr_id is None else env.corr_id
+    if kind is None or not 0 <= env.hops <= 255 \
+            or not _INT64_MIN <= corr <= _INT64_MAX:
+        return None
+    out = bytearray([TAG_ENV])
+    out += _ENV_HEAD.pack(kind, env.hops, corr)
+    try:
+        _put_str(out, env.src)
+        _put_str(out, env.entity)
+        _put_str(out, env.target)
+        _put_str(out, env.sender_node)
+        _put_str(out, env.sender_name)
+        _put_value(out, env.key)
+    except (ValueError, TypeError):
+        return None
+    payload = bytearray()
+    try:
+        fits = _try_put_payload(payload, env.message)
+    except (struct.error, ValueError, TypeError, OverflowError):
+        fits = False
+    if fits:
+        out += payload
+    else:
+        blob = pickle.dumps(env.message, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append(_P_PICKLE)
+        out += _U32.pack(len(blob))
+        out += blob
+        pickle_fallbacks += 1
+    return bytes(out)
+
+
+def _decode_envelope(data: bytes) -> Any:
+    kind_code, hops, corr = _ENV_HEAD.unpack_from(data, 1)
+    kind = _KIND_NAMES.get(kind_code)
+    if kind is None:
+        raise WireDecodeError(f"unknown envelope kind code {kind_code}")
+    pos = 1 + _ENV_HEAD.size
+    src, pos = _get_str(data, pos)
+    entity, pos = _get_str(data, pos)
+    target, pos = _get_str(data, pos)
+    sender_node, pos = _get_str(data, pos)
+    sender_name, pos = _get_str(data, pos)
+    key, pos = _get_value(data, pos)
+    message, pos = _get_payload(data, pos)
+    return _hot()["WireEnvelope"](
+        kind=kind, src=src, message=message, entity=entity, key=key,
+        target=target, sender_node=sender_node, sender_name=sender_name,
+        corr_id=None if corr == -1 else corr, hops=hops)
+
+
+# -- public API --------------------------------------------------------------------
+
+
 def encode(obj: Any) -> bytes:
-    """Serialize one wire message to a byte frame."""
-    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    """Serialize one wire message to a byte frame.
+
+    :class:`WireEnvelope` instances take the struct fast path; everything
+    else (and any envelope the fast path cannot represent) is pickled
+    whole, which older peers and the tests decode identically.
+    """
+    global encoded_size, frames_encoded, fast_path_frames, pickle_fallbacks
+    data = None
+    if fast_path_enabled and type(obj) is _hot()["WireEnvelope"]:
+        data = _encode_envelope(obj)
+    if data is None:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle_fallbacks += 1
+    else:
+        fast_path_frames += 1
+    frames_encoded += 1
+    encoded_size += len(data)
+    return data
 
 
 def decode(data: bytes) -> Any:
     """Deserialize a byte frame, resolving only trusted classes."""
+    if not data:
+        raise WireDecodeError("empty wire frame")
     try:
-        return _RestrictedUnpickler(io.BytesIO(data)).load()
+        if data[0] == TAG_ENV:
+            return _decode_envelope(data)
+        if data[0] == TAG_BATCH:
+            raise WireDecodeError(
+                "batch frame reached decode(); split with decode_batch()")
+        return _restricted_loads(data)
     except WireDecodeError:
         raise
     except Exception as exc:
         raise WireDecodeError(f"undecodable wire frame: {exc}") from exc
+
+
+# -- batch container ---------------------------------------------------------------
+
+
+def encode_batch(frames: Sequence[bytes]) -> bytes:
+    """Pack already-encoded frames into one container frame.
+
+    The batching transport coalesces per-peer traffic with this: one
+    transport-level frame (one length prefix, one ``sendall``) carries many
+    envelopes. Combined with the struct fast path above, a steady-state
+    batch of hot messages contains no pickle headers at all.
+    """
+    out = bytearray([TAG_BATCH])
+    out += _U32.pack(len(frames))
+    for frame in frames:
+        out += _U32.pack(len(frame))
+        out += frame
+    return bytes(out)
+
+
+def decode_batch(data: bytes) -> list[bytes]:
+    """Split a container frame back into its member frames."""
+    if not data or data[0] != TAG_BATCH:
+        raise WireDecodeError("not a batch frame")
+    try:
+        (count,) = _U32.unpack_from(data, 1)
+        pos = 1 + _U32.size
+        frames = []
+        for _ in range(count):
+            (length,) = _U32.unpack_from(data, pos)
+            pos += _U32.size
+            frames.append(data[pos:pos + length])
+            if len(frames[-1]) != length:
+                raise WireDecodeError("truncated batch frame")
+            pos += length
+        if pos != len(data):
+            raise WireDecodeError("trailing bytes after batch frame")
+        return frames
+    except struct.error as exc:
+        raise WireDecodeError(f"malformed batch frame: {exc}") from exc
+
+
+def is_batch(frame: bytes) -> bool:
+    return bool(frame) and frame[0] == TAG_BATCH

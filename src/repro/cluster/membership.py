@@ -52,6 +52,23 @@ class ClusterConfig:
     num_shards: int = 64
     #: Virtual nodes per member on the consistent-hash ring.
     ring_replicas: int = 32
+    #: Wrap the node's transport in a
+    #: :class:`~repro.cluster.transport.BatchingTransport` (outbound
+    #: per-peer micro-batching — the cross-node throughput knob).
+    transport_batching: bool = False
+    #: Longest a buffered frame may wait for peers before its batch is
+    #: flushed (TCP mode; loopback flushes synchronously on pump).
+    batch_linger_ms: float = 2.0
+    #: Flush a peer's buffer once it holds this many bytes…
+    max_batch_bytes: int = 64 * 1024
+    #: …or this many frames, whichever comes first.
+    max_batch_msgs: int = 128
+    #: Bound of each per-peer outbound queue in
+    #: :class:`~repro.cluster.transport.TcpTransport`.
+    outbound_queue_frames: int = 10_000
+    #: How long a sender blocks on a full outbound queue before
+    #: :class:`~repro.cluster.transport.TransportError` (backpressure).
+    send_block_timeout_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -59,6 +76,10 @@ class ClusterConfig:
         if not (0 < self.suspect_after_s <= self.down_after_s):
             raise ValueError(
                 "need 0 < suspect_after_s <= down_after_s")
+        if self.max_batch_msgs < 1:
+            raise ValueError("max_batch_msgs must be >= 1")
+        if self.outbound_queue_frames < 1:
+            raise ValueError("outbound_queue_frames must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -47,7 +47,11 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.remote import RemoteActorRef, ReplyRelay
 from repro.cluster.sharding import ShardRouter, ShardTable, shard_for_key
-from repro.cluster.transport import Transport, TransportError
+from repro.cluster.transport import (
+    BatchingTransport,
+    Transport,
+    TransportError,
+)
 
 
 class ShardCoordinator:
@@ -89,8 +93,15 @@ class ClusterNode:
                  record_metrics: bool = False,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.node_id = node_id
-        self.transport = transport
         self.config = config or ClusterConfig()
+        if (self.config.transport_batching
+                and not isinstance(transport, BatchingTransport)):
+            transport = BatchingTransport(
+                transport,
+                linger_ms=self.config.batch_linger_ms,
+                max_batch_bytes=self.config.max_batch_bytes,
+                max_batch_msgs=self.config.max_batch_msgs)
+        self.transport = transport
         self.clock = clock
         self.system = ActorSystem(name=node_id, mode=system_mode,
                                   workers=workers,
@@ -508,6 +519,12 @@ class ClusterNode:
             "pending": self.pending_count,
             "active_actors": self.system.active_count,
             "dead_letters": self.system.dead_letter_count,
+            #: Outbound transport counters (bytes/frames/batches; empty
+            #: for plain loopback).
+            "transport": self.transport.stats(),
+            #: Wire-codec counters — process-wide, so loopback clusters
+            #: report the same numbers on every node.
+            "codec": codec.counters(),
         }
         with self.system._lock:
             counters["messages_processed"] = sum(

@@ -1,27 +1,39 @@
 """Node-to-node transports.
 
-Two implementations of one small contract (:class:`Transport`):
+Three implementations of one small contract (:class:`Transport`):
 
 * :class:`LoopbackTransport` — in-process queues behind a shared
   :class:`LoopbackHub`. Frames are *not* delivered inline on ``send``;
   they sit in the destination's inbox until the hub is pumped, so tests
   control interleaving exactly (deterministic, no threads, no sleeps).
 * :class:`TcpTransport` — real sockets with length-prefixed frames
-  (4-byte big-endian length + payload) and one background reader thread
-  per connection, for true multi-process runs.
+  (4-byte big-endian length + payload). Inbound: one background reader
+  thread per connection. Outbound: one writer thread per peer behind a
+  bounded queue, so actor dispatch never blocks on ``sendall`` or
+  connection setup; a full queue applies backpressure (block with
+  timeout, then :class:`TransportError`).
+* :class:`BatchingTransport` — a decorator over either of the above that
+  coalesces outbound frames per peer into one multi-envelope container
+  frame (``linger_ms`` / ``max_batch_bytes`` / ``max_batch_msgs``), the
+  micro-batching that closes the cross-node throughput gap. Receivers
+  unwrap container frames transparently.
 
-Both carry opaque byte frames; all meaning (sender, target, correlation)
-lives inside the encoded :class:`~repro.cluster.protocol.WireEnvelope`, so
-the two transports are interchangeable above this line.
+All carry opaque byte frames; meaning (sender, target, correlation) lives
+inside the encoded :class:`~repro.cluster.protocol.WireEnvelope`, so the
+transports are interchangeable above this line.
 """
 
 from __future__ import annotations
 
+import queue
 import socket
 import struct
 import threading
+import time
 from collections import deque
 from typing import Any, Callable
+
+from repro.cluster import codec
 
 
 class TransportError(RuntimeError):
@@ -29,7 +41,8 @@ class TransportError(RuntimeError):
 
 
 class Transport:
-    """Minimal contract shared by loopback and TCP transports."""
+    """Minimal contract shared by the loopback, TCP and batching
+    transports."""
 
     #: Externally reachable address peers use to send to this transport
     #: (node id for loopback, ``(host, port)`` for TCP).
@@ -48,6 +61,15 @@ class Transport:
         if the destination is known to be unreachable."""
         raise NotImplementedError
 
+    def flush(self) -> int:
+        """Push any locally buffered outbound frames to the wire; returns
+        how many frames moved (0 for unbuffered transports)."""
+        return 0
+
+    def stats(self) -> dict:
+        """Monotonic outbound counters for node-level observability."""
+        return {}
+
     def close(self) -> None:
         """Stop accepting and release resources."""
 
@@ -60,11 +82,15 @@ class LoopbackHub:
 
     ``pump()`` delivers queued frames in a deterministic order (nodes
     sorted by id, FIFO within each inbox) — the cluster-level analogue of
-    :meth:`ActorSystem.run_until_idle`.
+    :meth:`ActorSystem.run_until_idle`. Batching transports layered over
+    loopback endpoints register flush hooks here, and ``pump`` flushes them
+    synchronously before each delivery round, so batched loopback runs stay
+    exactly as deterministic as unbatched ones.
     """
 
     def __init__(self) -> None:
         self._transports: dict[str, "LoopbackTransport"] = {}
+        self._flushers: list[Callable[[], int]] = []
         self.frames_delivered = 0
         self.frames_dropped = 0
 
@@ -75,6 +101,11 @@ class LoopbackHub:
             t = LoopbackTransport(self, node_id)
             self._transports[node_id] = t
         return t
+
+    def register_flusher(self, flush: Callable[[], int]) -> None:
+        """Register an outbound-buffer flush hook run before every pump
+        round (used by :class:`BatchingTransport` over loopback)."""
+        self._flushers.append(flush)
 
     def disconnect(self, node_id: str) -> None:
         """Abruptly remove a node (simulates a crash/partition): its queued
@@ -91,6 +122,12 @@ class LoopbackHub:
             raise TransportError(f"loopback destination {dest!r} unreachable")
         t._inbox.append(frame)
 
+    def _flush_all(self) -> int:
+        flushed = 0
+        for flush in self._flushers:
+            flushed += flush()
+        return flushed
+
     def pump(self, max_frames: int = 100_000) -> int:
         """Deliver queued frames until every inbox is empty.
 
@@ -100,7 +137,7 @@ class LoopbackHub:
         delivered = 0
         progress = True
         while progress:
-            progress = False
+            progress = self._flush_all() > 0
             for node_id in sorted(self._transports):
                 t = self._transports.get(node_id)
                 if t is None:
@@ -154,6 +191,9 @@ class LoopbackTransport(Transport):
 _LEN = struct.Struct(">I")
 MAX_FRAME = 64 * 1024 * 1024
 
+#: Sentinel telling a peer writer thread to exit.
+_STOP = object()
+
 
 def _read_exact(sock: socket.socket, n: int) -> bytes | None:
     buf = bytearray()
@@ -165,29 +205,74 @@ def _read_exact(sock: socket.socket, n: int) -> bytes | None:
     return bytes(buf)
 
 
-class TcpTransport(Transport):
-    """Length-prefixed frames over TCP with background reader threads.
+class _PeerWriter:
+    """Outbound state for one peer: bounded queue + dedicated writer
+    thread + (lazily opened) connection. ``failed`` latches delivery
+    errors so the next ``send`` can surface one :class:`TransportError`;
+    a successful write clears the latch."""
 
-    One listening socket per node; outbound connections are opened lazily
-    per peer and cached. Frames from any connection are funnelled to the
-    single ``on_frame`` callback — ordering is preserved per sender (one
-    TCP stream each), not across senders, matching actor semantics.
+    __slots__ = ("node_id", "queue", "thread", "conn", "failed",
+                 "last_error", "lock")
+
+    def __init__(self, node_id: str, maxsize: int) -> None:
+        self.node_id = node_id
+        self.queue: queue.Queue = queue.Queue(maxsize)
+        self.thread: threading.Thread | None = None
+        self.conn: socket.socket | None = None
+        self.failed = threading.Event()
+        self.last_error: str | None = None
+        self.lock = threading.Lock()
+
+
+class TcpTransport(Transport):
+    """Length-prefixed frames over TCP with background reader and writer
+    threads.
+
+    One listening socket per node. Each peer gets a dedicated writer
+    thread draining a bounded queue, so ``send`` is a non-blocking enqueue
+    (actor dispatch never waits on ``connect`` or ``sendall``); the writer
+    coalesces queued frames into a single ``sendall`` when it finds more
+    than one waiting. When a queue fills, ``send`` blocks up to
+    ``block_timeout_s`` and then raises — the backpressure boundary.
+    Frames from any connection are funnelled to the single ``on_frame``
+    callback — ordering is preserved per sender (one TCP stream each), not
+    across senders, matching actor semantics.
+
+    Delivery failures are detected in the writer thread; they latch a
+    per-peer error that the *next* ``send`` to that peer raises (the
+    cluster's heartbeat failure detector is the authoritative signal).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 queue_frames: int = 10_000,
+                 block_timeout_s: float = 2.0,
+                 connect_timeout_s: float = 5.0,
+                 coalesce_bytes: int = 256 * 1024,
+                 sync_sends: bool = False) -> None:
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind((host, port))
         self._server.listen(16)
         self.address = self._server.getsockname()
+        self._queue_frames = queue_frames
+        #: Benchmark-only compatibility mode: write each frame inline under
+        #: the per-peer lock (the pre-writer-thread behaviour), used as the
+        #: "before" leg of the batched-vs-unbatched comparison.
+        self._sync_sends = sync_sends
+        self._block_timeout_s = block_timeout_s
+        self._connect_timeout_s = connect_timeout_s
+        self._coalesce_bytes = coalesce_bytes
         self._peers: dict[str, tuple[str, int]] = {}
-        self._conns: dict[str, socket.socket] = {}
-        self._send_locks: dict[str, threading.Lock] = {}
+        self._writers: dict[str, _PeerWriter] = {}
         self._lock = threading.Lock()
         self._on_frame: Callable[[bytes], None] | None = None
         self._threads: list[threading.Thread] = []
         self._closed = False
         self.send_errors = 0
+        self.enqueue_timeouts = 0
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.writes = 0
 
     def start(self, on_frame: Callable[[bytes], None]) -> None:
         self._on_frame = on_frame
@@ -199,46 +284,118 @@ class TcpTransport(Transport):
     def add_peer(self, node_id: str, address: Any) -> None:
         with self._lock:
             self._peers[node_id] = (str(address[0]), int(address[1]))
-            self._send_locks.setdefault(node_id, threading.Lock())
+
+    # -- outbound ------------------------------------------------------------------
+
+    def _writer_for(self, node_id: str) -> _PeerWriter:
+        with self._lock:
+            if node_id not in self._peers:
+                raise TransportError(f"no known address for node {node_id!r}")
+            writer = self._writers.get(node_id)
+            if writer is None:
+                writer = _PeerWriter(node_id, self._queue_frames)
+                self._writers[node_id] = writer
+                if not self._sync_sends:
+                    writer.thread = threading.Thread(
+                        target=self._writer_loop, args=(writer,),
+                        name=f"tcp-writer-{self.address[1]}-{node_id}",
+                        daemon=True)
+                    writer.thread.start()
+            return writer
 
     def send(self, node_id: str, frame: bytes) -> None:
         if self._closed:
             raise TransportError("transport is closed")
-        with self._lock:
-            addr = self._peers.get(node_id)
-            lock = self._send_locks.setdefault(node_id, threading.Lock())
-        if addr is None:
-            raise TransportError(f"no known address for node {node_id!r}")
-        payload = _LEN.pack(len(frame)) + frame
-        with lock:
-            sock = self._conns.get(node_id)
-            for attempt in (0, 1):
-                if sock is None:
-                    try:
-                        sock = socket.create_connection(addr, timeout=5.0)
-                        sock.setsockopt(socket.IPPROTO_TCP,
-                                        socket.TCP_NODELAY, 1)
-                        self._conns[node_id] = sock
-                    except OSError as exc:
-                        self.send_errors += 1
-                        raise TransportError(
-                            f"cannot connect to {node_id} at {addr}: {exc}"
-                        ) from exc
+        writer = self._writer_for(node_id)
+        if self._sync_sends:
+            with writer.lock:
+                self._write_frames(writer, [frame])
+            if writer.failed.is_set():
+                writer.failed.clear()
+                raise TransportError(
+                    f"send to {node_id} failed: {writer.last_error}")
+            return
+        if writer.failed.is_set():
+            writer.failed.clear()
+            raise TransportError(
+                f"send to {node_id} failed: {writer.last_error}")
+        try:
+            writer.queue.put(frame, timeout=self._block_timeout_s)
+        except queue.Full:
+            self.enqueue_timeouts += 1
+            raise TransportError(
+                f"outbound queue to {node_id} full "
+                f"({self._queue_frames} frames) for "
+                f"{self._block_timeout_s}s") from None
+
+    def _writer_loop(self, writer: _PeerWriter) -> None:
+        while True:
+            item = writer.queue.get()
+            if item is _STOP:
+                return
+            frames = [item]
+            size = len(item)
+            stop = False
+            # Opportunistic coalescing: everything already queued goes out
+            # in one sendall (bounded so one write stays cheap to retry).
+            while size < self._coalesce_bytes:
                 try:
-                    sock.sendall(payload)
-                    return
+                    nxt = writer.queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop = True
+                    break
+                frames.append(nxt)
+                size += len(nxt)
+            self._write_frames(writer, frames)
+            if stop:
+                return
+
+    def _write_frames(self, writer: _PeerWriter, frames: list[bytes]) -> None:
+        payload = b"".join(_LEN.pack(len(f)) + f for f in frames)
+        with self._lock:
+            addr = self._peers.get(writer.node_id)
+        if addr is None:
+            self._record_failure(writer, len(frames), "peer removed")
+            return
+        for attempt in (0, 1):
+            sock = writer.conn
+            if sock is None:
+                try:
+                    sock = socket.create_connection(
+                        addr, timeout=self._connect_timeout_s)
+                    sock.setsockopt(socket.IPPROTO_TCP,
+                                    socket.TCP_NODELAY, 1)
+                    writer.conn = sock
                 except OSError as exc:
-                    # Stale connection — drop it and retry once fresh.
-                    try:
-                        sock.close()
-                    except OSError:
-                        pass
-                    self._conns.pop(node_id, None)
-                    sock = None
-                    if attempt == 1:
-                        self.send_errors += 1
-                        raise TransportError(
-                            f"send to {node_id} failed: {exc}") from exc
+                    self._record_failure(writer, len(frames),
+                                         f"cannot connect to {addr}: {exc}")
+                    return
+            try:
+                sock.sendall(payload)
+                writer.failed.clear()
+                self.frames_sent += len(frames)
+                self.bytes_sent += len(payload)
+                self.writes += 1
+                return
+            except OSError as exc:
+                # Stale connection — drop it and retry once fresh.
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                writer.conn = None
+                if attempt == 1:
+                    self._record_failure(writer, len(frames), str(exc))
+
+    def _record_failure(self, writer: _PeerWriter, n_frames: int,
+                        error: str) -> None:
+        writer.last_error = error
+        writer.failed.set()
+        self.send_errors += n_frames
+
+    # -- inbound -------------------------------------------------------------------
 
     def _accept_loop(self) -> None:
         while not self._closed:
@@ -251,6 +408,9 @@ class TcpTransport(Transport):
                                  name=f"tcp-reader-{self.address[1]}",
                                  daemon=True)
             t.start()
+            # Reap finished reader threads so churny peers don't grow the
+            # list without bound.
+            self._threads = [x for x in self._threads if x.is_alive()]
             self._threads.append(t)
 
     def _reader_loop(self, conn: socket.socket) -> None:
@@ -275,6 +435,24 @@ class TcpTransport(Transport):
             except OSError:
                 pass
 
+    # -- introspection / lifecycle --------------------------------------------------
+
+    @property
+    def queued_frames(self) -> int:
+        with self._lock:
+            writers = list(self._writers.values())
+        return sum(w.queue.qsize() for w in writers)
+
+    def stats(self) -> dict:
+        return {
+            "frames_sent": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "writes": self.writes,
+            "send_errors": self.send_errors,
+            "enqueue_timeouts": self.enqueue_timeouts,
+            "queued_frames": self.queued_frames,
+        }
+
     def close(self) -> None:
         self._closed = True
         try:
@@ -282,10 +460,193 @@ class TcpTransport(Transport):
         except OSError:
             pass
         with self._lock:
-            conns = list(self._conns.values())
-            self._conns.clear()
-        for sock in conns:
+            writers = list(self._writers.values())
+            self._writers.clear()
+        for writer in writers:
+            while True:
+                try:
+                    writer.queue.put_nowait(_STOP)
+                    break
+                except queue.Full:
+                    try:
+                        writer.queue.get_nowait()
+                    except queue.Empty:
+                        pass
+        for writer in writers:
+            if writer.thread is not None:
+                writer.thread.join(timeout=1.0)
+            if writer.conn is not None:
+                try:
+                    writer.conn.close()
+                except OSError:
+                    pass
+
+
+# -- batching decorator ----------------------------------------------------------
+
+
+class BatchingTransport(Transport):
+    """Per-peer outbound micro-batching over any inner transport.
+
+    ``send`` appends to a per-peer buffer; a buffer is flushed as **one**
+    container frame (:func:`repro.cluster.codec.encode_batch`) when it
+    reaches ``max_batch_msgs`` or ``max_batch_bytes``, when ``linger_ms``
+    elapses (background flusher thread, TCP mode), or on an explicit
+    :meth:`flush`. Over a :class:`LoopbackTransport` no thread is started:
+    the hub pumps this transport's flush hook synchronously before every
+    delivery round, keeping deterministic tests exact. Single-frame
+    buffers are sent unwrapped, so a batched sender interoperates with any
+    receiver and pays no container overhead at low rates.
+
+    Delivery failures during a flush are absorbed (frames counted in
+    ``frames_dropped``): once batching is on, loss of in-flight frames to
+    a dead peer falls inside the cluster's documented redelivery window —
+    the heartbeat failure detector, not the send path, is the
+    authoritative failure signal.
+    """
+
+    def __init__(self, inner: Transport, linger_ms: float = 2.0,
+                 max_batch_bytes: int = 64 * 1024,
+                 max_batch_msgs: int = 128,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_batch_msgs < 1:
+            raise ValueError("max_batch_msgs must be >= 1")
+        self.inner = inner
+        self.linger_ms = linger_ms
+        self.max_batch_bytes = max_batch_bytes
+        self.max_batch_msgs = max_batch_msgs
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buffers: dict[str, list[bytes]] = {}
+        self._sizes: dict[str, int] = {}
+        self._oldest: dict[str, float] = {}
+        self._flush_locks: dict[str, threading.Lock] = {}
+        self._stop = threading.Event()
+        self._flusher: threading.Thread | None = None
+        self._on_frame: Callable[[bytes], None] | None = None
+        self.batches_sent = 0
+        self.frames_batched = 0
+        self.batched_bytes = 0
+        self.frames_dropped = 0
+
+    @property
+    def address(self) -> Any:  # type: ignore[override]
+        return self.inner.address
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self, on_frame: Callable[[bytes], None]) -> None:
+        self._on_frame = on_frame
+        self.inner.start(self._unwrap)
+        hub = getattr(self.inner, "_hub", None)
+        if hub is not None:
+            # Deterministic loopback: the hub flushes us before each pump
+            # round instead of a wall-clock thread.
+            hub.register_flusher(self.flush)
+        elif self.linger_ms > 0:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="batch-flusher", daemon=True)
+            self._flusher.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self.flush()
+        except Exception:
+            pass
+        if self._flusher is not None:
+            self._flusher.join(timeout=1.0)
+        self.inner.close()
+
+    # -- outbound ------------------------------------------------------------------
+
+    def add_peer(self, node_id: str, address: Any) -> None:
+        self.inner.add_peer(node_id, address)
+
+    def send(self, node_id: str, frame: bytes) -> None:
+        with self._lock:
+            buf = self._buffers.get(node_id)
+            if buf is None:
+                buf = self._buffers[node_id] = []
+                self._sizes[node_id] = 0
+                self._flush_locks.setdefault(node_id, threading.Lock())
+            if not buf:
+                self._oldest[node_id] = self._clock()
+            buf.append(frame)
+            self._sizes[node_id] += len(frame)
+            full = (len(buf) >= self.max_batch_msgs
+                    or self._sizes[node_id] >= self.max_batch_bytes)
+        if full:
+            self._flush_peer(node_id)
+
+    def flush(self, node_id: str | None = None) -> int:
+        """Flush one peer's buffer (or all of them); returns the number of
+        frames pushed to the inner transport."""
+        if node_id is not None:
+            return self._flush_peer(node_id)
+        with self._lock:
+            peers = sorted(k for k, v in self._buffers.items() if v)
+        return sum(self._flush_peer(peer) for peer in peers)
+
+    def _flush_peer(self, node_id: str) -> int:
+        # The per-peer flush lock is held across take-buffer + inner.send
+        # so two concurrent flushes cannot reorder a peer's batches.
+        flush_lock = self._flush_locks.get(node_id)
+        if flush_lock is None:
+            return 0
+        with flush_lock:
+            with self._lock:
+                frames = self._buffers.get(node_id) or []
+                if not frames:
+                    return 0
+                self._buffers[node_id] = []
+                self._sizes[node_id] = 0
+            blob = frames[0] if len(frames) == 1 \
+                else codec.encode_batch(frames)
             try:
-                sock.close()
-            except OSError:
-                pass
+                self.inner.send(node_id, blob)
+            except TransportError:
+                self.frames_dropped += len(frames)
+                return 0
+            self.batches_sent += 1
+            self.frames_batched += len(frames)
+            self.batched_bytes += len(blob)
+            return len(frames)
+
+    def _flush_loop(self) -> None:
+        linger_s = self.linger_ms / 1e3
+        while not self._stop.wait(linger_s / 2):
+            now = self._clock()
+            with self._lock:
+                due = sorted(
+                    peer for peer, buf in self._buffers.items()
+                    if buf and now - self._oldest.get(peer, now) >= linger_s)
+            for peer in due:
+                self._flush_peer(peer)
+
+    # -- inbound -------------------------------------------------------------------
+
+    def _unwrap(self, frame: bytes) -> None:
+        if codec.is_batch(frame):
+            for sub in codec.decode_batch(frame):
+                self._on_frame(sub)
+        else:
+            self._on_frame(frame)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def buffered_frames(self) -> int:
+        with self._lock:
+            return sum(len(b) for b in self._buffers.values())
+
+    def stats(self) -> dict:
+        merged = dict(self.inner.stats())
+        merged.update({
+            "batches_sent": self.batches_sent,
+            "frames_batched": self.frames_batched,
+            "batched_bytes": self.batched_bytes,
+            "frames_dropped": self.frames_dropped,
+            "buffered_frames": self.buffered_frames,
+        })
+        return merged

@@ -143,6 +143,8 @@ class Figure6ClusterResult:
     avg_processing_time_s: np.ndarray
     #: node_id -> number of vessel actors hosted there at the end.
     vessel_distribution: dict
+    #: node_id -> transport counters (frames/bytes/batches) at shutdown.
+    transport_stats: dict | None = None
 
     @property
     def throughput_msgs_per_s(self) -> float:
@@ -174,8 +176,8 @@ class Figure6ClusterResult:
 def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
                         duration_s: float = 1_800.0, num_nodes: int = 2,
                         seed: int = 3, window_actors: int = 100,
-                        platform_config: PlatformConfig | None = None
-                        ) -> Figure6ClusterResult:
+                        platform_config: PlatformConfig | None = None,
+                        cluster_config=None) -> Figure6ClusterResult:
     """The Figure 6 measurement over a sharded multi-node cluster.
 
     Runs the same scaled global stream as :func:`run_figure6` through a
@@ -185,7 +187,9 @@ def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
     processing time recorded on every node against the *cluster-wide*
     vessel-actor count. The loopback transport serializes every inter-node
     message exactly as TCP would, so the measured per-message cost includes
-    the wire codec.
+    the wire codec. Pass a ``cluster_config`` with
+    ``transport_batching=True`` to measure the batched wire path against
+    the default frame-per-message one.
     """
     import time
 
@@ -196,7 +200,8 @@ def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
     config = platform_config or PlatformConfig()
     cluster = LoopbackCluster(num_nodes=num_nodes,
                               forecaster_factory=forecaster_factory,
-                              config=config, record_metrics=True)
+                              config=config, cluster_config=cluster_config,
+                              record_metrics=True)
     cluster.use_cluster_population()
     engine = FleetEngine(scalability_fleet_config(
         n_vessels=n_vessels, duration_s=duration_s, seed=seed))
@@ -233,6 +238,8 @@ def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
         total_vessels=cluster.total_vessels, wall_time_s=wall,
         per_node=cluster.metrics_snapshots(),
         actor_counts=curve_x, avg_processing_time_s=curve_y,
-        vessel_distribution=cluster.vessel_distribution())
+        vessel_distribution=cluster.vessel_distribution(),
+        transport_stats={n.node_id: n.transport.stats()
+                         for n in cluster.nodes})
     cluster.shutdown()
     return result

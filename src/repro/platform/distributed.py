@@ -196,8 +196,9 @@ class DistributedPlatform:
             committed = self.broker.committed("platform", topic, partition)
             consumer.seek(topic, partition, max(0, committed - depth))
         replayed = 0
+        buffer: list = []   # reused across polls (no per-poll allocation)
         while True:
-            records = consumer.poll(max_records=2_000)
+            records = consumer.poll(max_records=2_000, out=buffer)
             if not records:
                 break
             for record in records:

@@ -36,6 +36,9 @@ class IngestionService:
         self.messages_ingested = 0
         self.parse_errors = 0
         self._last_switchoff_check = 0.0
+        #: Reused across polls — poll_once runs per stream tick, and a
+        #: fresh 2_000-slot list per call showed up in profiles.
+        self._poll_buffer: list = []
 
     def _to_message(self, value, timestamp: float) -> AISMessage | None:
         """Parse a record value into a position report (or drop it)."""
@@ -59,7 +62,8 @@ class IngestionService:
         The platform's virtual clock advances to the newest stream
         timestamp seen, releasing any scheduled housekeeping messages.
         """
-        records = self._consumer.poll(max_records=max_records)
+        records = self._consumer.poll(max_records=max_records,
+                                      out=self._poll_buffer)
         dispatched = 0
         newest_t = None
         for record in records:

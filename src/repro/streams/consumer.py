@@ -80,9 +80,18 @@ class Consumer:
     def assignment(self) -> list[int]:
         return list(self._assignment)
 
-    def poll(self, max_records: int = 500) -> list[Record]:
-        """Fetch up to ``max_records`` records across assigned partitions."""
-        out: list[Record] = []
+    def poll(self, max_records: int = 500,
+             out: list[Record] | None = None) -> list[Record]:
+        """Fetch up to ``max_records`` records across assigned partitions.
+
+        Hot loops pass a reusable ``out`` list (cleared here, then filled
+        and returned) so a poll-per-tick caller doesn't allocate a fresh
+        buffer on every call.
+        """
+        if out is None:
+            out = []
+        else:
+            out.clear()
         budget = max_records
         for partition in self._assignment:
             if budget <= 0:

@@ -140,19 +140,107 @@ class TestTcp:
         finally:
             ta.close()
 
-    def test_send_to_dead_peer_raises(self):
+    def test_send_to_dead_peer_latches_error(self):
+        """Delivery failures happen in the writer thread (send never blocks
+        on connect); the error latches and the *next* send raises."""
+        import time
+
         ta = TcpTransport(port=0)
-        tb = TcpTransport(port=0)
         ta.start(lambda f: None)
-        tb.start(lambda f: None)
-        dead_address = tb.address
-        tb.close()
-        ta.add_peer("b", dead_address)
+        # Port 1 refuses deterministically; a closed listener's ephemeral
+        # port can self-connect on Linux (simultaneous open).
+        ta.add_peer("b", ("127.0.0.1", 1))
         try:
+            ta.send("b", b"x")    # enqueues; the writer thread fails
+            deadline = time.monotonic() + 10.0
+            while ta.send_errors == 0:
+                assert time.monotonic() < deadline, "writer never failed"
+                time.sleep(0.01)
             with pytest.raises(TransportError):
-                ta.send("b", b"x")
+                ta.send("b", b"y")
         finally:
             ta.close()
+
+    def test_full_outbound_queue_applies_backpressure(self, monkeypatch):
+        """With the writer thread stuck in connection setup, a bounded
+        queue fills and send() raises after the block timeout — dispatch
+        threads are never wedged behind a slow peer."""
+        from repro.cluster import transport as transport_mod
+
+        release = threading.Event()
+
+        def stuck_connect(addr, timeout=None):
+            release.wait(30.0)
+            raise OSError("unreachable")
+
+        monkeypatch.setattr(transport_mod.socket, "create_connection",
+                            stuck_connect)
+        ta = TcpTransport(port=0, queue_frames=2, block_timeout_s=0.05)
+        ta.start(lambda f: None)
+        ta.add_peer("b", ("127.0.0.1", 1))
+        try:
+            deadline = threading.Event()
+            # First frame is taken by the writer (now stuck in connect);
+            # the next two fill the bounded queue.
+            for _ in range(8):
+                try:
+                    ta.send("b", b"x")
+                except TransportError:
+                    deadline.set()
+                    break
+            assert deadline.is_set(), "queue never filled"
+            assert ta.enqueue_timeouts >= 1
+        finally:
+            release.set()
+            ta.close()
+
+    def test_reader_threads_are_reaped(self):
+        """Reader threads of closed connections are pruned on later
+        accepts instead of accumulating one per connection ever made."""
+        import time
+
+        sink = Sink()
+        tb = TcpTransport(port=0)
+        tb.start(sink)
+        try:
+            sent = 0
+            deadline = time.monotonic() + 20.0
+            while True:
+                ta = TcpTransport(port=0)
+                ta.start(lambda f: None)
+                ta.add_peer("b", tb.address)
+                ta.send("b", b"x")
+                sent += 1
+                sink.wait_for(sent)
+                ta.close()
+                # accept thread + the just-created reader + at most a
+                # couple of not-yet-exited older readers
+                if sent >= 6 and len(tb._threads) <= 4:
+                    break
+                assert time.monotonic() < deadline, \
+                    f"thread list never pruned: {len(tb._threads)}"
+        finally:
+            tb.close()
+
+    def test_stats_counters(self):
+        sink = Sink()
+        ta = TcpTransport(port=0)
+        tb = TcpTransport(port=0)
+        try:
+            ta.start(lambda f: None)
+            tb.start(sink)
+            ta.add_peer("b", tb.address)
+            for i in range(10):
+                ta.send("b", b"abc")
+            sink.wait_for(10)
+            stats = ta.stats()
+            assert stats["frames_sent"] == 10
+            assert stats["bytes_sent"] == 10 * (4 + 3)
+            assert 1 <= stats["writes"] <= 10   # coalescing may merge
+            assert stats["send_errors"] == 0
+        finally:
+            ta.close()
+            tb.close()
 
 
 class TestCodec:
