@@ -27,6 +27,7 @@ The platform-level assembly lives in
 :class:`repro.platform.DistributedPlatform`.
 """
 
+from repro.cluster.clock import VirtualClock
 from repro.cluster.membership import (
     ClusterConfig,
     Member,
@@ -75,6 +76,7 @@ __all__ = [
     "TcpTransport",
     "Transport",
     "TransportError",
+    "VirtualClock",
     "WireEnvelope",
     "run_cluster_until_idle",
     "shard_for_key",

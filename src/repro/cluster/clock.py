@@ -1,0 +1,36 @@
+"""Injectable clocks for the cluster runtime.
+
+Every time-dependent component in :mod:`repro.cluster` (heartbeats, the
+failure detector, batching lingers) reads time through a ``clock``
+callable. Production wiring passes ``time.monotonic``; deterministic
+tests and the :mod:`repro.sim` harness pass one shared
+:class:`VirtualClock` so a whole cluster — including its fault timeline —
+advances only when the driver says so.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A deterministic monotonic clock, advanced explicitly.
+
+    Instances are callable with the same signature as ``time.monotonic``,
+    so one object can be handed to every clock-accepting component.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s`` seconds; returns the new time."""
+        if dt_s < 0:
+            raise ValueError("virtual time cannot move backwards")
+        self._now += dt_s
+        return self._now

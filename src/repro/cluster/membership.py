@@ -6,10 +6,16 @@ State machine per member (a gossip-free subset of Akka cluster's):
 
 A member becomes SUSPECT after ``suspect_after_s`` without a heartbeat and
 DOWN after ``down_after_s``; a heartbeat from a SUSPECT member restores it
-to UP (DOWN is terminal — a downed node must rejoin under a fresh id, which
-sidesteps split-brain resurrection). Time is injected through a ``clock``
-callable so deterministic tests drive the detector from a virtual clock
-while TCP deployments use ``time.monotonic``.
+to UP. DOWN is terminal for the *incarnation*: heartbeats from a downed
+member are ignored (no split-brain resurrection), and the only way back in
+is an explicit re-``Join`` — a restarted node may reuse its id, which
+:meth:`Membership.add` records as a new incarnation.
+
+Time is injected through a ``clock`` callable so deterministic tests drive
+the detector from a virtual clock while TCP deployments use
+``time.monotonic`` — the default. No code in this module may read the
+``time`` module directly outside that default (virtual-time tests would
+race); ``tests/cluster/test_virtual_clock.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -35,6 +41,9 @@ class Member:
     address: Any
     state: MemberState
     last_heartbeat: float
+    #: Bumped each time a DOWN member re-joins under the same id (node
+    #: restart); lets observers distinguish a revival from steady UP.
+    incarnation: int = 0
 
 
 @dataclass(frozen=True)
@@ -69,6 +78,15 @@ class ClusterConfig:
     #: How long a sender blocks on a full outbound queue before
     #: :class:`~repro.cluster.transport.TransportError` (backpressure).
     send_block_timeout_s: float = 2.0
+    #: Leader-side anti-entropy period: the coordinator re-broadcasts the
+    #: current shard table and member roster this often, so a peer that
+    #: missed a one-shot ``ShardTableUpdate`` / ``MemberUp`` (dropped
+    #: frame, transient partition) still converges. <= 0 disables.
+    anti_entropy_interval_s: float = 2.0
+    #: A joining node re-sends ``Join`` to its seed contact this often
+    #: until the ``Welcome`` arrives (the handshake itself may be lost on
+    #: a lossy network). <= 0 disables.
+    join_retry_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -136,7 +154,8 @@ class Membership:
 
     def add(self, node_id: str, address: Any) -> bool:
         """Admit (or refresh) a member as UP; returns True if the alive set
-        changed."""
+        changed. Re-admitting a DOWN member (a node restarted under the
+        same id) starts a new incarnation."""
         member = self._members.get(node_id)
         now = self.clock()
         if member is None:
@@ -144,9 +163,14 @@ class Membership:
                                             MemberState.UP, now)
             return True
         member.address = address
-        member.last_heartbeat = now
         if member.state is not MemberState.UP:
+            # Only a state change stamps the heartbeat timer: an ``add``
+            # of an already-UP member (leader anti-entropy re-broadcasts)
+            # must not keep a silent node looking alive.
+            member.last_heartbeat = now
             changed = member.state is MemberState.DOWN
+            if changed:
+                member.incarnation += 1
             member.state = MemberState.UP
             return changed
         return False

@@ -96,11 +96,14 @@ class ClusterNode:
         self.config = config or ClusterConfig()
         if (self.config.transport_batching
                 and not isinstance(transport, BatchingTransport)):
+            # The wrapper inherits this node's clock: under a virtual
+            # clock the linger bookkeeping must not read wall time.
             transport = BatchingTransport(
                 transport,
                 linger_ms=self.config.batch_linger_ms,
                 max_batch_bytes=self.config.max_batch_bytes,
-                max_batch_msgs=self.config.max_batch_msgs)
+                max_batch_msgs=self.config.max_batch_msgs,
+                clock=clock)
         self.transport = transport
         self.clock = clock
         self.system = ActorSystem(name=node_id, mode=system_mode,
@@ -120,6 +123,9 @@ class ClusterNode:
         self._corr = itertools.count(1)
         self._lock = threading.RLock()
         self._last_heartbeat_sent = float("-inf")
+        self._last_anti_entropy = float("-inf")
+        self._seed_contact: tuple[str, Any] | None = None
+        self._last_join_sent = float("-inf")
         self._closed = False
         #: Hooks fired after a new shard table is installed
         #: (``fn(old_table, new_table)``) — the platform uses this to
@@ -133,6 +139,8 @@ class ClusterNode:
         self.forwarded = 0
         self.buffered = 0
         self.redelivered = 0
+        self.shards_moved = 0
+        self.handoff_keys_released = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -143,9 +151,13 @@ class ClusterNode:
         """Ask the seed node for admission (the gossip-free join protocol).
 
         Over loopback, pump the hub afterwards; over TCP, wait on
-        :attr:`joined`.
+        :attr:`joined`. Until the ``Welcome`` arrives, :meth:`tick`
+        re-sends the ``Join`` every ``join_retry_interval_s`` — the
+        handshake must survive a lossy network.
         """
         self.transport.add_peer(seed_id, seed_address)
+        self._seed_contact = (seed_id, seed_address)
+        self._last_join_sent = self.clock()
         self.send_control(seed_id, Join(self.node_id,
                                         self.transport.address))
 
@@ -347,6 +359,35 @@ class ClusterNode:
             beat = Heartbeat(self.node_id)
             for peer in self.membership.peer_ids():
                 self.send_control(peer, beat)
+        if (self.config.join_retry_interval_s > 0
+                and self._seed_contact is not None
+                and not self.joined.is_set()
+                and now - self._last_join_sent
+                >= self.config.join_retry_interval_s):
+            self._last_join_sent = now
+            seed_id, seed_address = self._seed_contact
+            self.send_control(seed_id, Join(self.node_id,
+                                            self.transport.address))
+        if (self.config.anti_entropy_interval_s > 0
+                and self.coordinator.is_active
+                and now - self._last_anti_entropy
+                >= self.config.anti_entropy_interval_s):
+            # Control broadcasts (table updates, member roster) are
+            # one-shot; on a lossy network a peer that missed one would
+            # stay stale forever. The leader therefore re-asserts its
+            # view periodically — receivers install idempotently.
+            self._last_anti_entropy = now
+            update = ShardTableUpdate(epoch=self.table.epoch,
+                                      nodes=self.table.nodes)
+            roster = [m for m in self.membership.members()
+                      if m.state in (MemberState.UP, MemberState.SUSPECT)
+                      and m.node_id != self.node_id]
+            for peer in self.membership.peer_ids():
+                self.send_control(peer, update)
+                for member in roster:
+                    if member.node_id != peer:
+                        self.send_control(peer, MemberUp(member.node_id,
+                                                         member.address))
         events = self.membership.check()
         downs = [e for e in events if e.state is MemberState.DOWN]
         if downs:
@@ -390,13 +431,21 @@ class ClusterNode:
     def _on_sharded(self, env: WireEnvelope) -> None:
         shard = shard_for_key(env.entity, env.key, self.config.num_shards)
         owner = self.table.owner_of(shard)
-        if owner != self.node_id and env.hops < MAX_HOPS:
-            # The sender routed with a stale table — forward to the owner
-            # we know (one extra hop per epoch of staleness, bounded).
-            self.forwarded += 1
-            forwarded = replace(env, hops=env.hops + 1)
-            if not self._send(owner, forwarded):
-                self._buffer(shard, forwarded)
+        if owner != self.node_id:
+            if env.hops < MAX_HOPS:
+                # The sender routed with a stale table — forward to the
+                # owner we know (one extra hop per epoch of staleness).
+                self.forwarded += 1
+                forwarded = replace(env, hops=env.hops + 1)
+                if not self._send(owner, forwarded):
+                    self._buffer(shard, forwarded)
+            else:
+                # Hop budget exhausted mid-churn (tables still disagree).
+                # Never deliver to a non-owner — that would spawn an
+                # entity actor on the wrong node, invisible to any later
+                # handoff. Buffer; flush_pending re-routes fresh once a
+                # table installs or the owner recovers.
+                self._buffer(shard, replace(env, hops=0))
             return
         router = self._routers.get(env.entity)
         if router is None:
@@ -496,9 +545,11 @@ class ClusterNode:
         its mailbox are re-routed through the shard router so they reach
         the shard's new owner (buffered redelivery).
         """
+        self.shards_moved += len(old.moved_shards(new))
         for router in self._routers.values():
             for key in router.handoff_keys():
                 pending = router.release(key)
+                self.handoff_keys_released += 1
                 for envelope in pending:
                     router.tell(key, envelope.message,
                                 sender=envelope.sender)
@@ -516,6 +567,8 @@ class ClusterNode:
             "forwarded": self.forwarded,
             "buffered": self.buffered,
             "redelivered": self.redelivered,
+            "shards_moved": self.shards_moved,
+            "handoff_keys_released": self.handoff_keys_released,
             "pending": self.pending_count,
             "active_actors": self.system.active_count,
             "dead_letters": self.system.dead_letter_count,

@@ -92,6 +92,28 @@ class ShardTable:
     def shards_of(self, node_id: str) -> list[int]:
         return [s for s, n in self.assignment.items() if n == node_id]
 
+    def moved_shards(self, other: "ShardTable") -> list[int]:
+        """Shards whose owner differs between this table and ``other`` —
+        the set a handoff must cover when ``other`` replaces this table."""
+        return sorted(s for s in range(self.num_shards)
+                      if self.assignment.get(s) != other.assignment.get(s))
+
+    def problems(self) -> list[str]:
+        """Internal-consistency violations of this table (empty when
+        sound): every shard present exactly once, every owner a member of
+        the node list. The sim harness asserts this after every scenario."""
+        issues = []
+        missing = [s for s in range(self.num_shards)
+                   if s not in self.assignment]
+        if missing:
+            issues.append(f"shards without owner: {missing}")
+        node_set = set(self.nodes)
+        foreign = sorted({n for n in self.assignment.values()
+                          if n not in node_set})
+        if foreign:
+            issues.append(f"owners outside node list: {foreign}")
+        return issues
+
     def __repr__(self) -> str:
         counts: dict[str, int] = {}
         for node in self.assignment.values():

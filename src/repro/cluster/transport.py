@@ -116,7 +116,14 @@ class LoopbackHub:
             t._inbox.clear()
             t._closed = True
 
-    def _enqueue(self, dest: str, frame: bytes) -> None:
+    def _enqueue(self, dest: str, frame: bytes,
+                 src: str | None = None) -> None:
+        """Accept one frame from ``src`` for ``dest``'s inbox.
+
+        This is the fault-injection hook point: ``repro.sim.SimHub``
+        overrides it to drop, duplicate, delay or partition frames per
+        (src, dest) link before they reach an inbox.
+        """
         t = self._transports.get(dest)
         if t is None or t._on_frame is None:
             raise TransportError(f"loopback destination {dest!r} unreachable")
@@ -180,7 +187,7 @@ class LoopbackTransport(Transport):
     def send(self, node_id: str, frame: bytes) -> None:
         if self._closed:
             raise TransportError(f"transport of {self.node_id!r} is closed")
-        self._hub._enqueue(node_id, frame)
+        self._hub._enqueue(node_id, frame, src=self.node_id)
 
     def close(self) -> None:
         self._hub.disconnect(self.node_id)

@@ -34,6 +34,7 @@ from repro.cluster import (
     ClusterConfig,
     ClusterNode,
     LoopbackHub,
+    VirtualClock,
     run_cluster_until_idle,
 )
 from repro.kvstore import KeyValueStore, PubSub
@@ -187,14 +188,35 @@ class DistributedPlatform:
         if not self.replay_pending:
             return 0
         self._replays_done = self._replay_generation
+        return self._replay(f"replay-{self._replays_done}",
+                            depth=self.replay_records_per_partition)
+
+    def replay_from_start(self) -> int:
+        """Replay every AIS partition from offset 0 through the normal
+        sharded routing path (:meth:`Consumer.seek` to the beginning).
+
+        This is the strongest recovery action the platform offers — and
+        the oracle behind the sim harness's no-acknowledged-loss
+        invariant: after a full replay, every vessel actor must hold the
+        newest acknowledged position regardless of what the network did.
+        """
+        self._require_seed()
+        self._replays_done = self._replay_generation
+        return self._replay("replay-full", depth=None)
+
+    def _replay(self, group_id: str, depth: int | None) -> int:
+        """Re-dispatch the last ``depth`` committed records per partition
+        (all of them when ``depth`` is None) to the vessel routers."""
         topic = self.config.ais_topic
-        group = ConsumerGroup(self.broker, f"replay-{self._replays_done}",
-                              topic)
+        group = ConsumerGroup(self.broker, group_id, topic)
         consumer = group.join()   # sole member: assigned every partition
-        depth = self.replay_records_per_partition
         for partition in consumer.assignment:
-            committed = self.broker.committed("platform", topic, partition)
-            consumer.seek(topic, partition, max(0, committed - depth))
+            if depth is None:
+                consumer.seek(topic, partition, 0)
+            else:
+                committed = self.broker.committed("platform", topic,
+                                                  partition)
+                consumer.seek(topic, partition, max(0, committed - depth))
         replayed = 0
         buffer: list = []   # reused across polls (no per-poll allocation)
         while True:
@@ -280,33 +302,47 @@ class LoopbackCluster:
                  config: PlatformConfig | None = None,
                  cluster_config: ClusterConfig | None = None,
                  record_metrics: bool = False,
-                 replay_records_per_partition: int = 500) -> None:
+                 replay_records_per_partition: int = 500,
+                 hub: LoopbackHub | None = None,
+                 clock: VirtualClock | None = None) -> None:
         if num_nodes < 1:
             raise ValueError("need at least one node")
-        self.hub = LoopbackHub()
+        # Both the hub and the clock are injectable so repro.sim can swap
+        # in its fault-injecting SimHub and share the scenario's timeline.
+        self.hub = hub if hub is not None else LoopbackHub()
+        self.clock = clock if clock is not None else VirtualClock()
         self.cluster_config = cluster_config or ClusterConfig()
-        self._wall = 0.0
         self.nodes: list[ClusterNode] = []
         self.platforms: list[DistributedPlatform] = []
-        forecaster_factory = forecaster_factory or LinearKinematicModel
+        self._platform_config = config
+        self._record_metrics = record_metrics
+        self._replay_records_per_partition = replay_records_per_partition
+        self._forecaster_factory = forecaster_factory or LinearKinematicModel
         for i in range(num_nodes):
-            node_id = f"node-{i:02d}"
-            node = ClusterNode(node_id, self.hub.transport(node_id),
-                               config=self.cluster_config,
-                               system_mode="deterministic",
-                               record_metrics=record_metrics,
-                               clock=lambda: self._wall)
-            node.start()
-            platform = DistributedPlatform(
-                node, forecaster=forecaster_factory(), config=config,
-                is_seed=(i == 0),
-                replay_records_per_partition=replay_records_per_partition)
-            self.nodes.append(node)
-            self.platforms.append(platform)
+            self._spawn_node(f"node-{i:02d}", is_seed=(i == 0))
         seed = self.nodes[0]
         for node in self.nodes[1:]:
             node.join(seed.node_id, seed.transport.address)
         self.settle()
+
+    @property
+    def _wall(self) -> float:
+        return self.clock.now
+
+    def _spawn_node(self, node_id: str, is_seed: bool) -> DistributedPlatform:
+        node = ClusterNode(node_id, self.hub.transport(node_id),
+                           config=self.cluster_config,
+                           system_mode="deterministic",
+                           record_metrics=self._record_metrics,
+                           clock=self.clock)
+        node.start()
+        platform = DistributedPlatform(
+            node, forecaster=self._forecaster_factory(),
+            config=self._platform_config, is_seed=is_seed,
+            replay_records_per_partition=self._replay_records_per_partition)
+        self.nodes.append(node)
+        self.platforms.append(platform)
+        return platform
 
     @property
     def seed(self) -> DistributedPlatform:
@@ -350,7 +386,7 @@ class LoopbackCluster:
         step = self.cluster_config.heartbeat_interval_s
         remaining = dt_s
         while remaining > 0:
-            self._wall += min(step, remaining)
+            self.clock.advance(min(step, remaining))
             for node in self.nodes:
                 node.tick()
             self.settle()
@@ -368,6 +404,22 @@ class LoopbackCluster:
         node._closed = True
         platform_id = node.node_id
         return platform_id
+
+    def restart(self, node_id: str) -> DistributedPlatform:
+        """Bring a previously-killed node back under its *original* id.
+
+        The rejoin is a fresh incarnation (empty actor state, new
+        membership entry); peers that declared the old incarnation DOWN
+        re-admit it and the coordinator reshuffles shards back. Vessel
+        history is rebuilt by the seed's post-handoff replay.
+        """
+        if any(n.node_id == node_id for n in self.nodes):
+            raise ValueError(f"{node_id} is already running")
+        platform = self._spawn_node(node_id, is_seed=False)
+        seed = self.nodes[0]
+        platform.node.join(seed.node_id, seed.transport.address)
+        self.settle()
+        return platform
 
     # -- cluster-wide views ------------------------------------------------------------
 

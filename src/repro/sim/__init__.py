@@ -1,0 +1,52 @@
+"""Deterministic simulation testing of the cluster (FoundationDB style).
+
+One seed drives *everything* nondeterministic in a simulated cluster run:
+the workload (:mod:`~repro.sim.workload`), the fault timeline — message
+drops, duplication, delay-induced reordering, partitions, node crashes —
+(:mod:`~repro.sim.faults`, :mod:`~repro.sim.transport`) and the virtual
+clock the failure detector reads. A failing run therefore reproduces
+byte-for-byte from its seed alone (``pytest tests/sim --sim-seed N``).
+
+After every scenario four invariants are checked
+(:mod:`~repro.sim.invariants`):
+
+1. **Shard convergence** — every live node holds the identical final
+   shard table, internally sound, owned only by live nodes.
+2. **No acknowledged position lost** — after healing and a full AIS
+   replay (:meth:`Consumer.seek` to offset 0), every published vessel is
+   hosted by exactly one live node and carries the newest acknowledged
+   position.
+3. **Event parity** — the (kind, vessel-pair) event set equals that of a
+   fault-free run of the same seed.
+4. **No delivery to a downed node** — the hub never hands a frame to a
+   crashed endpoint.
+
+:func:`~repro.sim.scenario.run_scenario` assembles all of it and returns
+a :class:`~repro.sim.scenario.SimReport`; the pytest layer lives in
+``tests/sim/``.
+"""
+
+from repro.sim.faults import FaultSpec
+from repro.sim.invariants import Violation
+from repro.sim.scenario import (
+    FaultStep,
+    Scenario,
+    SimCluster,
+    SimReport,
+    run_scenario,
+)
+from repro.sim.transport import SimHub
+from repro.sim.workload import Workload, generate_workload
+
+__all__ = [
+    "FaultSpec",
+    "FaultStep",
+    "Scenario",
+    "SimCluster",
+    "SimHub",
+    "SimReport",
+    "Violation",
+    "Workload",
+    "generate_workload",
+    "run_scenario",
+]

@@ -1,0 +1,57 @@
+"""The link-level fault model.
+
+A :class:`FaultSpec` parameterises what :class:`~repro.sim.transport.SimHub`
+may do to each frame crossing a link. All probabilities are evaluated on
+the hub's single seeded RNG in delivery order, so a given seed always
+yields the same fault sequence.
+
+Delays double as the reordering mechanism: a frame held back while its
+successors sail through arrives out of order, exactly how reordering
+happens on real networks. ``reorder_p`` adds small extra jitter so
+reordering occurs even in profiles without long delays. Delay bounds
+should stay well under ``ClusterConfig.suspect_after_s`` (2 s by
+default) — longer delays do not test the fault path, they test the
+failure detector's false-positive behaviour, which legitimately diverges
+from a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-link fault probabilities applied to every frame."""
+
+    #: Probability a frame is silently dropped.
+    drop_p: float = 0.0
+    #: Probability a frame is delivered twice.
+    dup_p: float = 0.0
+    #: Probability a frame is held back by ``delay_min_s..delay_max_s``.
+    delay_p: float = 0.0
+    delay_min_s: float = 0.05
+    delay_max_s: float = 0.8
+    #: Probability of a small extra jitter (0..``reorder_jitter_s``) whose
+    #: only purpose is to swap a frame past its successors.
+    reorder_p: float = 0.0
+    reorder_jitter_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "dup_p", "delay_p", "reorder_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.delay_min_s < 0 or self.delay_max_s < self.delay_min_s:
+            raise ValueError("need 0 <= delay_min_s <= delay_max_s")
+        if self.reorder_jitter_s < 0:
+            raise ValueError("reorder_jitter_s must be non-negative")
+
+    @property
+    def any_active(self) -> bool:
+        return (self.drop_p > 0 or self.dup_p > 0 or self.delay_p > 0
+                or self.reorder_p > 0)
+
+
+#: No faults at all — the reference profile.
+NONE = FaultSpec()

@@ -1,0 +1,125 @@
+"""The four post-scenario invariant checkers.
+
+Each checker returns a list of :class:`Violation` (empty = invariant
+holds). They are pure observers: :func:`~repro.sim.scenario.run_scenario`
+performs the heal/replay recovery sequence *before* calling them, so a
+violation here means the cluster genuinely failed to converge — not that
+it was still mid-recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+EVENT_KINDS = ("proximity", "collision")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough detail to debug from the log."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+def check_shard_convergence(cluster) -> list[Violation]:
+    """(a) Every live node holds the identical, internally sound shard
+    table at the final epoch, and owners are all live nodes."""
+    violations = []
+    live = sorted(n.node_id for n in cluster.nodes)
+    tables = [(n.node_id, n.table) for n in cluster.nodes]
+    epochs = {t.epoch for _, t in tables}
+    if len(epochs) != 1:
+        violations.append(Violation(
+            "shard-convergence",
+            "epoch disagreement: "
+            + ", ".join(f"{nid}={t.epoch}" for nid, t in tables)))
+    reference_id, reference = tables[0]
+    for nid, table in tables[1:]:
+        if table.assignment != reference.assignment:
+            diff = [s for s in range(table.num_shards)
+                    if table.assignment.get(s)
+                    != reference.assignment.get(s)]
+            violations.append(Violation(
+                "shard-convergence",
+                f"{nid} assigns shards {diff[:8]}{'...' if len(diff) > 8 else ''} "
+                f"differently from {reference_id}"))
+    for nid, table in tables:
+        for problem in table.problems():
+            violations.append(Violation(
+                "shard-convergence", f"{nid}: {problem}"))
+        foreign = sorted({o for o in table.assignment.values()
+                          if o not in live})
+        if foreign:
+            violations.append(Violation(
+                "shard-convergence",
+                f"{nid} assigns shards to non-live nodes {foreign}"))
+    for node in cluster.nodes:
+        seen = sorted(node.membership.alive_ids())
+        if seen != live:
+            violations.append(Violation(
+                "shard-convergence",
+                f"{node.node_id} believes alive={seen}, actual={live}"))
+    return violations
+
+
+def check_no_acked_loss(cluster, final_t: dict[int, float]
+                        ) -> list[Violation]:
+    """(b) After heal + full replay, every published vessel is hosted on
+    exactly one live node and carries its newest acknowledged position."""
+    violations = []
+    for mmsi, expected_t in sorted(final_t.items()):
+        hosts = [p for p in cluster.platforms
+                 if mmsi in p.wiring.vessel_router]
+        if len(hosts) != 1:
+            where = [p.node.node_id for p in hosts] or "nowhere"
+            violations.append(Violation(
+                "no-acked-loss",
+                f"vessel {mmsi} hosted on {where} (want exactly one node)"))
+            continue
+        platform = hosts[0]
+        cell = platform.system._cells.get(f"vessel-{mmsi}")
+        last = cell.actor.last_message if cell is not None else None
+        if last is None or last.t != expected_t:
+            got = "nothing" if last is None else f"t={last.t}"
+            violations.append(Violation(
+                "no-acked-loss",
+                f"vessel {mmsi} on {platform.node.node_id} holds {got}, "
+                f"newest acknowledged fix is t={expected_t}"))
+    return violations
+
+
+def collect_events(cluster) -> set[tuple[str, tuple[int, int]]]:
+    """The cluster-wide (kind, pair) event set, unioned across every live
+    node's KV store (cross-node duplicates collapse by construction)."""
+    events: set[tuple[str, tuple[int, int]]] = set()
+    for platform in cluster.platforms:
+        now = platform.system.now
+        for kind in EVENT_KINDS:
+            for payload in platform.kvstore.lrange(
+                    f"events:{kind}", 0, -1, now=now):
+                events.add((kind, tuple(payload.pair)))
+    return events
+
+
+def check_event_parity(events: set, reference_events: set
+                       ) -> list[Violation]:
+    """(c) The faulty run detected exactly the encounters the fault-free
+    run of the same seed did — none lost, none fabricated."""
+    violations = []
+    for kind, pair in sorted(reference_events - events):
+        violations.append(Violation(
+            "event-parity", f"missing {kind} event for pair {pair}"))
+    for kind, pair in sorted(events - reference_events):
+        violations.append(Violation(
+            "event-parity", f"spurious {kind} event for pair {pair}"))
+    return violations
+
+
+def check_no_downed_delivery(hub) -> list[Violation]:
+    """(d) The hub never handed a frame to a crashed node."""
+    return [Violation("no-downed-delivery", detail)
+            for detail in hub.violations]

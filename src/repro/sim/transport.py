@@ -1,0 +1,189 @@
+"""The fault-injecting loopback hub.
+
+:class:`SimHub` subclasses the deterministic
+:class:`~repro.cluster.transport.LoopbackHub` and interposes on its single
+choke point, ``_enqueue`` — every frame any node sends passes through it
+with its ``(src, dest)`` link identity. There the hub consults the
+partition set and rolls its seeded RNG against the active
+:class:`~repro.sim.faults.FaultSpec`: drop, duplicate, or push onto a
+virtual-time delay heap keyed ``(deliver_at, seq)``. ``pump()`` first
+releases every delayed frame whose deadline has passed on the shared
+:class:`~repro.cluster.clock.VirtualClock`, then delivers inboxes in the
+base class's deterministic order.
+
+Crashes are modelled at the hub too: :meth:`crash` removes the endpoint,
+purges frames already in flight to it (they were on the wire when the
+process died) and records the node as downed — any later delivery attempt
+to it is recorded in :attr:`violations`, which invariant (d) of the sim
+harness asserts empty.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.cluster.clock import VirtualClock
+from repro.cluster.transport import LoopbackHub, TransportError
+from repro.sim.faults import FaultSpec
+
+
+class SimHub(LoopbackHub):
+    """A :class:`LoopbackHub` whose links misbehave on command."""
+
+    def __init__(self, rng: random.Random,
+                 clock: VirtualClock | None = None,
+                 faults: FaultSpec | None = None) -> None:
+        super().__init__()
+        self.rng = rng
+        self.clock = clock if clock is not None else VirtualClock()
+        self.faults = faults if faults is not None else FaultSpec()
+        #: (deliver_at, seq, dest, frame) min-heap of delayed frames. The
+        #: seq tiebreak keeps equal deadlines FIFO and the heap total-ordered
+        #: without comparing frame bytes.
+        self._delayed: list[tuple[float, int, str, bytes]] = []
+        self._seq = 0
+        #: Directed links currently severed: (src, dest) pairs.
+        self.partitioned: set[tuple[str, str]] = set()
+        #: Nodes that crashed and were not revived.
+        self.crashed: set[str] = set()
+        #: Harness-integrity breaches (frames delivered to downed nodes).
+        self.violations: list[str] = []
+        self.faults_dropped = 0
+        self.faults_duplicated = 0
+        self.faults_delayed = 0
+        self.partition_dropped = 0
+        self.crash_purged = 0
+
+    # -- fault controls ----------------------------------------------------------
+
+    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Sever the a->b link (and b->a when symmetric). Frames crossing a
+        severed link vanish without an error — nastier than a refused send,
+        because the sender keeps believing the peer is fine until the
+        failure detector says otherwise."""
+        self.partitioned.add((a, b))
+        if symmetric:
+            self.partitioned.add((b, a))
+
+    def heal(self, a: str | None = None, b: str | None = None) -> None:
+        """Restore one link (both directions) or, with no arguments, all."""
+        if a is None and b is None:
+            self.partitioned.clear()
+            return
+        self.partitioned.discard((a, b))
+        self.partitioned.discard((b, a))
+
+    def crash(self, node_id: str) -> None:
+        """Take a node off the hub abruptly: inbox and in-flight frames to
+        it are lost, and it is remembered as downed until :meth:`revive`."""
+        self.disconnect(node_id)   # purges the inbox, counts the drops
+        self.crashed.add(node_id)
+        kept = [item for item in self._delayed if item[2] != node_id]
+        self.crash_purged += len(self._delayed) - len(kept)
+        heapq.heapify(kept)
+        self._delayed = kept
+
+    def revive(self, node_id: str) -> None:
+        """Allow a crashed node id back (call before re-creating its
+        transport for a restart-with-same-id)."""
+        self.crashed.discard(node_id)
+
+    # -- frame path --------------------------------------------------------------
+
+    def _enqueue(self, dest: str, frame: bytes,
+                 src: str | None = None) -> None:
+        if src is not None and (src, dest) in self.partitioned:
+            self.partition_dropped += 1
+            return
+        if dest in self.crashed:
+            # Connection refused: a send toward a dead node fails fast,
+            # before transit — it must not enter the delay heap, or it
+            # would ghost-deliver to the node's *next* incarnation.
+            raise TransportError(f"node {dest!r} is down")
+        spec = self.faults
+        if src is not None and spec.any_active:
+            if spec.drop_p > 0 and self.rng.random() < spec.drop_p:
+                self.faults_dropped += 1
+                return
+            copies = 1
+            if spec.dup_p > 0 and self.rng.random() < spec.dup_p:
+                copies = 2
+                self.faults_duplicated += 1
+            for _ in range(copies):
+                delay = 0.0
+                if spec.delay_p > 0 and self.rng.random() < spec.delay_p:
+                    delay = self.rng.uniform(spec.delay_min_s,
+                                             spec.delay_max_s)
+                if (spec.reorder_p > 0
+                        and self.rng.random() < spec.reorder_p):
+                    delay += self.rng.uniform(0.0, spec.reorder_jitter_s)
+                if delay > 0.0:
+                    self.faults_delayed += 1
+                    self._seq += 1
+                    heapq.heappush(self._delayed,
+                                   (self.clock.now + delay, self._seq,
+                                    dest, frame))
+                else:
+                    self._deliver(dest, frame)
+            return
+        self._deliver(dest, frame)
+
+    def _deliver(self, dest: str, frame: bytes) -> None:
+        if dest in self.crashed:
+            if dest in self._transports:
+                # A crashed node must have no live endpoint until revived;
+                # a frame landing in its inbox is invariant (d)'s breach.
+                self.violations.append(
+                    f"frame delivered to downed node {dest!r}")
+                return
+            # Sends toward a dead endpoint fail like any unknown
+            # destination — the sender buffers or drops per its own rules.
+            raise TransportError(f"node {dest!r} is down")
+        super()._enqueue(dest, frame)
+
+    def _release_due(self) -> int:
+        """Move delayed frames whose deadline passed into their inboxes."""
+        released = 0
+        now = self.clock.now
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, dest, frame = heapq.heappop(self._delayed)
+            released += 1
+            try:
+                self._deliver(dest, frame)
+            except TransportError:
+                # Destination vanished while the frame was in flight.
+                self.frames_dropped += 1
+        return released
+
+    def pump(self, max_frames: int = 100_000) -> int:
+        delivered = 0
+        while True:
+            released = self._release_due()
+            moved = super().pump(max_frames)
+            delivered += moved
+            if released == 0 and moved == 0:
+                return delivered
+
+    # -- introspection ------------------------------------------------------------
+
+    def next_deadline(self) -> float | None:
+        """Virtual time at which the earliest delayed frame becomes due
+        (None when the delay heap is empty)."""
+        return self._delayed[0][0] if self._delayed else None
+
+    @property
+    def in_transit(self) -> int:
+        """Frames not yet handed to any inbox (the delay heap)."""
+        return len(self._delayed)
+
+    def fault_counters(self) -> dict:
+        return {
+            "faults_dropped": self.faults_dropped,
+            "faults_duplicated": self.faults_duplicated,
+            "faults_delayed": self.faults_delayed,
+            "partition_dropped": self.partition_dropped,
+            "crash_purged": self.crash_purged,
+            "frames_delivered": self.frames_delivered,
+            "frames_dropped": self.frames_dropped,
+        }

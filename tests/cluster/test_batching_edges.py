@@ -1,0 +1,106 @@
+"""Boundary behavior of BatchingTransport: exact-threshold flushes,
+oversize single frames, and flush ordering when a peer dies mid-stream.
+"""
+
+from repro.cluster import BatchingTransport, LoopbackHub
+from repro.cluster.transport import TransportError
+
+
+def pair(hub=None, **kwargs):
+    hub = hub or LoopbackHub()
+    ta = BatchingTransport(hub.transport("a"), **kwargs)
+    tb = BatchingTransport(hub.transport("b"), **kwargs)
+    return hub, ta, tb
+
+
+class TestByteThreshold:
+    def test_flush_fires_at_exactly_max_batch_bytes(self):
+        hub, ta, tb = pair(max_batch_bytes=64, max_batch_msgs=1000)
+        got = []
+        ta.start(lambda f: None)
+        tb.start(got.append)
+        ta.send("b", b"x" * 32)
+        assert ta.buffered_frames == 1 and ta.batches_sent == 0
+        ta.send("b", b"y" * 32)          # cumulative == threshold exactly
+        assert ta.buffered_frames == 0 and ta.batches_sent == 1
+        hub.pump()
+        assert got == [b"x" * 32, b"y" * 32]
+
+    def test_one_byte_below_threshold_keeps_buffering(self):
+        hub, ta, tb = pair(max_batch_bytes=64, max_batch_msgs=1000)
+        ta.start(lambda f: None)
+        tb.start(lambda f: None)
+        ta.send("b", b"x" * 32)
+        ta.send("b", b"y" * 31)          # cumulative 63 < 64
+        assert ta.buffered_frames == 2 and ta.batches_sent == 0
+
+    def test_oversize_single_frame_flushes_immediately_unwrapped(self):
+        hub, ta, tb = pair(max_batch_bytes=64, max_batch_msgs=1000)
+        got = []
+        ta.start(lambda f: None)
+        tb.start(got.append)
+        big = b"z" * 4096                # one frame past the whole budget
+        ta.send("b", big)
+        assert ta.buffered_frames == 0
+        assert ta.batches_sent == 1 and ta.frames_batched == 1
+        hub.pump()
+        assert got == [big]              # byte-exact, no batch container
+
+
+class TestDisconnectOrdering:
+    def test_flush_to_dead_peer_drops_and_counts(self):
+        hub, ta, tb = pair(max_batch_msgs=100)
+        ta.start(lambda f: None)
+        tb.start(lambda f: None)
+        ta.send("b", b"one")
+        ta.send("b", b"two")
+        hub.disconnect("b")
+        assert ta.flush("b") == 0        # absorbed, not raised
+        assert ta.frames_dropped == 2
+        assert ta.buffered_frames == 0   # buffer was consumed, not stuck
+
+    def test_dead_peer_does_not_stall_other_peers(self):
+        hub = LoopbackHub()
+        ta = BatchingTransport(hub.transport("a"), max_batch_msgs=100)
+        tb = BatchingTransport(hub.transport("b"), max_batch_msgs=100)
+        tc = BatchingTransport(hub.transport("c"), max_batch_msgs=100)
+        got_c = []
+        ta.start(lambda f: None)
+        tb.start(lambda f: None)
+        tc.start(got_c.append)
+        ta.send("b", b"doomed")
+        ta.send("c", b"alive-1")
+        ta.send("c", b"alive-2")
+        hub.disconnect("b")
+        ta.flush()                       # all-peers flush hits the dead one
+        assert ta.frames_dropped == 1
+        hub.pump()
+        assert got_c == [b"alive-1", b"alive-2"]
+
+    def test_order_preserved_across_threshold_and_explicit_flushes(self):
+        hub, ta, tb = pair(max_batch_msgs=2)
+        got = []
+        ta.start(lambda f: None)
+        tb.start(got.append)
+        frames = [f"frame-{i}".encode() for i in range(5)]
+        for frame in frames:             # auto-flush at 2 and 4
+            ta.send("b", frame)
+        ta.flush("b")                    # drain the odd one out
+        hub.pump()
+        assert got == frames
+
+    def test_unbatched_send_after_disconnect_raises_for_comparison(self):
+        """The raw transport raises on a dead peer; the batching wrapper
+        absorbs the same failure into ``frames_dropped`` — this pins the
+        asymmetry the cluster's redelivery logic is written against."""
+        hub = LoopbackHub()
+        raw = hub.transport("a")
+        hub.transport("b")
+        raw.start(lambda f: None)
+        hub.disconnect("b")
+        try:
+            raw.send("b", b"frame")
+        except TransportError:
+            pass
+        else:
+            raise AssertionError("raw send to dead peer must raise")

@@ -1,0 +1,101 @@
+"""Enforce the injectable-clock contract of the cluster layer.
+
+Deterministic simulation replays a seed on a virtual clock; any code path
+that reads the ``time`` module directly (outside a default argument)
+races real time against virtual time and silently breaks replay. The AST
+audit pins that contract; the behavioral tests prove the clock a node is
+built with actually reaches its failure detector and its auto-wrapped
+batching transport.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+import repro.cluster.membership as membership_mod
+import repro.cluster.node as node_mod
+import repro.cluster.transport as transport_mod
+from repro.cluster import (
+    ClusterConfig,
+    ClusterNode,
+    LoopbackHub,
+    VirtualClock,
+)
+from repro.cluster.membership import MemberState, Membership
+from repro.cluster.transport import BatchingTransport
+
+AUDITED_MODULES = [membership_mod, transport_mod, node_mod]
+
+
+def _time_reads_outside_defaults(module) -> list[str]:
+    """Every ``time.*`` attribute access in ``module``'s source that is
+    not a function-signature default (the sanctioned injection point)."""
+    source = pathlib.Path(module.__file__).read_text()
+    tree = ast.parse(source)
+    default_nodes: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in (node.args.defaults + node.args.kw_defaults):
+                if default is not None:
+                    for sub in ast.walk(default):
+                        default_nodes.add(id(sub))
+    offenders = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and id(node) not in default_nodes):
+            offenders.append(
+                f"{module.__name__}:{node.lineno} time.{node.attr}")
+    return offenders
+
+
+@pytest.mark.parametrize("module", AUDITED_MODULES,
+                         ids=[m.__name__ for m in AUDITED_MODULES])
+def test_no_wall_clock_reads_outside_defaults(module):
+    offenders = _time_reads_outside_defaults(module)
+    assert not offenders, (
+        "wall-clock reads outside injectable defaults (route these "
+        "through the clock parameter): " + ", ".join(offenders))
+
+
+def test_membership_detector_runs_on_injected_clock():
+    clock = VirtualClock()
+    config = ClusterConfig(suspect_after_s=2.0, down_after_s=5.0)
+    membership = Membership("node-00", "addr0", config, clock=clock)
+    membership.add("node-01", "addr1")
+    # No real time may pass in this test; only virtual advances matter.
+    clock.advance(2.5)
+    assert [e.state for e in membership.check()] == [MemberState.SUSPECT]
+    clock.advance(3.0)
+    assert [e.state for e in membership.check()] == [MemberState.DOWN]
+    assert membership.get("node-01").state is MemberState.DOWN
+
+
+def test_auto_wrapped_batching_transport_inherits_node_clock():
+    """A node built with ``transport_batching`` wraps its transport in a
+    BatchingTransport that must linger on the node's clock, not wall
+    time — otherwise virtual-time runs flush on a racing real timer."""
+    clock = VirtualClock()
+    hub = LoopbackHub()
+    node = ClusterNode(
+        "node-00", hub.transport("node-00"),
+        config=ClusterConfig(transport_batching=True,
+                             batch_linger_ms=1000.0),
+        clock=clock)
+    try:
+        assert isinstance(node.transport, BatchingTransport)
+        assert node.transport._clock is clock
+    finally:
+        node.shutdown()
+
+
+def test_explicit_batching_transport_accepts_clock():
+    clock = VirtualClock()
+    hub = LoopbackHub()
+    wrapped = BatchingTransport(hub.transport("node-00"),
+                                clock=clock)
+    assert wrapped._clock is clock

@@ -1,0 +1,17 @@
+"""Repo-wide pytest options.
+
+The simulation options must be registered here (the rootdir conftest)
+rather than in ``tests/sim/conftest.py``: pytest parses the command line
+before collecting sub-directory conftests, so options defined deeper are
+unknown when ``--sim-seed`` is passed on a full-suite run.
+"""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("sim", "deterministic fault simulation")
+    group.addoption(
+        "--sim-seed", type=int, default=None, metavar="SEED",
+        help="replay exactly one simulation seed (skips the seed sweep)")
+    group.addoption(
+        "--sim-seeds", type=int, default=2, metavar="N",
+        help="number of seeds to sweep per scenario (default: 2)")

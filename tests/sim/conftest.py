@@ -1,0 +1,46 @@
+"""Seed parametrization and failing-seed reporting for the sim suite.
+
+Every test that takes a ``sim_seed`` fixture runs once per seed:
+
+* default: seeds ``0..N-1`` with ``N`` from ``--sim-seeds`` (2 in tier-1,
+  raised to 25 by the nightly CI job);
+* ``--sim-seed S``: exactly seed ``S`` — the byte-for-byte replay knob
+  for a seed the sweep reported as failing.
+
+Failures of seeded tests are appended to ``sim-failures.log`` in the
+rootdir (one line per failure, carrying the seed) so the nightly job can
+upload it as an artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_generate_tests(metafunc):
+    if "sim_seed" not in metafunc.fixturenames:
+        return
+    exact = metafunc.config.getoption("--sim-seed")
+    if exact is not None:
+        seeds = [exact]
+    else:
+        seeds = list(range(metafunc.config.getoption("--sim-seeds")))
+    metafunc.parametrize("sim_seed", seeds,
+                         ids=[f"seed{s}" for s in seeds])
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    if not hasattr(item, "callspec") or \
+            "sim_seed" not in item.callspec.params:
+        return
+    seed = item.callspec.params["sim_seed"]
+    log = item.config.rootpath / "sim-failures.log"
+    with open(log, "a") as fh:
+        fh.write(f"{item.nodeid} seed={seed} "
+                 f"(replay: pytest {item.nodeid.split('[')[0]} "
+                 f"--sim-seed {seed})\n")
