@@ -1,0 +1,221 @@
+"""CI bench gate: loopback Figure 6 throughput + telemetry quality checks.
+
+Runs the distributed Figure 6 workload through the deterministic
+:class:`~repro.platform.distributed.LoopbackCluster` with the batched
+transport — the same leg ``BENCH_cluster.json`` records — twice:
+
+1. **telemetry off** — the throughput leg. Fails if msgs/s regresses more
+   than ``--max-regression`` (default 25%) below the recorded
+   ``loopback_gate`` baseline in ``BENCH_cluster.json``.
+2. **telemetry on** — the quality leg. Fails unless the run produced at
+   least one *complete* cross-node trace (ingest -> vessel -> cell /
+   collision hops spanning both nodes, timestamps monotone) and non-zero
+   transport batch/flush metrics, or if telemetry costs more than
+   ``--max-overhead`` (default 5%) extra CPU time over the telemetry-off
+   leg.
+
+Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
+runs the two legs back-to-back (order alternating), each pair therefore
+shares the box's momentary mood, and the gate takes the minimum on/off
+CPU-time ratio across pairs. A genuine overhead is present in every pair;
+CI-box interference (which swings identical runs by far more than the 5%
+threshold) inflates only some of them, so the minimum strips it. CPU time
+rather than wall time because telemetry's cost is added work, which
+``time.process_time`` measures directly.
+
+Each leg runs ``--repeats`` times, interleaved, and the best-throughput
+run of each leg feeds the report and the regression gate. The full report
+(both legs + the telemetry snapshot) goes to ``BENCH_gate.json``.
+
+Run:  python examples/run_bench_gate.py [--smoke] [--repeats 2]
+      python examples/run_bench_gate.py --record-baseline   # refresh anchor
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import ClusterConfig  # noqa: E402
+from repro.evaluation.figure6 import run_figure6_cluster  # noqa: E402
+from repro.platform import PlatformConfig  # noqa: E402
+
+BATCHED_CONFIG = ClusterConfig(transport_batching=True)
+
+
+def run_once(args, telemetry: bool) -> dict:
+    """One Figure 6 loopback run (2 nodes, batched transport)."""
+    gc.collect()
+    config = PlatformConfig(record_metrics=True,
+                            record_telemetry=telemetry,
+                            trace_sample_every=32)
+    cpu_start = time.process_time()
+    result = run_figure6_cluster(
+        n_vessels=args.vessels, duration_s=args.minutes * 60.0,
+        num_nodes=2, seed=args.seed, platform_config=config,
+        cluster_config=BATCHED_CONFIG)
+    run = {
+        "msgs_per_s": result.throughput_msgs_per_s,
+        "messages": result.total_messages,
+        "wall_s": result.wall_time_s,
+        "cpu_s": time.process_time() - cpu_start,
+        "vessel_distribution": result.vessel_distribution,
+        "latency": result.combined_snapshot(),
+    }
+    if telemetry:
+        run["telemetry"] = result.telemetry
+    return run
+
+
+def run_legs(args) -> tuple[dict, dict, list[float]]:
+    """Both legs, interleaved so CI-box noise hits them symmetrically;
+    the best run of each leg counts for throughput, and each repeat's
+    back-to-back pair yields one on/off CPU-time ratio for the overhead
+    estimate (the gate measures the code, not the scheduler's mood)."""
+    best = {False: None, True: None}
+    pair_ratios = []
+    for i in range(args.repeats):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        pair = {}
+        for telemetry in order:
+            run = run_once(args, telemetry)
+            pair[telemetry] = run["cpu_s"]
+            if (best[telemetry] is None
+                    or run["msgs_per_s"] > best[telemetry]["msgs_per_s"]):
+                best[telemetry] = run
+            print(f"      {'on ' if telemetry else 'off'} "
+                  f"{run['msgs_per_s']:.0f} msg/s "
+                  f"({run['messages']} msgs, {run['wall_s']:.1f}s wall, "
+                  f"{run['cpu_s']:.1f}s cpu)")
+        pair_ratios.append(pair[True] / pair[False])
+    return best[False], best[True], pair_ratios
+
+
+def check_telemetry(snapshot: dict) -> list[str]:
+    """The quality assertions over the telemetry-on leg's snapshot."""
+    problems = []
+    complete = snapshot.get("traces_complete", {})
+    if not complete:
+        problems.append("no complete cross-node trace "
+                        "(ingest -> vessel -> cell over >= 2 nodes)")
+    batch_frames = flushes = 0
+    for node_snap in snapshot.get("nodes", {}).values():
+        metrics = node_snap.get("metrics", {})
+        for name, summary in metrics.get("histograms", {}).items():
+            if name.startswith("transport_batch_frames"):
+                batch_frames += summary.get("count", 0)
+        for name, value in metrics.get("counters", {}).items():
+            if name.startswith("transport_flush_total"):
+                flushes += value
+    if not batch_frames:
+        problems.append("transport_batch_frames histogram recorded nothing")
+    if not flushes:
+        problems.append("transport_flush_total counters are all zero")
+    return problems
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vessels", type=int, default=200)
+    parser.add_argument("--minutes", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per leg; the best throughput counts")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run (80 vessels, 5 minutes, 1 repeat)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated throughput drop below the recorded "
+                             "baseline (fraction)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="tolerated telemetry CPU-time cost relative "
+                             "to the telemetry-off leg (fraction)")
+    parser.add_argument("--baseline", default="BENCH_cluster.json",
+                        help="file holding the recorded loopback_gate "
+                             "baseline")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="write this run's telemetry-off throughput "
+                             "into the baseline file instead of gating")
+    parser.add_argument("--output", default="BENCH_gate.json")
+    args = parser.parse_args()
+    if args.smoke:
+        args.vessels, args.minutes, args.repeats = 80, 5.0, 1
+
+    print(f"bench gate: {args.vessels} vessels, {args.minutes:.0f} simulated "
+          f"minutes, 2-node loopback, batched transport, "
+          f"{args.repeats} repeat(s) per leg (interleaved, best counts)")
+    off, on, pair_ratios = run_legs(args)
+    print(f"      best: telemetry off {off['msgs_per_s']:.0f} msg/s, "
+          f"telemetry on {on['msgs_per_s']:.0f} msg/s")
+
+    overhead = min(pair_ratios) - 1.0
+    telemetry_snapshot = on.pop("telemetry")
+    complete = telemetry_snapshot.get("traces_complete", {})
+    print(f"      telemetry cpu overhead: {overhead * 100.0:+.1f}% "
+          f"(best of pair ratios "
+          f"{', '.join(f'{r:.3f}' for r in pair_ratios)})  "
+          f"complete cross-node traces: {len(complete)}")
+
+    baseline_path = Path(args.baseline)
+    recorded = json.loads(baseline_path.read_text()) \
+        if baseline_path.exists() else {}
+    baseline = recorded.get("loopback_gate", {}).get("msgs_per_s")
+
+    failures = []
+    if args.record_baseline:
+        recorded["loopback_gate"] = {
+            "msgs_per_s": off["msgs_per_s"],
+            "workload": {"vessels": args.vessels,
+                         "sim_minutes": args.minutes, "seed": args.seed},
+        }
+        baseline_path.write_text(json.dumps(recorded, indent=2) + "\n")
+        print(f"recorded loopback_gate baseline "
+              f"{off['msgs_per_s']:.0f} msg/s in {args.baseline}")
+    elif baseline is None:
+        print(f"WARNING: no loopback_gate baseline in {args.baseline}; "
+              f"throughput not gated (run --record-baseline)",
+              file=sys.stderr)
+    else:
+        floor = baseline * (1.0 - args.max_regression)
+        print(f"      throughput gate: {off['msgs_per_s']:.0f} msg/s vs "
+              f"floor {floor:.0f} (recorded {baseline:.0f} "
+              f"- {args.max_regression * 100.0:.0f}%)")
+        if off["msgs_per_s"] < floor:
+            failures.append(
+                f"throughput {off['msgs_per_s']:.0f} msg/s regressed below "
+                f"{floor:.0f} ({args.max_regression * 100.0:.0f}% under the "
+                f"recorded {baseline:.0f})")
+    if overhead > args.max_overhead:
+        failures.append(f"telemetry CPU overhead {overhead * 100.0:.1f}% "
+                        f"exceeds {args.max_overhead * 100.0:.0f}%")
+    failures.extend(check_telemetry(telemetry_snapshot))
+
+    report = {
+        "workload": {"vessels": args.vessels, "sim_minutes": args.minutes,
+                     "seed": args.seed, "repeats": args.repeats},
+        "baseline_msgs_per_s": baseline,
+        "telemetry_off": off,
+        "telemetry_on": on,
+        "telemetry_overhead": overhead,
+        "pair_cpu_ratios": pair_ratios,
+        "complete_traces": len(complete),
+        "telemetry_snapshot": telemetry_snapshot,
+        "failures": failures,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print("bench gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.telemetry.trace import current_trace
+
 if TYPE_CHECKING:
     from repro.actors.system import ActorSystem, Future
 
@@ -18,6 +20,13 @@ class Envelope:
     #: Set for ask-pattern messages; the receiving actor's context completes
     #: it via ``ctx.reply(...)``.
     reply_to: "Future | None" = None
+    #: Telemetry trace this message belongs to (sampled; usually None).
+    #: Stamped by :meth:`ActorRef.tell` from the thread-local current
+    #: trace, so traced causality propagates without signature changes.
+    trace_id: int | None = None
+    #: Telemetry-clock time this envelope entered a mailbox; only stamped
+    #: for traced envelopes (queue-delay measurement).
+    enqueued_at: float | None = None
 
 
 class ActorRef:
@@ -35,7 +44,10 @@ class ActorRef:
 
     def tell(self, message: Any, sender: "ActorRef | None" = None) -> None:
         """Fire-and-forget send."""
-        self._system._deliver(self.name, Envelope(message=message, sender=sender))
+        self._system._deliver(
+            self.name,
+            Envelope(message=message, sender=sender,
+                     trace_id=current_trace()))
 
     def ask(self, message: Any) -> "Future":
         """Request-reply send; returns a :class:`Future` for the reply."""

@@ -24,14 +24,17 @@ import time
 from collections import deque
 from typing import Any, Callable
 
+
 from repro.actors.actor import Actor, ActorContext, ActorRef, Envelope
 from repro.actors.mailbox import Mailbox
-from repro.actors.metrics import MetricsRecorder
 from repro.actors.supervision import (
     Directive,
     RestartStrategy,
     SupervisionStrategy,
 )
+from repro.telemetry import Telemetry
+from repro.telemetry.recorder import MetricsRecorder
+from repro.telemetry.trace import clear_current_trace, set_current_trace
 
 
 class AskTimeoutError(TimeoutError):
@@ -70,7 +73,7 @@ class _Cell:
 
     __slots__ = ("name", "factory", "actor", "mailbox", "strategy",
                  "restarts", "started", "stopped", "scheduled",
-                 "messages_processed")
+                 "messages_processed", "tel_instruments")
 
     def __init__(self, name: str, factory: Callable[[], Actor],
                  strategy: SupervisionStrategy) -> None:
@@ -84,6 +87,9 @@ class _Cell:
         self.stopped = False
         self.scheduled = False
         self.messages_processed = 0
+        #: ``(entity, counter, histogram)`` resolved on first drain —
+        #: saves the name split and registry lookup on every batch.
+        self.tel_instruments: tuple | None = None
 
 
 class ActorSystem:
@@ -98,6 +104,11 @@ class ActorSystem:
         self.mode = mode
         self.batch_size = batch_size
         self.metrics = MetricsRecorder() if record_metrics else None
+        #: Optional :class:`~repro.telemetry.Telemetry` bundle. When set,
+        #: the dispatcher feeds mailbox-depth / queue-delay / per-entity
+        #: processing instruments and appends hops for traced envelopes.
+        #: Assigned post-construction by the platform/cluster layer.
+        self.telemetry: Telemetry | None = None
         #: Callable returning the population figure recorded with each
         #: metric sample. Defaults to the live actor count; the platform
         #: overrides it with the *vessel* actor count so the Figure 6 x
@@ -188,6 +199,14 @@ class ActorSystem:
         return Future()
 
     def _deliver(self, name: str, envelope: Envelope) -> None:
+        telemetry = self.telemetry
+        if (telemetry is not None and envelope.trace_id is not None
+                and envelope.enqueued_at is None):
+            # Queue-delay stamping is traced-envelopes-only, and in-place:
+            # the envelope is not yet in any mailbox, so mutating the
+            # frozen dataclass here (the same way its __init__ does) is
+            # unobservable and avoids a full copy per sampled message.
+            object.__setattr__(envelope, "enqueued_at", telemetry.clock())
         with self._lock:
             cell = self._cells.get(name)
             if cell is None or cell.stopped:
@@ -308,6 +327,24 @@ class ActorSystem:
         """Drain one batch from a cell's mailbox, honouring supervision."""
         batch = cell.mailbox.get_batch(self.batch_size)
         processed = 0
+        telemetry = self.telemetry
+        entity = entity_counter = proc_hist = None
+        tel_clock = None
+        batch_proc: list[float] | None = None
+        if telemetry is not None and batch:
+            # Instruments resolve once per *cell* and cache on it. Depth /
+            # timing histograms only fill on sampled batches; traced
+            # envelopes are always timed (they were already sampled at
+            # ingest); message counters are exact.
+            if cell.tel_instruments is None:
+                entity = cell.name.split("-", 1)[0]
+                cell.tel_instruments = \
+                    (entity,) + telemetry.entity_instruments(entity)
+            entity, entity_counter, proc_hist = cell.tel_instruments
+            tel_clock = telemetry.clock
+            if telemetry.sample_batch():
+                telemetry.mailbox_depth.observe(len(batch))
+                batch_proc = []
         for i, envelope in enumerate(batch):
             if cell.stopped:
                 for leftover in batch[i:]:
@@ -315,7 +352,24 @@ class ActorSystem:
                     self.dead_letter_count += 1
                 break
             t0 = time.perf_counter()
+            traced = tel_clock is not None and envelope.trace_id is not None
+            timed = traced or batch_proc is not None
+            tel_t0 = tel_clock() if timed else 0.0
             ok = self._process_envelope(cell, envelope)
+            if timed:
+                # Durations come from the telemetry clock, not the perf
+                # counter: under a virtual clock they are exactly zero,
+                # which keeps sim-layer telemetry deterministic per seed.
+                proc_s = tel_clock() - tel_t0
+                if batch_proc is not None:
+                    batch_proc.append(proc_s)
+                if traced:
+                    queue_s = None
+                    if envelope.enqueued_at is not None:
+                        queue_s = tel_t0 - envelope.enqueued_at
+                        telemetry.queue_delay.observe(queue_s)
+                    telemetry.traces.record(envelope.trace_id, entity,
+                                            queue_s=queue_s, proc_s=proc_s)
             if self.metrics is not None and (
                     self.metrics_filter is None
                     or self.metrics_filter(cell.name)):
@@ -332,6 +386,10 @@ class ActorSystem:
                     self.dead_letters.append((cell.name, leftover))
                     self.dead_letter_count += 1
                 break
+        if entity_counter is not None and processed:
+            entity_counter.inc(processed)
+            if batch_proc:
+                proc_hist.observe_many(batch_proc)
         # Reschedule if more messages arrived or remain.
         with self._lock:
             if not cell.stopped and len(cell.mailbox) > 0:
@@ -356,6 +414,17 @@ class ActorSystem:
     def _process_envelope(self, cell: _Cell, envelope: Envelope) -> bool:
         """Run one delivery; returns False if the cell can no longer process
         (stopped by supervision)."""
+        if envelope.trace_id is None:
+            return self._run_envelope(cell, envelope)
+        # While a traced message is in `receive`, its id is the thread's
+        # current trace — every `tell` the actor makes inherits it.
+        set_current_trace(envelope.trace_id)
+        try:
+            return self._run_envelope(cell, envelope)
+        finally:
+            clear_current_trace()
+
+    def _run_envelope(self, cell: _Cell, envelope: Envelope) -> bool:
         ref = ActorRef(cell.name, self)
         ctx = ActorContext(self, ref, envelope)
         try:

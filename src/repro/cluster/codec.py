@@ -149,6 +149,10 @@ _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
 _U64 = struct.Struct(">Q")
 _ENV_HEAD = struct.Struct(">BBq")            # kind, hops, corr_id (-1 = None)
+#: High bit of the kind byte flags an 8-byte trace id following the head;
+#: untraced frames (the overwhelming majority) stay byte-identical to the
+#: pre-telemetry encoding.
+_KIND_TRACED = 0x80
 _AIS_BODY = struct.Struct(">QdddddhBB")      # mmsi,t,lat,lon,sog,cog,hdg,st,src
 #: Cells are unsigned: H3-style ids use the full 64-bit range (indexes
 #: above ``2**63`` are routine at the collision-cell resolution).
@@ -432,11 +436,17 @@ def _encode_envelope(env: Any) -> bytes | None:
     global pickle_fallbacks
     kind = _KIND_CODES.get(env.kind)
     corr = -1 if env.corr_id is None else env.corr_id
+    trace_id = env.trace_id
     if kind is None or not 0 <= env.hops <= 255 \
             or not _INT64_MIN <= corr <= _INT64_MAX:
         return None
+    if trace_id is not None and not 0 <= trace_id < (1 << 64):
+        return None
     out = bytearray([TAG_ENV])
-    out += _ENV_HEAD.pack(kind, env.hops, corr)
+    out += _ENV_HEAD.pack(kind | (_KIND_TRACED if trace_id is not None
+                                  else 0), env.hops, corr)
+    if trace_id is not None:
+        out += _U64.pack(trace_id)
     try:
         _put_str(out, env.src)
         _put_str(out, env.entity)
@@ -464,10 +474,14 @@ def _encode_envelope(env: Any) -> bytes | None:
 
 def _decode_envelope(data: bytes) -> Any:
     kind_code, hops, corr = _ENV_HEAD.unpack_from(data, 1)
-    kind = _KIND_NAMES.get(kind_code)
+    kind = _KIND_NAMES.get(kind_code & ~_KIND_TRACED)
     if kind is None:
         raise WireDecodeError(f"unknown envelope kind code {kind_code}")
     pos = 1 + _ENV_HEAD.size
+    trace_id = None
+    if kind_code & _KIND_TRACED:
+        (trace_id,) = _U64.unpack_from(data, pos)
+        pos += _U64.size
     src, pos = _get_str(data, pos)
     entity, pos = _get_str(data, pos)
     target, pos = _get_str(data, pos)
@@ -478,7 +492,8 @@ def _decode_envelope(data: bytes) -> Any:
     return _hot()["WireEnvelope"](
         kind=kind, src=src, message=message, entity=entity, key=key,
         target=target, sender_node=sender_node, sender_name=sender_name,
-        corr_id=None if corr == -1 else corr, hops=hops)
+        corr_id=None if corr == -1 else corr, hops=hops,
+        trace_id=trace_id)
 
 
 # -- public API --------------------------------------------------------------------

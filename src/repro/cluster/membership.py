@@ -16,13 +16,21 @@ the detector from a virtual clock while TCP deployments use
 ``time.monotonic`` — the default. No code in this module may read the
 ``time`` module directly outside that default (virtual-time tests would
 race); ``tests/cluster/test_virtual_clock.py`` enforces this.
+
+Under TCP, heartbeats arrive on transport reader threads while the ticker
+thread runs :meth:`Membership.check` — every mutation and view therefore
+goes through one lock, and observers (node stats, telemetry gauges) read
+:meth:`Membership.snapshot`, which returns *copies* of the member records:
+the same discipline the actor metrics ``snapshot()`` established, applied
+to the membership dict instead of live references.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 
@@ -117,29 +125,64 @@ class Membership:
         self.node_id = node_id
         self.config = config or ClusterConfig()
         self.clock = clock
+        self._lock = threading.Lock()
         self._members: dict[str, Member] = {
             node_id: Member(node_id, address, MemberState.UP, clock()),
         }
 
     # -- views ---------------------------------------------------------------------
+    #
+    # Every view copies under the lock: TCP reader threads mutate member
+    # records concurrently, so handing out live references would let an
+    # observer see a member mid-transition (or race a dict resize).
+
+    def snapshot(self) -> list[Member]:
+        """A point-in-time copy of every member record, sorted by id.
+
+        The canonical read path for observers — node ``stats()`` and the
+        telemetry heartbeat gauges derive everything from this instead of
+        touching the live dict.
+        """
+        with self._lock:
+            return sorted((replace(m) for m in self._members.values()),
+                          key=lambda m: m.node_id)
 
     def members(self) -> list[Member]:
-        return sorted(self._members.values(), key=lambda m: m.node_id)
+        return self.snapshot()
 
     def get(self, node_id: str) -> Member | None:
-        return self._members.get(node_id)
+        with self._lock:
+            member = self._members.get(node_id)
+            return None if member is None else replace(member)
+
+    def state_of(self, node_id: str) -> MemberState | None:
+        """Just a member's state, without the record copy :meth:`get`
+        pays — the per-message shard-routing check uses this."""
+        with self._lock:
+            member = self._members.get(node_id)
+            return None if member is None else member.state
 
     def alive_ids(self) -> list[str]:
         """Members counted for shard ownership: UP and SUSPECT (suspicion
         alone must not reshuffle shards — only a DOWN declaration does)."""
-        return sorted(m.node_id for m in self._members.values()
-                      if m.state in (MemberState.UP, MemberState.SUSPECT))
+        with self._lock:
+            return sorted(m.node_id for m in self._members.values()
+                          if m.state in (MemberState.UP, MemberState.SUSPECT))
 
     def peer_ids(self) -> list[str]:
         """Every non-self member that is not DOWN (heartbeat targets)."""
-        return sorted(m.node_id for m in self._members.values()
-                      if m.node_id != self.node_id
-                      and m.state is not MemberState.DOWN)
+        with self._lock:
+            return sorted(m.node_id for m in self._members.values()
+                          if m.node_id != self.node_id
+                          and m.state is not MemberState.DOWN)
+
+    def state_counts(self) -> dict[str, int]:
+        """``state value -> member count`` (telemetry gauge payload)."""
+        counts = {state.value: 0 for state in MemberState}
+        with self._lock:
+            for member in self._members.values():
+                counts[member.state.value] += 1
+        return counts
 
     def leader(self) -> str:
         """The coordinator node: lowest id among alive members (stable,
@@ -156,63 +199,69 @@ class Membership:
         """Admit (or refresh) a member as UP; returns True if the alive set
         changed. Re-admitting a DOWN member (a node restarted under the
         same id) starts a new incarnation."""
-        member = self._members.get(node_id)
         now = self.clock()
-        if member is None:
-            self._members[node_id] = Member(node_id, address,
-                                            MemberState.UP, now)
-            return True
-        member.address = address
-        if member.state is not MemberState.UP:
-            # Only a state change stamps the heartbeat timer: an ``add``
-            # of an already-UP member (leader anti-entropy re-broadcasts)
-            # must not keep a silent node looking alive.
-            member.last_heartbeat = now
-            changed = member.state is MemberState.DOWN
-            if changed:
-                member.incarnation += 1
-            member.state = MemberState.UP
-            return changed
-        return False
+        with self._lock:
+            member = self._members.get(node_id)
+            if member is None:
+                self._members[node_id] = Member(node_id, address,
+                                                MemberState.UP, now)
+                return True
+            member.address = address
+            if member.state is not MemberState.UP:
+                # Only a state change stamps the heartbeat timer: an ``add``
+                # of an already-UP member (leader anti-entropy re-broadcasts)
+                # must not keep a silent node looking alive.
+                member.last_heartbeat = now
+                changed = member.state is MemberState.DOWN
+                if changed:
+                    member.incarnation += 1
+                member.state = MemberState.UP
+                return changed
+            return False
 
     def heartbeat(self, node_id: str) -> bool:
         """Record a heartbeat; returns True if it revived a SUSPECT."""
-        member = self._members.get(node_id)
-        if member is None or member.state is MemberState.DOWN:
+        now = self.clock()
+        with self._lock:
+            member = self._members.get(node_id)
+            if member is None or member.state is MemberState.DOWN:
+                return False
+            member.last_heartbeat = now
+            if member.state is MemberState.SUSPECT:
+                member.state = MemberState.UP
+                return True
             return False
-        member.last_heartbeat = self.clock()
-        if member.state is MemberState.SUSPECT:
-            member.state = MemberState.UP
-            return True
-        return False
 
     def mark_down(self, node_id: str) -> bool:
-        member = self._members.get(node_id)
-        if member is None or member.state is MemberState.DOWN:
-            return False
-        member.state = MemberState.DOWN
-        return True
+        with self._lock:
+            member = self._members.get(node_id)
+            if member is None or member.state is MemberState.DOWN:
+                return False
+            member.state = MemberState.DOWN
+            return True
 
     def remove(self, node_id: str) -> None:
         if node_id != self.node_id:
-            self._members.pop(node_id, None)
+            with self._lock:
+                self._members.pop(node_id, None)
 
     def check(self) -> list[MembershipEvent]:
         """Run the failure detector; returns the transitions it performed."""
         now = self.clock()
         events: list[MembershipEvent] = []
-        for member in self._members.values():
-            if member.node_id == self.node_id:
-                continue
-            silence = now - member.last_heartbeat
-            if (member.state is MemberState.UP
-                    and silence >= self.config.suspect_after_s):
-                member.state = MemberState.SUSPECT
-                events.append(MembershipEvent(member.node_id,
-                                              MemberState.SUSPECT))
-            if (member.state is MemberState.SUSPECT
-                    and silence >= self.config.down_after_s):
-                member.state = MemberState.DOWN
-                events.append(MembershipEvent(member.node_id,
-                                              MemberState.DOWN))
+        with self._lock:
+            for member in self._members.values():
+                if member.node_id == self.node_id:
+                    continue
+                silence = now - member.last_heartbeat
+                if (member.state is MemberState.UP
+                        and silence >= self.config.suspect_after_s):
+                    member.state = MemberState.SUSPECT
+                    events.append(MembershipEvent(member.node_id,
+                                                  MemberState.SUSPECT))
+                if (member.state is MemberState.SUSPECT
+                        and silence >= self.config.down_after_s):
+                    member.state = MemberState.DOWN
+                    events.append(MembershipEvent(member.node_id,
+                                                  MemberState.DOWN))
         return events

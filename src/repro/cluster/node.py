@@ -52,6 +52,12 @@ from repro.cluster.transport import (
     Transport,
     TransportError,
 )
+from repro.telemetry import Telemetry
+from repro.telemetry.trace import (
+    clear_current_trace,
+    current_trace,
+    set_current_trace,
+)
 
 
 class ShardCoordinator:
@@ -141,8 +147,33 @@ class ClusterNode:
         self.redelivered = 0
         self.shards_moved = 0
         self.handoff_keys_released = 0
+        self.telemetry: Telemetry | None = None
 
     # -- lifecycle ----------------------------------------------------------------
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach a telemetry bundle: the actor system feeds its dispatch
+        instruments, the transport registers its batch/flush metrics, and
+        the node contributes routing counters plus heartbeat gauges (read
+        from :meth:`Membership.snapshot`, never the live dict)."""
+        self.telemetry = telemetry
+        self.system.telemetry = telemetry
+        registry = telemetry.registry
+        self.transport.bind_telemetry(registry)
+        for state in ("up", "suspect", "down", "joining"):
+            registry.gauge(
+                "cluster_members", {"state": state},
+                fn=lambda s=state: self.membership.state_counts()[s])
+        registry.gauge("node_frames_in", fn=lambda: self.frames_in)
+        registry.gauge("node_frames_out", fn=lambda: self.frames_out)
+        registry.gauge("node_forwarded", fn=lambda: self.forwarded)
+        registry.gauge("node_buffered", fn=lambda: self.buffered)
+        registry.gauge("node_redelivered", fn=lambda: self.redelivered)
+        registry.gauge("node_shards_moved", fn=lambda: self.shards_moved)
+        registry.gauge("node_handoff_keys_released",
+                       fn=lambda: self.handoff_keys_released)
+        registry.gauge("node_pending_shard_messages",
+                       fn=lambda: self.pending_count)
 
     def start(self) -> None:
         self.transport.start(self._on_frame)
@@ -218,7 +249,8 @@ class ClusterNode:
         sender_node, sender_name = self._sender_info(sender)
         env = WireEnvelope(kind="sharded", src=self.node_id, entity=entity,
                            key=key, message=message,
-                           sender_node=sender_node, sender_name=sender_name)
+                           sender_node=sender_node, sender_name=sender_name,
+                           trace_id=current_trace())
         self._route_sharded(env)
 
     def _route_sharded(self, env: WireEnvelope) -> None:
@@ -232,8 +264,8 @@ class ClusterNode:
             router.deliver_local(env.key, env.message,
                                  sender=self._materialize_sender(env))
             return
-        member = self.membership.get(owner)
-        if member is None or member.state is not MemberState.UP:
+        state = self.membership.state_of(owner)
+        if state is not MemberState.UP:
             # Owner unreachable or suspect: buffer for redelivery once the
             # coordinator reassigns the shard (or the owner recovers).
             self._buffer(shard, env)
@@ -282,7 +314,8 @@ class ClusterNode:
         sender_node, sender_name = self._sender_info(sender)
         env = WireEnvelope(kind="named", src=self.node_id, target=name,
                            message=message, sender_node=sender_node,
-                           sender_name=sender_name)
+                           sender_name=sender_name,
+                           trace_id=current_trace())
         self._send(node_id, env)
 
     def ask_named(self, node_id: str, name: str, message: Any) -> Future:
@@ -416,6 +449,17 @@ class ClusterNode:
         self._on_envelope(env)
 
     def _on_envelope(self, env: WireEnvelope) -> None:
+        if env.trace_id is None:
+            return self._dispatch_envelope(env)
+        # Re-establish the trace on the receiving side so local re-tells
+        # (router delivery, actor fan-out) stamp the same id.
+        set_current_trace(env.trace_id)
+        try:
+            self._dispatch_envelope(env)
+        finally:
+            clear_current_trace()
+
+    def _dispatch_envelope(self, env: WireEnvelope) -> None:
         if env.kind == "sharded":
             self._on_sharded(env)
         elif env.kind == "named":
@@ -557,11 +601,16 @@ class ClusterNode:
     # -- introspection ---------------------------------------------------------------
 
     def stats(self) -> dict:
+        # Membership facts come from one snapshot() so the view is
+        # internally consistent even while reader threads mutate states.
+        members = self.membership.snapshot()
+        alive = sorted(m.node_id for m in members
+                       if m.state in (MemberState.UP, MemberState.SUSPECT))
         counters = {
             "node_id": self.node_id,
             "epoch": self.table.epoch,
-            "alive": self.membership.alive_ids(),
-            "leader": self.membership.leader(),
+            "alive": alive,
+            "leader": alive[0] if alive else self.node_id,
             "frames_in": self.frames_in,
             "frames_out": self.frames_out,
             "forwarded": self.forwarded,

@@ -42,6 +42,11 @@ class WireEnvelope:
     sender_name: str | None = None
     corr_id: int | None = None
     hops: int = 0
+    #: Telemetry trace this frame belongs to (sampled; usually None). The
+    #: codec carries it on the struct fast path (a flag bit in the kind
+    #: byte plus 8 bytes) and for free in the pickle fallback, so traces
+    #: survive node boundaries on either wire form.
+    trace_id: int | None = None
 
 
 #: Forwarding bound for sharded messages routed with a stale table.

@@ -70,6 +70,13 @@ class Transport:
         """Monotonic outbound counters for node-level observability."""
         return {}
 
+    def bind_telemetry(self, registry) -> None:
+        """Attach this transport's metrics to a
+        :class:`~repro.telemetry.MetricsRegistry`. The default is a no-op;
+        implementations register snapshot-time callback gauges over their
+        plain counters (zero hot-path cost) plus the histograms that need
+        per-event observations (batch sizes)."""
+
     def close(self) -> None:
         """Stop accepting and release resources."""
 
@@ -460,6 +467,20 @@ class TcpTransport(Transport):
             "queued_frames": self.queued_frames,
         }
 
+    def bind_telemetry(self, registry) -> None:
+        # Callback gauges evaluated at snapshot time: the send path and
+        # the writer threads pay nothing.
+        registry.gauge("transport_frames_sent", fn=lambda: self.frames_sent)
+        registry.gauge("transport_bytes_sent", fn=lambda: self.bytes_sent)
+        registry.gauge("transport_writes", fn=lambda: self.writes)
+        registry.gauge("transport_send_errors",
+                       fn=lambda: self.send_errors)
+        #: Backpressure events: sends that timed out on a full queue.
+        registry.gauge("transport_backpressure_events",
+                       fn=lambda: self.enqueue_timeouts)
+        registry.gauge("transport_queued_frames",
+                       fn=lambda: self.queued_frames)
+
     def close(self) -> None:
         self._closed = True
         try:
@@ -535,6 +556,13 @@ class BatchingTransport(Transport):
         self.frames_batched = 0
         self.batched_bytes = 0
         self.frames_dropped = 0
+        #: Why batches left the buffer: ``capacity`` (size/count bound
+        #: hit on send), ``linger`` (background timer) or ``explicit``
+        #: (direct ``flush()`` calls — the loopback hub's pump path).
+        self.flush_reasons = {"capacity": 0, "linger": 0, "explicit": 0}
+        self._tel_batch_frames = None
+        self._tel_batch_bytes = None
+        self._tel_flush_counters: dict[str, Any] | None = None
 
     @property
     def address(self) -> Any:  # type: ignore[override]
@@ -584,18 +612,19 @@ class BatchingTransport(Transport):
             full = (len(buf) >= self.max_batch_msgs
                     or self._sizes[node_id] >= self.max_batch_bytes)
         if full:
-            self._flush_peer(node_id)
+            self._flush_peer(node_id, reason="capacity")
 
     def flush(self, node_id: str | None = None) -> int:
         """Flush one peer's buffer (or all of them); returns the number of
         frames pushed to the inner transport."""
         if node_id is not None:
-            return self._flush_peer(node_id)
+            return self._flush_peer(node_id, reason="explicit")
         with self._lock:
             peers = sorted(k for k, v in self._buffers.items() if v)
-        return sum(self._flush_peer(peer) for peer in peers)
+        return sum(self._flush_peer(peer, reason="explicit")
+                   for peer in peers)
 
-    def _flush_peer(self, node_id: str) -> int:
+    def _flush_peer(self, node_id: str, reason: str = "explicit") -> int:
         # The per-peer flush lock is held across take-buffer + inner.send
         # so two concurrent flushes cannot reorder a peer's batches.
         flush_lock = self._flush_locks.get(node_id)
@@ -618,6 +647,11 @@ class BatchingTransport(Transport):
             self.batches_sent += 1
             self.frames_batched += len(frames)
             self.batched_bytes += len(blob)
+            self.flush_reasons[reason] += 1
+            if self._tel_batch_frames is not None:
+                self._tel_batch_frames.observe(len(frames))
+                self._tel_batch_bytes.observe(len(blob))
+                self._tel_flush_counters[reason].inc()
             return len(frames)
 
     def _flush_loop(self) -> None:
@@ -629,7 +663,7 @@ class BatchingTransport(Transport):
                     peer for peer, buf in self._buffers.items()
                     if buf and now - self._oldest.get(peer, now) >= linger_s)
             for peer in due:
-                self._flush_peer(peer)
+                self._flush_peer(peer, reason="linger")
 
     # -- inbound -------------------------------------------------------------------
 
@@ -655,5 +689,25 @@ class BatchingTransport(Transport):
             "batched_bytes": self.batched_bytes,
             "frames_dropped": self.frames_dropped,
             "buffered_frames": self.buffered_frames,
+            "flush_reasons": dict(self.flush_reasons),
         })
         return merged
+
+    def bind_telemetry(self, registry) -> None:
+        self._tel_batch_frames = registry.histogram("transport_batch_frames")
+        self._tel_batch_bytes = registry.histogram("transport_batch_bytes")
+        self._tel_flush_counters = {
+            reason: registry.counter("transport_flush_total",
+                                     {"reason": reason})
+            for reason in self.flush_reasons}
+        registry.gauge("transport_batches_sent",
+                       fn=lambda: self.batches_sent)
+        registry.gauge("transport_frames_batched",
+                       fn=lambda: self.frames_batched)
+        registry.gauge("transport_batched_bytes",
+                       fn=lambda: self.batched_bytes)
+        registry.gauge("transport_frames_dropped",
+                       fn=lambda: self.frames_dropped)
+        registry.gauge("transport_buffer_occupancy_frames",
+                       fn=lambda: self.buffered_frames)
+        self.inner.bind_telemetry(registry)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.actors.metrics import MetricsRecorder
+from repro.telemetry import MetricsRecorder
 from repro.ais.datasets import scalability_fleet_config
 from repro.ais.fleet import FleetEngine
 from repro.models.base import RouteForecaster
@@ -145,6 +145,9 @@ class Figure6ClusterResult:
     vessel_distribution: dict
     #: node_id -> transport counters (frames/bytes/batches) at shutdown.
     transport_stats: dict | None = None
+    #: Cluster-wide telemetry snapshot (``LoopbackCluster.telemetry_snapshot``)
+    #: when the run had ``record_telemetry=True``; ``None`` otherwise.
+    telemetry: dict | None = None
 
     @property
     def throughput_msgs_per_s(self) -> float:
@@ -233,6 +236,8 @@ def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
     curve_x, curve_y = merged.curve_by_actor_count(
         window_actors=window_actors)
 
+    telemetry = (cluster.telemetry_snapshot()
+                 if config.record_telemetry else None)
     result = Figure6ClusterResult(
         num_nodes=num_nodes, total_messages=total,
         total_vessels=cluster.total_vessels, wall_time_s=wall,
@@ -240,6 +245,7 @@ def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
         actor_counts=curve_x, avg_processing_time_s=curve_y,
         vessel_distribution=cluster.vessel_distribution(),
         transport_stats={n.node_id: n.transport.stats()
-                         for n in cluster.nodes})
+                         for n in cluster.nodes},
+        telemetry=telemetry)
     cluster.shutdown()
     return result

@@ -52,6 +52,13 @@ class PlatformConfig:
     ais_partitions: int = 8
     #: Record per-message processing metrics (Figure 6 instrumentation).
     record_metrics: bool = False
+    #: Attach the :mod:`repro.telemetry` registry + trace log to every
+    #: node: dispatch histograms, transport batch metrics, membership
+    #: gauges and sampled cross-node traces (see OBSERVABILITY.md).
+    record_telemetry: bool = False
+    #: Trace every n-th ingested AIS record (1 = every record). Sampling
+    #: keys off the broker offset, so the traced set is deterministic.
+    trace_sample_every: int = 64
     #: Publish dedicated output streams (the paper's future-work item:
     #: "leverage Kafka topics to produce streams of dedicated system, model
     #: and actor-based outputs"). When enabled the writer actor mirrors
@@ -66,5 +73,7 @@ class PlatformConfig:
             raise ValueError("downsample_s must be non-negative")
         if self.forecast_every_n < 1:
             raise ValueError("forecast_every_n must be >= 1")
+        if self.trace_sample_every < 1:
+            raise ValueError("trace_sample_every must be >= 1")
         if not 0 <= self.collision_neighbor_rings <= 3:
             raise ValueError("collision_neighbor_rings must be in [0, 3]")

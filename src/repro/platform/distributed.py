@@ -53,6 +53,7 @@ from repro.platform.pipeline import PlatformWiring
 from repro.platform.vessel_actor import VesselActor
 from repro.platform.writer_actor import WriterActor
 from repro.streams import Broker, ConsumerGroup, Producer, TopicConfig
+from repro.telemetry import Telemetry, complete_traces, merge_traces
 
 
 class DistributedPlatform:
@@ -116,6 +117,17 @@ class DistributedPlatform:
             self.ingestion = IngestionService(wiring)
         self.api = MiddlewareAPI(self.kvstore, self.pubsub, self)
 
+        self.telemetry: Telemetry | None = None
+        if self.config.record_telemetry:
+            self.telemetry = Telemetry(
+                node.node_id, clock=node.clock,
+                trace_sample_every=self.config.trace_sample_every)
+            node.bind_telemetry(self.telemetry)
+            if self.ingestion is not None:
+                # Consumer lag only exists on the seed (sole ingester).
+                self.telemetry.registry.gauge(
+                    "broker_consumer_lag", fn=lambda: self.ingestion.lag)
+
         self._replay_generation = 0
         self._replays_done = 0
         node.on_table_change.append(self._on_table_change)
@@ -123,6 +135,8 @@ class DistributedPlatform:
                               lambda params: self.stats())
         node.register_control("metrics_snapshot",
                               lambda params: self.metrics_snapshot())
+        node.register_control("telemetry_snapshot",
+                              lambda params: self.telemetry_snapshot())
         node.register_control("sync_clock",
                               lambda params: self.sync_clock(params["now"]))
 
@@ -285,6 +299,15 @@ class DistributedPlatform:
             return {"samples": 0}
         return self.system.metrics.snapshot()
 
+    def telemetry_snapshot(self) -> dict:
+        """This node's metrics + trace hops (``{"enabled": False}`` when
+        telemetry recording is off)."""
+        if self.telemetry is None:
+            return {"enabled": False}
+        snap = self.telemetry.snapshot()
+        snap["enabled"] = True
+        return snap
+
     def shutdown(self) -> None:
         self.node.shutdown()
 
@@ -439,6 +462,23 @@ class LoopbackCluster:
     def metrics_snapshots(self) -> dict[str, dict]:
         return {p.node.node_id: p.metrics_snapshot()
                 for p in self.platforms}
+
+    def telemetry_snapshot(self) -> dict:
+        """Cluster-wide telemetry: per-node snapshots plus the cross-node
+        trace merge (hops ordered by timestamp/stage) and the subset of
+        traces that completed the ingest -> vessel -> cell pipeline across
+        at least two nodes."""
+        per_node = {p.node.node_id: p.telemetry_snapshot()
+                    for p in self.platforms}
+        merged = merge_traces(
+            {node_id: snap.get("traces", {})
+             for node_id, snap in per_node.items() if snap.get("enabled")})
+        min_nodes = 2 if len(self.platforms) > 1 else 1
+        return {
+            "nodes": per_node,
+            "traces_merged": merged,
+            "traces_complete": complete_traces(merged, min_nodes=min_nodes),
+        }
 
     def use_cluster_population(self) -> None:
         """Make every node's Figure 6 samples use the *cluster-wide* vessel

@@ -15,6 +15,11 @@ from typing import TYPE_CHECKING
 from repro.ais.message import AISMessage, StaticReport, decode_nmea
 from repro.events.switchoff import SwitchOffDetector
 from repro.platform.messages import EventRecord, PositionIngested
+from repro.telemetry.trace import (
+    STAGE_INGEST,
+    clear_current_trace,
+    set_current_trace,
+)
 
 if TYPE_CHECKING:
     from repro.platform.pipeline import PlatformWiring
@@ -64,13 +69,29 @@ class IngestionService:
         """
         records = self._consumer.poll(max_records=max_records,
                                       out=self._poll_buffer)
+        telemetry = self.wiring.system.telemetry
+        sample_every = self.wiring.config.trace_sample_every
         dispatched = 0
         newest_t = None
         for record in records:
             msg = self._to_message(record.value, record.timestamp)
             if msg is None:
                 continue
-            self.wiring.vessel_router.tell(msg.mmsi, PositionIngested(msg))
+            if telemetry is not None and record.offset % sample_every == 0:
+                # Trace ids derive from the record's broker identity, so a
+                # replayed run samples the identical set of positions. The
+                # +1 keeps partition-0/offset-0 from producing tid 0.
+                tid = ((record.partition + 1) << 48) | record.offset
+                telemetry.traces.record(tid, STAGE_INGEST)
+                set_current_trace(tid)
+                try:
+                    self.wiring.vessel_router.tell(msg.mmsi,
+                                                   PositionIngested(msg))
+                finally:
+                    clear_current_trace()
+            else:
+                self.wiring.vessel_router.tell(msg.mmsi,
+                                               PositionIngested(msg))
             self.switchoff.observe(msg.mmsi, msg.t, msg.lat, msg.lon, msg.sog)
             dispatched += 1
             if newest_t is None or msg.t > newest_t:

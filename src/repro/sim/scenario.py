@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.cluster import ClusterConfig, VirtualClock
+from repro.platform.config import PlatformConfig
 from repro.platform.distributed import LoopbackCluster
 from repro.sim.faults import FaultSpec
 from repro.sim.invariants import (
@@ -108,6 +109,11 @@ class SimReport:
     final_hosting: dict[int, tuple[str, float]]
     counters: dict
     replayed: int
+    #: Cluster-wide telemetry snapshot captured before shutdown. Kept out
+    #: of :meth:`fingerprint` (the invariant digest predates telemetry);
+    #: its own determinism is asserted separately by
+    #: ``tests/sim/test_telemetry_determinism.py``.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -208,7 +214,13 @@ def run_scenario(scenario: Scenario, seed: int) -> SimReport:
     cluster_config = ClusterConfig(
         transport_batching=scenario.batching,
         down_after_s=scenario.down_after_s)
+    # Telemetry rides along on every sim run: all timestamps come from the
+    # scenario's virtual clock, so the snapshot is deterministic per seed
+    # (and must stay so — see tests/sim/test_telemetry_determinism.py).
+    platform_config = PlatformConfig(record_telemetry=True,
+                                     trace_sample_every=16)
     cluster = SimCluster(hub, num_nodes=scenario.num_nodes,
+                         config=platform_config,
                          cluster_config=cluster_config)
     try:
         hub.faults = scenario.faults
@@ -248,9 +260,11 @@ def run_scenario(scenario: Scenario, seed: int) -> SimReport:
         counters = hub.fault_counters()
         counters["epoch"] = cluster.nodes[0].table.epoch
         counters["live_nodes"] = len(cluster.nodes)
+        telemetry = cluster.telemetry_snapshot()
     finally:
         cluster.shutdown()
     return SimReport(scenario=scenario.name, seed=seed,
                      violations=violations, events=events,
                      reference_events=oracle, final_hosting=final_hosting,
-                     counters=counters, replayed=replayed)
+                     counters=counters, replayed=replayed,
+                     telemetry=telemetry)

@@ -1,0 +1,274 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Instruments are identified by ``(name, labels)`` and created on first use;
+repeated lookups return the same instrument, so hot paths resolve once and
+hold the reference. Three snapshot-friendly properties shape the design:
+
+* **Thread safety** — the registry map and every histogram carry their own
+  lock; counter/gauge updates are a single locked assignment. Snapshots
+  never observe a torn value.
+* **Bounded memory** — histograms keep exact ``count``/``sum``/``min``/
+  ``max`` plus a fixed-size reservoir for percentile estimates. Reservoir
+  replacement uses Vitter's Algorithm R driven by a private deterministic
+  generator seeded from the instrument identity, so a given observation
+  sequence always yields the same reservoir — the property the sim layer's
+  telemetry-determinism test pins.
+* **Machine-readable output** — :meth:`MetricsRegistry.snapshot` returns a
+  plain JSON-able dict (sorted keys);
+  :meth:`MetricsRegistry.render_prometheus` renders the same data in
+  Prometheus text exposition style for eyeballing or scraping.
+
+No code here may read the ``time`` module: telemetry timestamps come from
+the owner's injectable clock (see :mod:`repro.telemetry.trace`), which the
+AST wall-clock audit in ``tests/cluster/test_virtual_clock.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Callable, Sequence
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down — set directly or computed at
+    snapshot time by a callback (``fn``), which costs the hot path
+    nothing."""
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Exact count/sum/min/max plus a bounded reservoir of samples.
+
+    Percentiles are estimated from the reservoir; with fewer observations
+    than ``reservoir_size`` they are exact. Replacement is Algorithm R on
+    a deterministic linear-congruential stream seeded from the instrument
+    identity — identical observation sequences produce identical
+    reservoirs (and therefore identical snapshots), which keeps telemetry
+    reproducible under ``repro.sim``.
+    """
+
+    __slots__ = ("_lock", "_reservoir", "_size", "_rng_state",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, seed: int = 0, reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self._lock = threading.Lock()
+        self._reservoir: list[float] = []
+        self._size = reservoir_size
+        # Any seed works; mix in a constant so seed=0 is not a fixpoint.
+        self._rng_state = (seed ^ 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def _next_rand(self, bound: int) -> int:
+        # 64-bit LCG (Knuth MMIX constants): private, deterministic, and
+        # decoupled from the global `random` module by construction.
+        self._rng_state = (self._rng_state * 6364136223846793005
+                           + 1442695040888963407) & ((1 << 64) - 1)
+        return (self._rng_state >> 16) % bound
+
+    def _observe_locked(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._size:
+            self._reservoir.append(value)
+        else:
+            slot = self._next_rand(self.count)
+            if slot < self._size:
+                self._reservoir[slot] = value
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._observe_locked(float(value))
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations under one lock acquisition — the
+        actor dispatch loop flushes once per mailbox batch, not per
+        message. Equivalent to ``observe`` called in order."""
+        with self._lock:
+            for value in values:
+                self._observe_locked(float(value))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), linearly interpolated over the
+        reservoir; 0.0 when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            samples = sorted(self._reservoir)
+        if not samples:
+            return 0.0
+        if len(samples) == 1:
+            return samples[0]
+        rank = (len(samples) - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = rank - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+    def summary(self, percentiles: Sequence[float] = (50.0, 90.0, 99.0)
+                ) -> dict:
+        with self._lock:
+            count = self.count
+            total = self.sum
+            lo = self.min
+            hi = self.max
+        out = {
+            "count": count,
+            "sum": total,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+            "mean": total / count if count else 0.0,
+        }
+        for q in percentiles:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Registry of named instruments with optional labels."""
+
+    def __init__(self, reservoir_size: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._reservoir_size = reservoir_size
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- instrument lookup ---------------------------------------------------------
+
+    def counter(self, name: str, labels: dict[str, str] | None = None
+                ) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+            return instrument
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None,
+              fn: Callable[[], float] | None = None) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(fn=fn)
+            elif fn is not None:
+                instrument._fn = fn
+            return instrument
+
+    def histogram(self, name: str, labels: dict[str, str] | None = None
+                  ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                digest = hashlib.blake2b(
+                    repr(key).encode(), digest_size=8).digest()
+                instrument = self._histograms[key] = Histogram(
+                    seed=int.from_bytes(digest, "big"),
+                    reservoir_size=self._reservoir_size)
+            return instrument
+
+    # -- snapshots -----------------------------------------------------------------
+
+    def _items(self, table: dict) -> list[tuple[str, Any]]:
+        with self._lock:
+            entries = list(table.items())
+        return sorted((_render_name(name, labels), instrument)
+                      for (name, labels), instrument in entries)
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-able dict (sorted keys)."""
+        return {
+            "counters": {key: instrument.value for key, instrument
+                         in self._items(self._counters)},
+            "gauges": {key: instrument.value for key, instrument
+                       in self._items(self._gauges)},
+            "histograms": {key: instrument.summary() for key, instrument
+                           in self._items(self._histograms)},
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus-style text exposition of the current snapshot."""
+        lines: list[str] = []
+        for key, counter in self._items(self._counters):
+            lines.append(f"{key} {counter.value:g}")
+        for key, gauge in self._items(self._gauges):
+            lines.append(f"{key} {gauge.value:g}")
+        for key, histogram in self._items(self._histograms):
+            name, sep, labels = key.partition("{")
+            suffix = (sep + labels) if sep else ""
+            summary = histogram.summary()
+            lines.append(f"{name}_count{suffix} {summary['count']:g}")
+            lines.append(f"{name}_sum{suffix} {summary['sum']:g}")
+            for stat in ("p50", "p90", "p99"):
+                lines.append(f"{name}_{stat}{suffix} {summary[stat]:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -128,3 +128,42 @@ class TestConfigValidation:
             ClusterConfig(suspect_after_s=0.0)
         with pytest.raises(ValueError):
             ClusterConfig(num_shards=0)
+
+
+class TestSnapshotDiscipline:
+    """Observers read copies, never live records — the contract telemetry
+    gauges and node stats depend on under concurrent heartbeats."""
+
+    def test_snapshot_returns_copies(self):
+        m, _ = make()
+        m.add("n2", ("127.0.0.1", 2))
+        view = m.snapshot()
+        assert [member.node_id for member in view] == ["n1", "n2"]
+        view[1].state = MemberState.DOWN  # mutating the copy...
+        assert m.get("n2").state is MemberState.UP  # ...changes nothing
+
+    def test_get_returns_copy(self):
+        m, _ = make()
+        m.add("n2", ("127.0.0.1", 2))
+        record = m.get("n2")
+        record.last_heartbeat = -1.0
+        assert m.get("n2").last_heartbeat != -1.0
+
+    def test_state_counts_cover_every_state(self):
+        m, clock = make()
+        m.add("n2", ("127.0.0.1", 2))
+        m.add("n3", ("127.0.0.1", 3))
+        clock.now = 3.0
+        m.check()  # n2, n3 fall SUSPECT
+        m.heartbeat("n2")
+        m.mark_down("n3")
+        assert m.state_counts() == {"joining": 0, "up": 2,
+                                    "suspect": 0, "down": 1}
+
+    def test_state_of_matches_get_without_copy(self):
+        m, _ = make()
+        m.add("n2", ("127.0.0.1", 2))
+        assert m.state_of("n2") is MemberState.UP
+        m.mark_down("n2")
+        assert m.state_of("n2") is MemberState.DOWN
+        assert m.state_of("ghost") is None

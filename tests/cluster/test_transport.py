@@ -3,6 +3,7 @@
 TCP tests synchronise on events, never on sleeps."""
 
 import threading
+import time
 
 import pytest
 
@@ -233,6 +234,13 @@ class TestTcp:
             for i in range(10):
                 ta.send("b", b"abc")
             sink.wait_for(10)
+            # Delivery can be observed before the writer thread updates
+            # its counters (it increments after sendall returns), so give
+            # the sender a bounded window to catch up.
+            deadline = time.monotonic() + 5.0
+            while (ta.stats()["frames_sent"] < 10
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
             stats = ta.stats()
             assert stats["frames_sent"] == 10
             assert stats["bytes_sent"] == 10 * (4 + 3)

@@ -18,6 +18,9 @@ import pytest
 import repro.cluster.membership as membership_mod
 import repro.cluster.node as node_mod
 import repro.cluster.transport as transport_mod
+import repro.telemetry as telemetry_mod
+import repro.telemetry.registry as tel_registry_mod
+import repro.telemetry.trace as tel_trace_mod
 from repro.cluster import (
     ClusterConfig,
     ClusterNode,
@@ -27,7 +30,10 @@ from repro.cluster import (
 from repro.cluster.membership import MemberState, Membership
 from repro.cluster.transport import BatchingTransport
 
-AUDITED_MODULES = [membership_mod, transport_mod, node_mod]
+# The telemetry layer timestamps every histogram and trace hop, so it is
+# held to the same injectable-clock contract as the cluster modules.
+AUDITED_MODULES = [membership_mod, transport_mod, node_mod,
+                   telemetry_mod, tel_registry_mod, tel_trace_mod]
 
 
 def _time_reads_outside_defaults(module) -> list[str]:

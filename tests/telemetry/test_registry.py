@@ -1,0 +1,166 @@
+"""The metrics registry: instrument semantics, reservoir determinism,
+percentiles, label handling and snapshot rendering."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_concurrent_increments_are_exact(self):
+        counter = Counter()
+
+        def worker():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+    def test_callback_gauge_reads_live_value(self):
+        box = {"n": 1}
+        gauge = Gauge(fn=lambda: box["n"])
+        assert gauge.value == 1.0
+        box["n"] = 7
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_exact_stats_below_reservoir_size(self):
+        hist = Histogram(seed=1, reservoir_size=100)
+        for v in range(1, 11):
+            hist.observe(float(v))
+        summary = hist.summary()
+        assert summary["count"] == 10
+        assert summary["sum"] == 55.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["mean"] == 5.5
+        # Under the reservoir bound, percentiles are exact (interpolated).
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(100.0) == 10.0
+        assert hist.percentile(50.0) == 5.5
+
+    def test_reservoir_is_bounded(self):
+        hist = Histogram(seed=2, reservoir_size=16)
+        for v in range(1000):
+            hist.observe(float(v))
+        assert hist.count == 1000
+        assert len(hist._reservoir) == 16
+
+    def test_percentiles_plausible_after_eviction(self):
+        hist = Histogram(seed=3, reservoir_size=64)
+        for v in range(1000):
+            hist.observe(float(v))
+        # Algorithm R keeps a uniform sample: p50 of 0..999 lands mid-range.
+        assert 200.0 < hist.percentile(50.0) < 800.0
+        assert hist.percentile(0.0) >= 0.0
+        assert hist.percentile(100.0) <= 999.0
+
+    def test_same_seed_same_sequence_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            hist = Histogram(seed=42, reservoir_size=32)
+            for v in range(500):
+                hist.observe(float(v % 97))
+            runs.append((hist.summary(), list(hist._reservoir)))
+        assert runs[0] == runs[1]
+
+    def test_observe_many_matches_observe_loop(self):
+        values = [float(v % 13) for v in range(400)]
+        one = Histogram(seed=7, reservoir_size=32)
+        for v in values:
+            one.observe(v)
+        many = Histogram(seed=7, reservoir_size=32)
+        many.observe_many(values)
+        assert one.summary() == many.summary()
+        assert one._reservoir == many._reservoir
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram(seed=0).summary()
+        assert summary["count"] == 0
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+        assert Histogram(seed=0).percentile(99.0) == 0.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram(seed=0).percentile(101.0)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("messages", {"entity": "vessel"})
+        b = registry.counter("messages", {"entity": "vessel"})
+        c = registry.counter("messages", {"entity": "cell"})
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", {"x": "1", "y": "2"})
+        b = registry.gauge("g", {"y": "2", "x": "1"})
+        assert a is b
+
+    def test_histograms_get_distinct_deterministic_seeds(self):
+        """Two registries hand the same instrument the same seed — the
+        cross-run determinism the sim telemetry test relies on."""
+        samples = []
+        for _ in range(2):
+            registry = MetricsRegistry(reservoir_size=8)
+            hist = registry.histogram("h", {"entity": "vessel"})
+            for v in range(200):
+                hist.observe(float(v))
+            samples.append(list(hist._reservoir))
+        assert samples[0] == samples[1]
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc(2)
+        registry.counter("a_total", {"k": "v"}).inc(1)
+        registry.gauge("depth").set(3)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"] == {'a_total{k="v"}': 1.0, "b_total": 2.0}
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert snap["gauges"]["depth"] == 3.0
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_render_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs_total", {"entity": "vessel"}).inc(5)
+        registry.histogram("proc_seconds").observe(0.25)
+        text = registry.render_prometheus()
+        assert 'msgs_total{entity="vessel"} 5' in text
+        assert "proc_seconds_count 1" in text
+        assert "proc_seconds_p99 0.25" in text
+        assert text.endswith("\n")
