@@ -14,6 +14,13 @@ transport — the same leg ``BENCH_cluster.json`` records — twice:
    ``--max-overhead`` (default 5%) extra CPU time over the telemetry-off
    leg.
 
+A third leg gates the sharded writer pool: the same workload with a
+single unbatched writer (``writer_pool_size=1``,
+``writer_batch_max_ops=1`` — the pre-pool write path) versus the default
+sharded, micro-batched pool. The pool must not be slower than the single
+writer beyond ``--writer-tolerance`` (default 10%, absorbing CI-box
+noise); the pair runs back-to-back so both see the same machine mood.
+
 Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
 runs the two legs back-to-back (order alternating), each pair therefore
 shares the box's momentary mood, and the gate takes the minimum on/off
@@ -97,6 +104,30 @@ def run_legs(args) -> tuple[dict, dict, list[float]]:
     return best[False], best[True], pair_ratios
 
 
+def run_writer_leg(args) -> dict:
+    """Sharded micro-batched writer pool vs a single unbatched writer,
+    back-to-back, best throughput of each across the repeats."""
+    single_config = PlatformConfig(record_metrics=True, writer_pool_size=1,
+                                   writer_batch_max_ops=1)
+    sharded_config = PlatformConfig(record_metrics=True)
+    best = {"single": 0.0, "sharded": 0.0}
+    for i in range(args.repeats):
+        order = (("single", single_config), ("sharded", sharded_config))
+        if i % 2:
+            order = tuple(reversed(order))
+        for label, config in order:
+            gc.collect()
+            result = run_figure6_cluster(
+                n_vessels=args.vessels, duration_s=args.minutes * 60.0,
+                num_nodes=2, seed=args.seed, platform_config=config,
+                cluster_config=BATCHED_CONFIG)
+            best[label] = max(best[label], result.throughput_msgs_per_s)
+            print(f"      writer {label:7s} "
+                  f"{result.throughput_msgs_per_s:.0f} msg/s")
+    best["ratio"] = best["sharded"] / best["single"]
+    return best
+
+
 def check_telemetry(snapshot: dict) -> list[str]:
     """The quality assertions over the telemetry-on leg's snapshot."""
     problems = []
@@ -135,6 +166,9 @@ def main() -> None:
     parser.add_argument("--max-overhead", type=float, default=0.05,
                         help="tolerated telemetry CPU-time cost relative "
                              "to the telemetry-off leg (fraction)")
+    parser.add_argument("--writer-tolerance", type=float, default=0.10,
+                        help="how far below the single-writer throughput "
+                             "the sharded pool may fall (fraction)")
     parser.add_argument("--baseline", default="BENCH_cluster.json",
                         help="file holding the recorded loopback_gate "
                              "baseline")
@@ -195,6 +229,18 @@ def main() -> None:
                         f"exceeds {args.max_overhead * 100.0:.0f}%")
     failures.extend(check_telemetry(telemetry_snapshot))
 
+    writer = run_writer_leg(args)
+    print(f"      writer gate: sharded {writer['sharded']:.0f} msg/s vs "
+          f"single {writer['single']:.0f} "
+          f"(ratio {writer['ratio']:.2f}, floor "
+          f"{1.0 - args.writer_tolerance:.2f})")
+    if writer["ratio"] < 1.0 - args.writer_tolerance:
+        failures.append(
+            f"sharded writer pool throughput {writer['sharded']:.0f} msg/s "
+            f"fell {(1.0 - writer['ratio']) * 100.0:.0f}% below the "
+            f"single-writer baseline {writer['single']:.0f} "
+            f"(tolerance {args.writer_tolerance * 100.0:.0f}%)")
+
     report = {
         "workload": {"vessels": args.vessels, "sim_minutes": args.minutes,
                      "seed": args.seed, "repeats": args.repeats},
@@ -203,6 +249,7 @@ def main() -> None:
         "telemetry_on": on,
         "telemetry_overhead": overhead,
         "pair_cpu_ratios": pair_ratios,
+        "writer_gate": writer,
         "complete_traces": len(complete),
         "telemetry_snapshot": telemetry_snapshot,
         "failures": failures,

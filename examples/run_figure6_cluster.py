@@ -171,6 +171,20 @@ def drive_stream(platform: DistributedPlatform, engine: FleetEngine,
     return total
 
 
+def flush_cluster_writers(platform: DistributedPlatform, node: ClusterNode,
+                          remote_ids: list[str]) -> None:
+    """Flush every node's writer micro-batches so KV event counts include
+    everything processed (the sharded writer pool holds partial batches
+    until its op threshold or linger timer fires)."""
+    platform.flush_writers()
+    for node_id in remote_ids:
+        try:
+            node.ask_control(node_id, "flush_writers").result(10.0)
+        except Exception:
+            pass
+    platform.system.await_idle(timeout=30.0)
+
+
 def run_event_parity(seed: int) -> dict:
     """Prove batching does not change what the platform computes.
 
@@ -217,6 +231,7 @@ def run_event_check(platform: DistributedPlatform, node: ClusterNode,
     while platform.ingest_available() or platform.ingestion.lag:
         pass
     platform.system.await_idle(timeout=60.0)
+    flush_cluster_writers(platform, node, [WORKER_ID])
     wait_until_stable(stats_fns, lambda: platform.ingestion.lag)
 
     proximity = platform.event_count("proximity")
@@ -271,6 +286,8 @@ def run_benchmark(num_nodes: int, vessels: int, minutes: float,
         total = drive_stream(platform, engine,
                              [WORKER_ID] if num_nodes == 2 else [])
         platform.system.await_idle(timeout=120.0)
+        flush_cluster_writers(platform, node,
+                              [WORKER_ID] if num_nodes == 2 else [])
         settled_at = wait_until_stable(stats_fns,
                                        lambda: platform.ingestion.lag)
         wall = settled_at - start

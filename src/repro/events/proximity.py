@@ -55,6 +55,17 @@ class ProximityDetector:
         self._last_event: dict[tuple[int, int], float] = {}
         self.events: list[ProximityPairEvent] = []
 
+    def export_state(self) -> dict:
+        """The detector's working state for checkpointing (the emitted
+        ``events`` log stays behind — it is an evaluation artifact, not
+        detection state)."""
+        return {"last_seen": dict(self._last_seen),
+                "last_event": dict(self._last_event)}
+
+    def restore_state(self, state: dict) -> None:
+        self._last_seen = dict(state["last_seen"])
+        self._last_event = dict(state["last_event"])
+
     def observe(self, mmsi: int, t: float, lat: float, lon: float
                 ) -> list[ProximityPairEvent]:
         """Ingest one position; returns newly detected events."""

@@ -4,14 +4,26 @@ The writer actor persists actor states here and the middleware API reads
 them back for the UI (Section 3). The store supports the Redis surface the
 platform touches: strings, hashes, lists, sorted sets, key TTLs and pub/sub
 channels — all thread-safe on one coarse lock.
+
+Durability (opt-in) lives in :mod:`repro.kvstore.persistence`: an
+append-only op journal compacted into snapshot files, Redis AOF/RDB
+style. See PERSISTENCE.md for the formats and recovery semantics.
 """
 
 from repro.kvstore.store import KeyValueStore, WrongTypeError
+from repro.kvstore.persistence import (
+    CorruptPersistenceError,
+    OpJournal,
+    StorePersistence,
+)
 from repro.kvstore.pubsub import PubSub, Subscription
 
 __all__ = [
+    "CorruptPersistenceError",
     "KeyValueStore",
+    "OpJournal",
     "PubSub",
+    "StorePersistence",
     "Subscription",
     "WrongTypeError",
 ]

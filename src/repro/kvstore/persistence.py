@@ -1,0 +1,206 @@
+"""Redis-style durability for the key-value store.
+
+Two files in a directory give the store the same recovery story Redis
+gets from AOF + RDB:
+
+* ``journal.log`` — an append-only op journal. Every mutating command is
+  serialized (pickle-framed, sequence-numbered) as it executes, so the
+  tail of history since the last snapshot is always on disk.
+* ``snapshot.pkl`` — a point-in-time snapshot of the full store state,
+  written by *compaction* (explicit :meth:`StorePersistence.compact` or
+  automatically every ``compact_every_ops`` journaled ops).
+
+Recovery (:meth:`StorePersistence.restore_into`) loads the snapshot and
+replays only the journal entries newer than it. Entries are sequence
+numbered and the snapshot records the last sequence it contains, so a
+crash *between* writing the snapshot and truncating the journal is safe:
+stale entries (seq <= snapshot seq) are skipped on replay, which keeps
+non-idempotent ops (``rpush``, ``incr``) from double-applying. The
+snapshot itself is written to a temp file and atomically renamed.
+
+The journal stores public-method calls ``(seq, op, args, kwargs)`` and
+replay simply re-invokes them, so the journal format never drifts from
+the store's semantics. Callers pass explicit ``now`` values into every
+command (the store's design), making replay deterministic: expiry
+decisions depend only on journaled arguments, never on wall time.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:
+    from repro.kvstore.store import KeyValueStore
+
+SNAPSHOT_FILE = "snapshot.pkl"
+JOURNAL_FILE = "journal.log"
+
+#: Snapshot/journal format version, bumped on incompatible layout change.
+FORMAT_VERSION = 1
+
+
+class CorruptPersistenceError(RuntimeError):
+    """A snapshot or journal file could not be decoded."""
+
+
+def _atomic_write(path: str, payload: bytes, fsync: bool) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class OpJournal:
+    """The append-only op log: pickle frames of ``(seq, op, args, kwargs)``.
+
+    A torn final frame (crash mid-append) is tolerated: replay stops at
+    the first undecodable frame instead of failing recovery.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._fh = open(path, "ab")
+
+    def append(self, seq: int, op: str, args: tuple, kwargs: dict) -> None:
+        pickle.dump((seq, op, args, kwargs), self._fh,
+                    protocol=pickle.HIGHEST_PROTOCOL)
+        self._fh.flush()  # every op reaches the OS before the call returns
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def entries(self) -> Iterator[tuple[int, str, tuple, dict]]:
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            while True:
+                try:
+                    entry = pickle.load(fh)
+                except EOFError:
+                    return
+                except (pickle.UnpicklingError, AttributeError, ValueError):
+                    return  # torn tail frame from a mid-append crash
+                yield entry
+
+    def truncate(self) -> None:
+        """Drop every entry (called after a snapshot made them redundant)."""
+        self._fh.close()
+        self._fh = open(self.path, "wb")
+
+    @property
+    def size_bytes(self) -> int:
+        self._fh.flush()
+        return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        self._fh.flush()
+        self._fh.close()
+
+
+class StorePersistence:
+    """Directory-backed journal + snapshot pair for one store.
+
+    Attach with ``KeyValueStore(persistence=...)`` or
+    :meth:`KeyValueStore.bind_persistence`; binding restores any existing
+    on-disk state first, then journals every subsequent mutation.
+    """
+
+    def __init__(self, directory: str,
+                 compact_every_ops: int = 10_000,
+                 fsync: bool = False) -> None:
+        if compact_every_ops < 0:
+            raise ValueError("compact_every_ops must be non-negative")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.compact_every_ops = compact_every_ops
+        self.fsync = fsync
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_FILE)
+        self.journal = OpJournal(os.path.join(directory, JOURNAL_FILE),
+                                 fsync=fsync)
+        self._lock = threading.RLock()
+        #: Monotonic sequence of the last journaled/snapshotted op.
+        self._seq = 0
+        #: Ops journaled since the last compaction.
+        self._ops_since_compact = 0
+        self.compactions = 0
+        self.ops_journaled = 0
+        self.ops_replayed = 0
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    # -- write path -------------------------------------------------------------
+
+    def record(self, store: "KeyValueStore", op: str,
+               args: tuple, kwargs: dict) -> None:
+        """Journal one mutating op (called by the store, under its lock)."""
+        with self._lock:
+            self._seq += 1
+            self.journal.append(self._seq, op, args, kwargs)
+            self.ops_journaled += 1
+            self._ops_since_compact += 1
+            if (self.compact_every_ops
+                    and self._ops_since_compact >= self.compact_every_ops):
+                self.compact(store)
+
+    def compact(self, store: "KeyValueStore") -> None:
+        """Fold the journal into a fresh snapshot and truncate it.
+
+        Ordering is crash-safe: the snapshot (stamped with the journal's
+        last sequence) lands atomically *before* the journal is truncated,
+        so the worst a crash in between can leave is a journal whose
+        entries are all older than the snapshot — skipped on restore.
+        """
+        with self._lock:
+            state = store.snapshot_state()
+            payload = pickle.dumps(
+                {"version": FORMAT_VERSION, "seq": self._seq, **state},
+                protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_write(self.snapshot_path, payload, self.fsync)
+            self.journal.truncate()
+            self._ops_since_compact = 0
+            self.compactions += 1
+
+    # -- recovery ---------------------------------------------------------------
+
+    def restore_into(self, store: "KeyValueStore") -> int:
+        """Load snapshot + journal tail into ``store``; returns the number
+        of journal ops replayed. The store must not be journaling to this
+        persistence yet (binding order is handled by
+        :meth:`KeyValueStore.bind_persistence`)."""
+        with self._lock:
+            snap_seq = 0
+            if os.path.exists(self.snapshot_path):
+                with open(self.snapshot_path, "rb") as fh:
+                    try:
+                        snapshot = pickle.load(fh)
+                    except (pickle.UnpicklingError, EOFError) as exc:
+                        raise CorruptPersistenceError(
+                            f"unreadable snapshot {self.snapshot_path}"
+                        ) from exc
+                if snapshot.get("version") != FORMAT_VERSION:
+                    raise CorruptPersistenceError(
+                        f"snapshot format {snapshot.get('version')!r} != "
+                        f"{FORMAT_VERSION}")
+                snap_seq = snapshot["seq"]
+                store.restore_state(snapshot)
+            replayed = 0
+            last_seq = snap_seq
+            for seq, op, args, kwargs in self.journal.entries():
+                last_seq = seq
+                if seq <= snap_seq:
+                    continue  # already folded into the snapshot
+                getattr(store, op)(*args, **kwargs)
+                replayed += 1
+            self._seq = max(self._seq, last_seq)
+            self.ops_replayed += replayed
+            return replayed
+
+    def close(self) -> None:
+        self.journal.close()

@@ -4,13 +4,23 @@ Time is injected by the caller (the platform passes its stream clock), so
 expiry is deterministic in tests and benchmarks. Commands mirror the small
 Redis subset the middleware uses: GET/SET/DEL, HSET/HGET/HGETALL,
 LPUSH/RPUSH/LRANGE, ZADD/ZRANGE/ZRANGEBYSCORE, EXPIRE/TTL, KEYS/SCAN.
+
+Durability is optional: bind a
+:class:`~repro.kvstore.persistence.StorePersistence` and every mutating
+command is appended to an op journal, periodically compacted into a
+snapshot file (see ``persistence.py`` / PERSISTENCE.md). ``save``/``load``
+give one-shot snapshot files without a journal.
 """
 
 from __future__ import annotations
 
 import fnmatch
+import pickle
 import threading
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.kvstore.persistence import StorePersistence
 
 
 class WrongTypeError(TypeError):
@@ -18,13 +28,95 @@ class WrongTypeError(TypeError):
     (Redis's ``WRONGTYPE`` error)."""
 
 
+def _copy_value(value: Any) -> Any:
+    """Shallow-copy a stored container so snapshots never alias live state."""
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    return value
+
+
 class KeyValueStore:
     """Thread-safe in-memory store with strings, hashes, lists and zsets."""
 
-    def __init__(self) -> None:
+    def __init__(self, persistence: "StorePersistence | None" = None) -> None:
         self._lock = threading.RLock()
         self._data: dict[str, Any] = {}
         self._expiry: dict[str, float] = {}
+        self._persistence: "StorePersistence | None" = None
+        if persistence is not None:
+            self.bind_persistence(persistence)
+
+    # -- durability --------------------------------------------------------------
+
+    def bind_persistence(self, persistence: "StorePersistence") -> int:
+        """Restore any on-disk state, then journal every later mutation.
+        Returns the number of journal ops replayed during restore."""
+        with self._lock:
+            self._persistence = None  # replay must not re-journal
+            replayed = persistence.restore_into(self)
+            self._persistence = persistence
+            return replayed
+
+    @property
+    def persistence(self) -> "StorePersistence | None":
+        return self._persistence
+
+    def _journal(self, op: str, *args: Any, **kwargs: Any) -> None:
+        """Record one mutating op (no-op unless persistence is bound).
+        Always called with the store lock held, *after* the mutation
+        succeeded — failed commands (wrong type) are never journaled."""
+        if self._persistence is not None:
+            self._persistence.record(self, op, args, kwargs)
+
+    def compact(self) -> None:
+        """Explicitly fold the journal into a snapshot (bound stores only)."""
+        with self._lock:
+            if self._persistence is None:
+                raise RuntimeError("no persistence bound to this store")
+            self._persistence.compact(self)
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The full store state as a plain dict (for snapshots/transfer)."""
+        with self._lock:
+            return {"data": {k: _copy_value(v) for k, v in self._data.items()},
+                    "expiry": dict(self._expiry)}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Replace the store contents with a :meth:`snapshot_state` dict."""
+        with self._lock:
+            self._data = {k: _copy_value(v)
+                          for k, v in state["data"].items()}
+            self._expiry = dict(state["expiry"])
+
+    def save(self, path: str) -> None:
+        """Write a standalone snapshot file (atomic rename)."""
+        from repro.kvstore.persistence import FORMAT_VERSION, _atomic_write
+        payload = pickle.dumps(
+            {"version": FORMAT_VERSION, "seq": 0, **self.snapshot_state()},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write(path, payload, fsync=False)
+
+    @classmethod
+    def load(cls, path: str) -> "KeyValueStore":
+        """Build a store from a :meth:`save` snapshot file."""
+        with open(path, "rb") as fh:
+            snapshot = pickle.load(fh)
+        store = cls()
+        store.restore_state(snapshot)
+        return store
+
+    def dump(self, now: float = 0.0) -> dict[str, Any]:
+        """Canonical observable state at time ``now``: expired keys purged,
+        values copied. Two stores are behaviourally equivalent iff their
+        dumps match — the comparison the persistence round-trip tests use
+        (replaying a journal skips read-triggered purges, so raw ``_data``
+        may differ while observable state does not)."""
+        with self._lock:
+            for key in list(self._data):
+                self._purge_if_expired(key, now)
+            return self.snapshot_state()
 
     # -- expiry ----------------------------------------------------------------
 
@@ -41,6 +133,7 @@ class KeyValueStore:
             if key not in self._data:
                 return False
             self._expiry[key] = now + ttl_s
+            self._journal("expire", key, ttl_s, now)
             return True
 
     def ttl(self, key: str, now: float = 0.0) -> float | None:
@@ -82,6 +175,7 @@ class KeyValueStore:
                 self._expiry.pop(key, None)
             else:
                 self._expiry[key] = now + ttl_s
+            self._journal("set", key, str(value), now, ttl_s)
 
     def get(self, key: str, now: float = 0.0) -> str | None:
         with self._lock:
@@ -101,6 +195,7 @@ class KeyValueStore:
                 raise WrongTypeError(f"key {key!r} holds {type(raw).__name__}")
             value = int(raw) + by
             self._data[key] = str(value)
+            self._journal("incr", key, by, now)
             return value
 
     def delete(self, *keys: str) -> int:
@@ -111,6 +206,8 @@ class KeyValueStore:
                     del self._data[key]
                     self._expiry.pop(key, None)
                     removed += 1
+            if removed:
+                self._journal("delete", *keys)
             return removed
 
     def exists(self, key: str, now: float = 0.0) -> bool:
@@ -123,10 +220,12 @@ class KeyValueStore:
     def hset(self, key: str, field: str, value: Any, now: float = 0.0) -> None:
         with self._lock:
             self._typed(key, dict, create=True, now=now)[field] = value
+            self._journal("hset", key, field, value, now)
 
     def hmset(self, key: str, mapping: dict[str, Any], now: float = 0.0) -> None:
         with self._lock:
             self._typed(key, dict, create=True, now=now).update(mapping)
+            self._journal("hmset", key, dict(mapping), now)
 
     def hget(self, key: str, field: str, now: float = 0.0) -> Any | None:
         with self._lock:
@@ -148,6 +247,8 @@ class KeyValueStore:
                 if f in h:
                     del h[f]
                     removed += 1
+            if removed:
+                self._journal("hdel", key, *fields, now=now)
             return removed
 
     def hlen(self, key: str, now: float = 0.0) -> int:
@@ -161,6 +262,7 @@ class KeyValueStore:
         with self._lock:
             lst = self._typed(key, list, create=True, now=now)
             lst.extend(values)
+            self._journal("rpush", key, *values, now=now)
             return len(lst)
 
     def lpush(self, key: str, *values: Any, now: float = 0.0) -> int:
@@ -168,6 +270,7 @@ class KeyValueStore:
             lst = self._typed(key, list, create=True, now=now)
             for v in values:
                 lst.insert(0, v)
+            self._journal("lpush", key, *values, now=now)
             return len(lst)
 
     def lrange(self, key: str, start: int, stop: int, now: float = 0.0) -> list:
@@ -199,12 +302,14 @@ class KeyValueStore:
             if stop < 0:
                 stop += n
             lst[:] = lst[max(start, 0):stop + 1]
+            self._journal("ltrim", key, start, stop, now)
 
     # -- sorted sets -----------------------------------------------------------------
 
     def zadd(self, key: str, score: float, member: str, now: float = 0.0) -> None:
         with self._lock:
             self._typed(key, dict, create=True, now=now)[member] = float(score)
+            self._journal("zadd", key, float(score), member, now)
 
     def zscore(self, key: str, member: str, now: float = 0.0) -> float | None:
         with self._lock:
@@ -249,6 +354,8 @@ class KeyValueStore:
             doomed = [m for m, s in z.items() if lo <= s <= hi]
             for m in doomed:
                 del z[m]
+            if doomed:
+                self._journal("zremrangebyscore", key, lo, hi, now)
             return len(doomed)
 
     # -- keyspace ----------------------------------------------------------------------
@@ -269,3 +376,4 @@ class KeyValueStore:
         with self._lock:
             self._data.clear()
             self._expiry.clear()
+            self._journal("flushall")

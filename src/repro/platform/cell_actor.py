@@ -23,6 +23,7 @@ from repro.platform.messages import (
     ForecastShared,
     ProximityAlert,
     PruneTick,
+    RestoreState,
 )
 
 if TYPE_CHECKING:
@@ -55,6 +56,19 @@ class ProximityCellActor(Actor):
                     sender=ctx.self_ref)
         elif isinstance(message, PruneTick):
             self.detector.prune(message.now)
+        elif isinstance(message, RestoreState):
+            self.restore_state(message.state)
+
+    def export_state(self) -> dict:
+        return {"detector": self.detector.export_state()}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt checkpointed detection state only while still fresh — a
+        detector that has already observed positions (rebuilt from the
+        replayed suffix) holds newer last-seen entries and keeps them."""
+        if self.detector._last_seen:
+            return
+        self.detector.restore_state(state["detector"])
 
 
 class CollisionCellActor(Actor):
@@ -80,6 +94,18 @@ class CollisionCellActor(Actor):
                      > self.wiring.config.event_debounce_s]
             for mmsi in stale:
                 del self.forecasts[mmsi]
+        elif isinstance(message, RestoreState):
+            self.restore_state(message.state)
+
+    def export_state(self) -> dict:
+        return {"forecasts": dict(self.forecasts),
+                "last_pair_alert": dict(self._last_pair_alert)}
+
+    def restore_state(self, state: dict) -> None:
+        if self.forecasts or self._last_pair_alert:
+            return  # already rebuilt from replayed forecasts; keep it
+        self.forecasts = dict(state["forecasts"])
+        self._last_pair_alert = dict(state["last_pair_alert"])
 
     def _on_forecast(self, message: ForecastShared, ctx: ActorContext) -> None:
         config = self.wiring.config

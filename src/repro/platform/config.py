@@ -67,6 +67,18 @@ class PlatformConfig:
     output_topics: bool = False
     output_state_topic: str = "out.vessel.states"
     output_event_topic_prefix: str = "out.events"
+    #: Writer shards per node (the paper's single writer is pool size 1;
+    #: states route by MMSI, events by pair/kind — see writer_actor.py).
+    writer_pool_size: int = 2
+    #: Flush a writer shard once its pending batch reaches this many KV
+    #: operations (mirrors ``BatchingTransport.max_batch_msgs``).
+    writer_batch_max_ops: int = 64
+    #: Flush a partial writer batch after this much virtual time
+    #: (mirrors ``BatchingTransport.linger_s``). 0 disables the timer.
+    writer_batch_linger_s: float = 0.5
+    #: Hard cap on each writer shard's event-dedup map; oldest entries are
+    #: evicted past this (debounce-expired entries go first).
+    event_dedup_max: int = 4096
 
     def __post_init__(self) -> None:
         if self.downsample_s < 0:
@@ -77,3 +89,11 @@ class PlatformConfig:
             raise ValueError("trace_sample_every must be >= 1")
         if not 0 <= self.collision_neighbor_rings <= 3:
             raise ValueError("collision_neighbor_rings must be in [0, 3]")
+        if self.writer_pool_size < 1:
+            raise ValueError("writer_pool_size must be >= 1")
+        if self.writer_batch_max_ops < 1:
+            raise ValueError("writer_batch_max_ops must be >= 1")
+        if self.writer_batch_linger_s < 0:
+            raise ValueError("writer_batch_linger_s must be non-negative")
+        if self.event_dedup_max < 1:
+            raise ValueError("event_dedup_max must be >= 1")

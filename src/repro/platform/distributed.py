@@ -41,6 +41,12 @@ from repro.kvstore import KeyValueStore, PubSub
 from repro.models.base import RouteForecaster
 from repro.models.kinematic import LinearKinematicModel
 from repro.platform.api import MiddlewareAPI
+from repro.platform.checkpoint import (
+    ClusterCheckpoint,
+    capture_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.platform.cell_actor import (
     CollisionCellActor,
     FlowActor,
@@ -48,10 +54,14 @@ from repro.platform.cell_actor import (
 )
 from repro.platform.config import PlatformConfig
 from repro.platform.ingestion import IngestionService
-from repro.platform.messages import PositionIngested, PruneTick
+from repro.platform.messages import (
+    PositionIngested,
+    PruneTick,
+    RestoreState,
+)
 from repro.platform.pipeline import PlatformWiring
 from repro.platform.vessel_actor import VesselActor
-from repro.platform.writer_actor import WriterActor
+from repro.platform.writer_actor import WriterPool
 from repro.streams import Broker, ConsumerGroup, Producer, TopicConfig
 from repro.telemetry import Telemetry, complete_traces, merge_traces
 
@@ -107,8 +117,7 @@ class DistributedPlatform:
             "cell", lambda cell: ProximityCellActor(cell, wiring))
         wiring.collision_router = node.register_entity(
             "collision", lambda cell: CollisionCellActor(cell, wiring))
-        wiring.writer_ref = self.system.spawn(
-            lambda: WriterActor(wiring), "writer")
+        wiring.writer_ref = WriterPool(wiring, self.config.writer_pool_size)
         wiring.flow_ref = self.system.spawn(
             lambda: FlowActor(wiring), "vtff")
 
@@ -139,6 +148,8 @@ class DistributedPlatform:
                               lambda params: self.telemetry_snapshot())
         node.register_control("sync_clock",
                               lambda params: self.sync_clock(params["now"]))
+        node.register_control("flush_writers",
+                              lambda params: self.flush_writers())
 
     # -- publishing (seed only) ------------------------------------------------------
 
@@ -218,14 +229,32 @@ class DistributedPlatform:
         self._replays_done = self._replay_generation
         return self._replay("replay-full", depth=None)
 
-    def _replay(self, group_id: str, depth: int | None) -> int:
-        """Re-dispatch the last ``depth`` committed records per partition
-        (all of them when ``depth`` is None) to the vessel routers."""
+    def replay_from_offsets(self, offsets: dict[int, int],
+                            group_id: str = "replay-checkpoint") -> int:
+        """Replay only the stream **suffix** past checkpointed offsets.
+
+        ``offsets`` maps partition -> first offset to re-dispatch (the
+        per-partition committed offsets a checkpoint recorded). This is
+        the cheap half of checkpointed recovery: actor state comes from
+        snapshots, and only records the checkpoint had not yet covered are
+        re-routed — strictly fewer than :meth:`replay_from_start`
+        re-dispatches whenever the checkpoint made any progress.
+        """
+        self._require_seed()
+        return self._replay(group_id, depth=None, offsets=offsets)
+
+    def _replay(self, group_id: str, depth: int | None,
+                offsets: dict[int, int] | None = None) -> int:
+        """Re-dispatch committed records per partition to the vessel
+        routers: the last ``depth`` of them, everything when ``depth`` is
+        None, or the suffix from explicit per-partition ``offsets``."""
         topic = self.config.ais_topic
         group = ConsumerGroup(self.broker, group_id, topic)
         consumer = group.join()   # sole member: assigned every partition
         for partition in consumer.assignment:
-            if depth is None:
+            if offsets is not None:
+                consumer.seek(topic, partition, offsets.get(partition, 0))
+            elif depth is None:
                 consumer.seek(topic, partition, 0)
             else:
                 committed = self.broker.committed("platform", topic,
@@ -273,17 +302,24 @@ class DistributedPlatform:
     def event_count(self, kind: str) -> int:
         return self.kvstore.llen(f"events:{kind}", now=self.system.now)
 
+    def flush_writers(self) -> dict:
+        """Tell every writer shard to flush its micro-batch (async; pump
+        the cluster afterwards). Exposed as the ``flush_writers`` control
+        op so the seed can flush remote nodes before reading event
+        counts."""
+        self.wiring.writer_ref.flush()
+        return {"shards": self.wiring.writer_ref.size}
+
     def stats(self) -> dict:
-        writer = self.system._cells.get("writer")
+        writer_pool = self.wiring.writer_ref
         counters = dict(self.node.stats())
         counters.update({
             "vessels_local": self.vessel_count,
             "cells_local": len(self.wiring.cell_router),
             "collision_cells_local": len(self.wiring.collision_router),
-            "states_written": (writer.actor.states_written
-                               if writer is not None else 0),
-            "events_written": (writer.actor.events_written
-                               if writer is not None else 0),
+            "states_written": writer_pool.states_written,
+            "events_written": writer_pool.events_written,
+            "writer_flushes": writer_pool.flushes,
             "events_proximity": self.event_count("proximity"),
             "events_collision": self.event_count("collision"),
         })
@@ -395,7 +431,15 @@ class LoopbackCluster:
         for platform in self.platforms[1:]:
             platform.sync_clock(now)
         self.settle()
+        self.flush_writers()
         return total
+
+    def flush_writers(self) -> None:
+        """Flush every node's writer micro-batches and settle, so KV reads
+        observe everything processed so far."""
+        for platform in self.platforms:
+            platform.flush_writers()
+        self.settle()
 
     def tick(self, dt_s: float) -> None:
         """Advance the shared wall clock, running every node's heartbeat /
@@ -443,6 +487,72 @@ class LoopbackCluster:
         platform.node.join(seed.node_id, seed.transport.address)
         self.settle()
         return platform
+
+    # -- checkpointed recovery ---------------------------------------------------------
+
+    def checkpoint(self, directory: str | None = None) -> ClusterCheckpoint:
+        """Capture a recovery anchor at a quiescent boundary.
+
+        Flushes every writer's micro-batch first so the KV snapshots hold
+        everything processed so far, then captures per-node KV + entity
+        state together with the seed's committed stream offsets. Pass
+        ``directory`` to also persist it (``checkpoint.pkl``).
+        """
+        self.flush_writers()   # settles the cluster as a side effect
+        checkpoint = capture_checkpoint(self.platforms)
+        if directory is not None:
+            write_checkpoint(checkpoint, directory)
+        return checkpoint
+
+    def recover(self, node_id: str,
+                checkpoint: ClusterCheckpoint | str
+                ) -> tuple[DistributedPlatform, int]:
+        """Bring a killed node back from a checkpoint.
+
+        Instead of :meth:`restart`'s rebuild-by-replay, the recovery path
+        (1) restarts the node and suppresses the post-handoff bounded
+        replay, (2) restores the node's KV store from its snapshot,
+        (3) routes every checkpointed entity state through the sharded
+        routers as :class:`RestoreState` (actors adopt only what is newer
+        than their own state, so entities rebuilt elsewhere keep theirs),
+        and (4) replays only the stream **suffix** past the checkpointed
+        offsets. Returns ``(platform, replayed_record_count)``.
+        """
+        if isinstance(checkpoint, str):
+            checkpoint = load_checkpoint(checkpoint)
+        seed = self.seed
+        t0 = self.clock.now
+        platform = self.restart(node_id)
+        # The checkpoint replaces the generic post-handoff replay.
+        seed._replays_done = seed._replay_generation
+
+        node_checkpoint = checkpoint.node(node_id)
+        if node_checkpoint is not None:
+            platform.kvstore.restore_state(node_checkpoint.kv_state)
+        routers = {"vessel": seed.wiring.vessel_router,
+                   "cell": seed.wiring.cell_router,
+                   "collision": seed.wiring.collision_router}
+        restored = 0
+        # Every checkpointed entity is offered back through normal routing:
+        # shards may sit anywhere after the kill/restart reshuffles, and
+        # the adopt-if-newer guards make stale offers a no-op.
+        for node_ckpt in checkpoint.nodes:
+            for entity, key, state in node_ckpt.entities:
+                routers[entity].tell(key, RestoreState(
+                    entity=entity, key=key, state=state))
+                restored += 1
+        self.settle()
+        replayed = seed.replay_from_offsets(checkpoint.offsets)
+        self.settle()
+        self.flush_writers()
+        if seed.telemetry is not None:
+            registry = seed.telemetry.registry
+            registry.counter("recoveries_total").inc()
+            registry.gauge("recovery_duration_seconds").set(
+                self.clock.now - t0)
+            registry.gauge("recovery_replayed_records").set(replayed)
+            registry.gauge("recovery_entities_restored").set(restored)
+        return platform, replayed
 
     # -- cluster-wide views ------------------------------------------------------------
 

@@ -84,3 +84,32 @@ class PruneTick:
     """Scheduler -> stateful actors: periodic memory housekeeping."""
 
     now: float
+
+
+@dataclass(frozen=True)
+class WriterFlush:
+    """Writer actor input: flush the pending micro-batch now.
+
+    ``seq`` carries the shard's flush generation for linger timers — a
+    timer armed before an earlier flush is stale and ignored. ``None``
+    means unconditional (explicit flush from the platform driver).
+    """
+
+    reason: str = "explicit"   #: "linger" | "max_ops" | "explicit"
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
+class RestoreState:
+    """Recovery -> entity actor: adopt checkpointed state.
+
+    Routed through the normal sharded routers after a node restart, so
+    whichever node now owns the entity receives its pre-crash state.
+    Actors adopt conservatively (only when the snapshot is newer than what
+    they already hold) — replayed stream suffixes may have rebuilt fresher
+    state first.
+    """
+
+    entity: str                #: "vessel" | "cell" | "collision"
+    key: Any                   #: the router key (mmsi or H3 cell)
+    state: dict

@@ -32,7 +32,7 @@ from repro.platform.config import PlatformConfig
 from repro.platform.ingestion import IngestionService
 from repro.platform.messages import PruneTick
 from repro.platform.vessel_actor import VesselActor
-from repro.platform.writer_actor import WriterActor
+from repro.platform.writer_actor import WriterPool
 from repro.streams import Broker, Producer, TopicConfig
 
 
@@ -108,8 +108,7 @@ class Platform:
         wiring.collision_router = KeyRouter(
             self.system, "collision",
             lambda cell: CollisionCellActor(cell, wiring))
-        wiring.writer_ref = self.system.spawn(
-            lambda: WriterActor(wiring), "writer")
+        wiring.writer_ref = WriterPool(wiring, self.config.writer_pool_size)
         wiring.flow_ref = self.system.spawn(
             lambda: FlowActor(wiring), "vtff")
 
@@ -167,6 +166,13 @@ class Platform:
                 self.system.run_until_idle()
             total += dispatched
         if self.system.mode == "threaded":
+            self.system.await_idle()
+        # Close out the writers' micro-batches so the API sees everything
+        # processed so far (callers treat process_available as a barrier).
+        self.wiring.writer_ref.flush()
+        if self.system.mode == "deterministic":
+            self.system.run_until_idle()
+        else:
             self.system.await_idle()
         return total
 

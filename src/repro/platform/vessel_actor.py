@@ -31,6 +31,7 @@ from repro.platform.messages import (
     ForecastShared,
     PositionIngested,
     ProximityAlert,
+    RestoreState,
     VesselStateUpdate,
 )
 
@@ -60,7 +61,37 @@ class VesselActor(Actor):
         elif isinstance(message, CollisionAlert):
             self.event_flags.append(
                 f"collision@{message.event.t_expected:.0f}")
+        elif isinstance(message, RestoreState):
+            self.restore_state(message.state)
         # Unknown messages are ignored (actors are liberal receivers).
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Everything a freshly spawned twin needs to continue this
+        vessel: the history window, downsampling cursor and event flags."""
+        return {
+            "history": list(self.history),
+            "kept_fixes": self.kept_fixes,
+            "last_kept_t": self.last_kept_t,
+            "last_message": self.last_message,
+            "latest_forecast": self.latest_forecast,
+            "event_flags": list(self.event_flags),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt checkpointed state iff it is *newer* than what this actor
+        holds — a replayed stream suffix may already have rebuilt fresher
+        state, which must win."""
+        if state["last_kept_t"] <= self.last_kept_t:
+            return
+        self.history = deque(state["history"],
+                             maxlen=self.wiring.forecaster_min_history)
+        self.kept_fixes = state["kept_fixes"]
+        self.last_kept_t = state["last_kept_t"]
+        self.last_message = state["last_message"]
+        self.latest_forecast = state["latest_forecast"]
+        self.event_flags = deque(state["event_flags"], maxlen=8)
 
     # -- handlers -----------------------------------------------------------------
 

@@ -1,17 +1,32 @@
-"""The writer actor.
+"""The writer actors.
 
 "The actor states are stored by the writer actor in a Redis database in
 order to be visualized by the UI through a dedicated API ... In the context
 of this work, a single writer actor has been defined to write all actor
 outputs to the Redis database." (Section 3)
 
+The paper acknowledges that single writer as a bottleneck; here the writer
+is a **consistent-hash pool** (:class:`WriterPool`) of ``writer-{shard}``
+actors. Updates route by MMSI and events by their pair/kind, so everything
+that must be deduplicated or ordered per key lands on the same shard. Each
+shard **micro-batches** its KV writes the way :class:`BatchingTransport`
+batches frames: pending vessel states coalesce per MMSI (last write wins),
+pending events queue up, and the batch flushes when it reaches
+``writer_batch_max_ops`` pending KV operations, when the
+``writer_batch_linger_s`` virtual-time linger expires, or on an explicit
+:class:`~repro.platform.messages.WriterFlush`.
+
 Key schema (consumed by :class:`repro.platform.api.MiddlewareAPI`):
 
 * ``vessel:{mmsi}`` — hash with the vessel's latest state snapshot,
 * ``vessels:last_seen`` — zset of MMSIs scored by last message time,
 * ``events:{kind}`` — list of event payload dicts (most recent last),
-* ``events:all`` — zset of event ids scored by time,
+* ``events:all`` — zset of ``{kind}:{shard}:{n}`` ids scored by time,
 * pub/sub channel ``events:{kind}`` for live UI notifications.
+
+Pub/sub notification and the optional output topics fire at *enqueue*
+time, so subscribers and external consumers observe every update even
+when intermediate states coalesce away inside a batch.
 """
 
 from __future__ import annotations
@@ -19,52 +34,82 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.actors import Actor, ActorContext
-from repro.platform.messages import EventRecord, VesselStateUpdate
+from repro.cluster.sharding import stable_hash
+from repro.platform.messages import (
+    EventRecord,
+    RestoreState,
+    VesselStateUpdate,
+    WriterFlush,
+)
 
 if TYPE_CHECKING:
+    from repro.actors import ActorRef
     from repro.platform.pipeline import PlatformWiring
 
 
 class WriterActor(Actor):
-    """Persists actor outputs into the KV store and notifies subscribers."""
+    """One shard of the writer pool: batches actor outputs into the KV
+    store and notifies subscribers."""
 
-    def __init__(self, wiring: "PlatformWiring") -> None:
+    def __init__(self, wiring: "PlatformWiring", shard: int = 0) -> None:
         self.wiring = wiring
+        self.shard = shard
         self.states_written = 0
         self.events_written = 0
+        self.flushes = 0
+        self.kv_ops_flushed = 0
         self._producer = None
         if wiring.config.output_topics:
             from repro.streams import Producer
             self._producer = Producer(wiring.broker)
         #: (kind, pair) -> last event time, for cross-cell deduplication
         #: (the same encounter can be detected by several cell actors).
+        #: Bounded: entries older than the debounce window are pruned
+        #: whenever the map exceeds ``event_dedup_max``, then oldest-first
+        #: eviction enforces the hard cap (see :meth:`_bound_dedup`).
         self._event_dedup: dict[tuple, float] = {}
+        #: mmsi -> newest pending state (coalesced: last write wins).
+        self._pending_states: dict[int, VesselStateUpdate] = {}
+        #: (record, events:all member id) pairs awaiting flush, in order.
+        self._pending_events: list[tuple[EventRecord, str]] = []
+        #: Generation counter invalidating stale linger timers: a timer
+        #: only flushes if no flush happened since it was armed.
+        self._flush_seq = 0
+        self._timer_armed = False
+        self._tel_instruments: tuple | None = None
+
+    # -- receive --------------------------------------------------------------------
 
     def receive(self, message, ctx: ActorContext) -> None:
         if isinstance(message, VesselStateUpdate):
-            self._write_state(message)
+            self._enqueue_state(message, ctx)
         elif isinstance(message, EventRecord):
-            self._write_event(message)
+            self._enqueue_event(message, ctx)
+        elif isinstance(message, WriterFlush):
+            self._timer_armed = False
+            if message.seq is None or message.seq == self._flush_seq:
+                self._flush(message.reason)
+            elif self.pending_ops:
+                # Stale timer (a max_ops flush beat it) with new work
+                # already queued behind it: re-arm so the tail still lands.
+                self._maybe_flush(ctx)
+        elif isinstance(message, RestoreState):
+            pass  # writers are rebuilt from KV snapshots, not actor state
 
-    def _write_state(self, update: VesselStateUpdate) -> None:
-        kv = self.wiring.kvstore
-        now = update.t
-        snapshot = {
-            "t": update.t, "lat": update.lat, "lon": update.lon,
-            "sog": update.sog, "cog": update.cog,
-            "event_flags": ",".join(update.event_flags),
-        }
-        if update.forecast is not None:
-            snapshot["forecast"] = [
-                (p.t, p.lat, p.lon) for p in update.forecast.positions]
-        kv.hmset(f"vessel:{update.mmsi}", snapshot, now=now)
-        kv.zadd("vessels:last_seen", update.t, str(update.mmsi), now=now)
+    # -- enqueue --------------------------------------------------------------------
+
+    def _enqueue_state(self, update: VesselStateUpdate,
+                       ctx: ActorContext) -> None:
+        self._pending_states[update.mmsi] = update
         if self._producer is not None:
+            # The output stream carries every accepted update — coalescing
+            # applies only to the KV store, whose reads want latest-state.
             self._producer.send(self.wiring.config.output_state_topic,
                                 update.mmsi, update, update.t)
         self.states_written += 1
+        self._maybe_flush(ctx)
 
-    def _write_event(self, record: EventRecord) -> None:
+    def _enqueue_event(self, record: EventRecord, ctx: ActorContext) -> None:
         payload = record.payload
         pair = getattr(payload, "pair", None)
         if pair is not None:
@@ -74,14 +119,179 @@ class WriterActor(Actor):
                     and record.t - last < self.wiring.config.event_debounce_s):
                 return
             self._event_dedup[key] = record.t
+            self._bound_dedup(record.t)
 
-        kv = self.wiring.kvstore
-        kv.rpush(f"events:{record.kind}", payload, now=record.t)
-        kv.zadd("events:all", record.t,
-                f"{record.kind}:{self.events_written}", now=record.t)
+        member = f"{record.kind}:{self.shard}:{self.events_written}"
+        self._pending_events.append((record, member))
         self.wiring.pubsub.publish(f"events:{record.kind}", payload)
         if self._producer is not None:
             prefix = self.wiring.config.output_event_topic_prefix
             self._producer.send(f"{prefix}.{record.kind}", record.kind,
                                 record, record.t)
         self.events_written += 1
+        self._maybe_flush(ctx)
+
+    def _bound_dedup(self, now: float) -> None:
+        limit = self.wiring.config.event_dedup_max
+        if len(self._event_dedup) <= limit:
+            return
+        debounce = self.wiring.config.event_debounce_s
+        self._event_dedup = {k: t for k, t in self._event_dedup.items()
+                             if now - t < debounce}
+        if len(self._event_dedup) > limit:
+            # Still over the cap inside one debounce window: drop the
+            # oldest entries (their pairs may debounce-miss once; bounded
+            # memory wins over perfect dedup under adversarial load).
+            ordered = sorted(self._event_dedup.items(),
+                             key=lambda kv: (kv[1], kv[0]))
+            self._event_dedup = dict(ordered[len(ordered) - limit:])
+
+    # -- batching -------------------------------------------------------------------
+
+    @property
+    def pending_ops(self) -> int:
+        """KV operations the current batch will issue when flushed."""
+        return 2 * len(self._pending_states) + 2 * len(self._pending_events)
+
+    def _maybe_flush(self, ctx: ActorContext) -> None:
+        config = self.wiring.config
+        if self.pending_ops >= config.writer_batch_max_ops:
+            self._flush("max_ops")
+        elif not self._timer_armed and config.writer_batch_linger_s > 0:
+            self._timer_armed = True
+            ctx.schedule(config.writer_batch_linger_s, ctx.self_ref,
+                         WriterFlush(reason="linger", seq=self._flush_seq))
+
+    def _flush(self, reason: str) -> None:
+        self._flush_seq += 1
+        ops = self.pending_ops
+        if ops == 0:
+            return
+        kv = self.wiring.kvstore
+        for update in self._pending_states.values():
+            snapshot = {
+                "t": update.t, "lat": update.lat, "lon": update.lon,
+                "sog": update.sog, "cog": update.cog,
+                "event_flags": ",".join(update.event_flags),
+            }
+            if update.forecast is not None:
+                snapshot["forecast"] = [
+                    (p.t, p.lat, p.lon) for p in update.forecast.positions]
+            kv.hmset(f"vessel:{update.mmsi}", snapshot, now=update.t)
+            kv.zadd("vessels:last_seen", update.t, str(update.mmsi),
+                    now=update.t)
+        for record, member in self._pending_events:
+            kv.rpush(f"events:{record.kind}", record.payload, now=record.t)
+            kv.zadd("events:all", record.t, member, now=record.t)
+        self._pending_states.clear()
+        self._pending_events.clear()
+        self.flushes += 1
+        self.kv_ops_flushed += ops
+        self._record_telemetry(reason, ops)
+
+    def _record_telemetry(self, reason: str, ops: int) -> None:
+        telemetry = self.wiring.system.telemetry
+        if telemetry is None:
+            return
+        if self._tel_instruments is None:
+            shard = str(self.shard)
+            self._tel_instruments = (
+                telemetry.registry.histogram("writer_batch_ops",
+                                             {"shard": shard}),
+                {r: telemetry.registry.counter(
+                    "writer_flushes_total", {"reason": r, "shard": shard})
+                 for r in ("max_ops", "linger", "explicit")},
+            )
+        batch_hist, flush_counters = self._tel_instruments
+        batch_hist.observe(ops)
+        counter = flush_counters.get(reason)
+        if counter is None:
+            counter = flush_counters[reason] = \
+                telemetry.registry.counter(
+                    "writer_flushes_total",
+                    {"reason": reason, "shard": str(self.shard)})
+        counter.inc()
+
+
+class WriterPool:
+    """A consistent-hash pool of node-local writer actors.
+
+    Quacks like an :class:`~repro.actors.ActorRef` for its senders
+    (``tell``), routing each message to a fixed shard: vessel states by
+    MMSI, events by their ``(kind, pair)`` when a pair exists (keeping the
+    cross-cell dedup of one encounter on one shard) and by ``(kind, mmsi)``
+    otherwise. Routing uses the cluster's process-independent
+    :func:`~repro.cluster.sharding.stable_hash`, so a restart routes every
+    key identically.
+    """
+
+    def __init__(self, wiring: "PlatformWiring", size: int) -> None:
+        if size < 1:
+            raise ValueError("writer pool needs at least one shard")
+        self.size = size
+        self._system = wiring.system
+        self.refs: list["ActorRef"] = [
+            wiring.system.spawn(
+                lambda shard=shard: WriterActor(wiring, shard=shard),
+                f"writer-{shard}")
+            for shard in range(size)
+        ]
+
+    # -- routing --------------------------------------------------------------------
+
+    def route_key(self, message) -> object:
+        if isinstance(message, VesselStateUpdate):
+            return message.mmsi
+        if isinstance(message, EventRecord):
+            pair = getattr(message.payload, "pair", None)
+            if pair is not None:
+                return (message.kind, tuple(pair))
+            mmsi = getattr(message.payload, "mmsi", None)
+            if mmsi is not None:
+                return (message.kind, mmsi)
+            return message.kind
+        return 0
+
+    def shard_of(self, message) -> int:
+        return stable_hash(self.route_key(message)) % self.size
+
+    def tell(self, message, sender=None) -> None:
+        self.refs[self.shard_of(message)].tell(message, sender=sender)
+
+    # -- control --------------------------------------------------------------------
+
+    def flush(self, reason: str = "explicit") -> None:
+        """Ask every shard to flush its pending batch (async: pump the
+        dispatcher afterwards)."""
+        for ref in self.refs:
+            ref.tell(WriterFlush(reason=reason, seq=None))
+
+    def broadcast(self, message) -> None:
+        for ref in self.refs:
+            ref.tell(message)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def actors(self) -> list[WriterActor]:
+        cells = self._system._cells
+        return [cells[ref.name].actor for ref in self.refs
+                if ref.name in cells]
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(actor, attr) for actor in self.actors())
+
+    @property
+    def states_written(self) -> int:
+        return self._sum("states_written")
+
+    @property
+    def events_written(self) -> int:
+        return self._sum("events_written")
+
+    @property
+    def flushes(self) -> int:
+        return self._sum("flushes")
+
+    @property
+    def pending_ops(self) -> int:
+        return self._sum("pending_ops")

@@ -28,6 +28,11 @@ a :class:`~repro.sim.scenario.SimReport`; the pytest layer lives in
 
 from repro.sim.faults import FaultSpec
 from repro.sim.invariants import Violation
+from repro.sim.recovery import (
+    RecoveryReport,
+    RecoveryScenario,
+    run_recovery_scenario,
+)
 from repro.sim.scenario import (
     FaultStep,
     Scenario,
@@ -41,6 +46,8 @@ from repro.sim.workload import Workload, generate_workload
 __all__ = [
     "FaultSpec",
     "FaultStep",
+    "RecoveryReport",
+    "RecoveryScenario",
     "Scenario",
     "SimCluster",
     "SimHub",
@@ -48,5 +55,6 @@ __all__ = [
     "Violation",
     "Workload",
     "generate_workload",
+    "run_recovery_scenario",
     "run_scenario",
 ]

@@ -1,0 +1,247 @@
+"""Checkpointed crash recovery under the deterministic simulator.
+
+:func:`run_recovery_scenario` drives the standard workload through a
+:class:`~repro.sim.scenario.SimCluster` with link faults armed, taking
+periodic checkpoints at quiescent boundaries, then crashes a node
+mid-stream and — unlike the campaigns in :mod:`~repro.sim.scenario`,
+which heal with a *full* AIS replay — recovers it from the latest
+checkpoint via :meth:`LoopbackCluster.recover`, replaying only the
+stream suffix past the checkpointed offsets.
+
+Two recovery-specific invariants join the standard checks:
+
+* **checkpoint economy** — the suffix replay re-dispatched strictly
+  fewer records than the full log holds (otherwise the checkpoint
+  bought nothing over ``replay_from_start``);
+* **single hosting** — after recovery every published vessel is hosted
+  by exactly one live node (a bad restore would double-host).
+
+Event parity against the fault-free oracle is still the headline check.
+The exact final-position invariant (``check_no_acked_loss``) does not
+apply here: without a terminal in-order full replay, reordered fixes can
+legitimately shift the 30-second downsampling decisions, so the last
+*kept* fix may differ from the fault-free run while the detected
+encounters do not.
+
+The fault profile must not drop frames (:class:`RecoveryScenario`
+enforces ``drop_p == 0``): recovery replays only the suffix past the
+checkpoint, so a frame dropped outside that suffix is genuinely gone —
+a drop there tests the fault model, not the recovery path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster import ClusterConfig, VirtualClock
+from repro.platform.config import PlatformConfig
+from repro.sim.faults import FaultSpec
+from repro.sim.invariants import (
+    Violation,
+    check_event_parity,
+    check_no_downed_delivery,
+    check_shard_convergence,
+    collect_events,
+)
+from repro.sim.scenario import SimCluster, reference_events
+from repro.sim.transport import SimHub
+from repro.sim.workload import generate_workload
+
+
+@dataclass(frozen=True)
+class RecoveryScenario:
+    """A crash-and-recover-from-checkpoint campaign over the standard
+    workload. Chunk indices follow :class:`~repro.sim.scenario.FaultStep`
+    semantics: an action at chunk ``k`` fires *after* chunk ``k`` is
+    processed."""
+
+    name: str = "checkpoint-recovery"
+    #: Link faults active throughout (never drops — see module docstring).
+    faults: FaultSpec = FaultSpec(dup_p=0.05, delay_p=0.2,
+                                  delay_min_s=0.05, delay_max_s=0.6,
+                                  reorder_p=0.2)
+    num_nodes: int = 3
+    steps: int = 10
+    #: A quiescent checkpoint is captured after every this-many chunks,
+    #: up to the crash.
+    checkpoint_every: int = 2
+    crash_node: str = "node-01"
+    crash_after_chunk: int = 4
+    #: When the failure detector gets time to resolve the crash and the
+    #: node is recovered from the latest checkpoint.
+    recover_after_chunk: int = 7
+    tick_per_chunk_s: float = 1.0
+    down_after_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.faults.drop_p > 0:
+            raise ValueError(
+                "recovery scenarios must not drop frames: only the "
+                "checkpoint suffix is replayed, so a drop outside it is "
+                "unrecoverable by design")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if not (self.checkpoint_every <= self.crash_after_chunk
+                < self.recover_after_chunk < self.steps):
+            raise ValueError(
+                "need checkpoint_every <= crash_after_chunk < "
+                "recover_after_chunk < steps so at least one checkpoint "
+                "precedes the crash and chunks follow the recovery")
+
+
+@dataclass
+class RecoveryReport:
+    """Everything a failing seed needs to be diagnosed and replayed."""
+
+    scenario: str
+    seed: int
+    violations: list[Violation]
+    events: set
+    reference_events: set
+    #: Records the recovery suffix replay re-dispatched.
+    replayed: int
+    #: Records the full AIS log held at recovery time.
+    total_records: int
+    checkpoints_taken: int
+    #: Records the latest checkpoint's offsets covered (not replayed).
+    covered: int
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def fingerprint(self) -> str:
+        """Digest of every observable outcome; identical across runs of
+        the same (scenario, seed) — the harness determinism guarantee."""
+        canonical = repr((
+            self.scenario, self.seed, sorted(self.events),
+            sorted(self.counters.items()),
+            [str(v) for v in self.violations],
+            self.replayed, self.total_records,
+            self.checkpoints_taken, self.covered,
+        ))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        lines = [f"scenario={self.scenario} seed={self.seed} {status} "
+                 f"replayed={self.replayed}/{self.total_records} "
+                 f"fingerprint={self.fingerprint()[:16]}"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _quiescent_checkpoint(cluster: SimCluster, hub: SimHub,
+                          workdir: str | None):
+    """Capture a checkpoint at a genuinely quiescent boundary: faults are
+    paused, the delay heap drained and writers flushed first. In-flight
+    frames are never part of a checkpoint; pausing injection makes sure
+    none exist at capture time."""
+    saved = hub.faults
+    hub.faults = FaultSpec()
+    try:
+        cluster.quiesce()
+        cluster.process_available()
+        return cluster.checkpoint(directory=workdir)
+    finally:
+        hub.faults = saved
+
+
+def _check_single_hosting(cluster, mmsis) -> list[Violation]:
+    """After recovery every published vessel must be hosted by exactly
+    one live node — a bad state restore would double-host it."""
+    violations = []
+    for mmsi in sorted(mmsis):
+        hosts = [p.node.node_id for p in cluster.platforms
+                 if mmsi in p.wiring.vessel_router]
+        if len(hosts) != 1:
+            violations.append(Violation(
+                "single-hosting",
+                f"vessel {mmsi} hosted on {hosts or 'no node'} "
+                f"(want exactly one)"))
+    return violations
+
+
+def run_recovery_scenario(scenario: RecoveryScenario, seed: int,
+                          workdir: str | None = None) -> RecoveryReport:
+    """Execute ``scenario`` under ``seed``; pass ``workdir`` to route the
+    checkpoint through disk (write at capture, load at recovery)."""
+    workload = generate_workload(seed, steps=scenario.steps)
+    oracle = reference_events(seed, scenario.steps, scenario.num_nodes)
+
+    clock = VirtualClock()
+    hub = SimHub(rng=random.Random(seed), clock=clock, faults=FaultSpec())
+    cluster = SimCluster(
+        hub, num_nodes=scenario.num_nodes,
+        config=PlatformConfig(record_telemetry=True, trace_sample_every=16),
+        cluster_config=ClusterConfig(down_after_s=scenario.down_after_s))
+    checkpoint = None
+    checkpoints_taken = 0
+    replayed = 0
+    try:
+        hub.faults = scenario.faults
+        for k, chunk in enumerate(workload.messages_by_step):
+            cluster.seed.publish_messages(chunk)
+            cluster.process_available()
+            cluster.tick(scenario.tick_per_chunk_s)
+            if (k < scenario.crash_after_chunk
+                    and (k + 1) % scenario.checkpoint_every == 0):
+                checkpoint = _quiescent_checkpoint(cluster, hub, workdir)
+                checkpoints_taken += 1
+            if k == scenario.crash_after_chunk:
+                cluster.crash(scenario.crash_node)
+            if k == scenario.recover_after_chunk:
+                # Let the failure detector resolve the dead incarnation
+                # (two DOWN windows — see run_scenario), then recover from
+                # the latest checkpoint; faults stay armed throughout.
+                cluster.tick(2.0 * scenario.down_after_s + 2.0)
+                source = workdir if workdir is not None else checkpoint
+                _, replayed = cluster.recover(scenario.crash_node, source)
+
+        # Drain: stop injecting, flush the delay heap and the writers so
+        # every late frame lands before the invariants look.
+        hub.faults = FaultSpec()
+        hub.heal()
+        cluster.quiesce()
+        cluster.process_available()
+
+        violations = []
+        violations += check_shard_convergence(cluster)
+        events = collect_events(cluster)
+        violations += check_event_parity(events, oracle)
+        violations += check_no_downed_delivery(hub)
+        violations += _check_single_hosting(cluster, workload.final_t)
+
+        seed_platform = cluster.seed
+        total_records = sum(
+            seed_platform.broker.end_offset(
+                seed_platform.config.ais_topic, p)
+            for p in range(seed_platform.config.ais_partitions))
+        covered = sum(checkpoint.offsets.values()) if checkpoint else 0
+        if checkpoint is None or covered == 0:
+            violations.append(Violation(
+                "checkpoint-economy",
+                "no checkpoint with stream progress was ever captured"))
+        elif replayed >= total_records:
+            violations.append(Violation(
+                "checkpoint-economy",
+                f"suffix replay re-dispatched {replayed} of "
+                f"{total_records} records — no cheaper than "
+                f"replay_from_start"))
+
+        counters = dict(hub.fault_counters())
+        counters["epoch"] = cluster.nodes[0].table.epoch
+        counters["live_nodes"] = len(cluster.nodes)
+        telemetry = seed_platform.telemetry.registry.snapshot()
+        counters["recovery_entities_restored"] = int(
+            telemetry["gauges"].get("recovery_entities_restored", 0))
+    finally:
+        cluster.shutdown()
+    return RecoveryReport(
+        scenario=scenario.name, seed=seed, violations=violations,
+        events=events, reference_events=oracle, replayed=replayed,
+        total_records=total_records, checkpoints_taken=checkpoints_taken,
+        covered=covered, counters=counters)

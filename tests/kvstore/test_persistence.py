@@ -1,0 +1,191 @@
+"""Durability tests for the kvstore journal + snapshot layer."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.kvstore import (
+    CorruptPersistenceError,
+    KeyValueStore,
+    StorePersistence,
+    WrongTypeError,
+)
+from repro.kvstore.persistence import JOURNAL_FILE, SNAPSHOT_FILE
+
+
+def populate(store: KeyValueStore) -> None:
+    store.set("s", "hello", now=1.0)
+    store.set("ttl", "soon", now=1.0, ttl_s=5.0)
+    store.incr("counter", by=3, now=1.0)
+    store.hset("h", "a", 1, now=1.0)
+    store.hmset("h", {"b": 2, "c": 3}, now=1.0)
+    store.hdel("h", "c", now=1.0)
+    store.rpush("l", "x", "y", now=1.0)
+    store.lpush("l", "w", now=1.0)
+    store.ltrim("l", 0, 1, now=1.0)
+    store.zadd("z", 1.5, "m1", now=1.0)
+    store.zadd("z", 2.5, "m2", now=1.0)
+    store.zremrangebyscore("z", 2.0, 3.0, now=1.0)
+    store.expire("s", 100.0, now=1.0)
+    store.delete("ttl")
+
+
+def test_journal_replay_round_trip(tmp_path):
+    d = str(tmp_path / "kv")
+    store = KeyValueStore(StorePersistence(d))
+    populate(store)
+
+    recovered = KeyValueStore(StorePersistence(d))
+    assert recovered.dump(now=1.0) == store.dump(now=1.0)
+    assert recovered.get("s", now=1.0) == "hello"
+    assert recovered.lrange("l", 0, -1, now=1.0) == ["w", "x"]
+    assert recovered.zrange("z", 0, -1, now=1.0) == [("m1", 1.5)]
+    assert recovered.hgetall("h", now=1.0) == {"a": 1, "b": 2}
+
+
+def test_snapshot_plus_suffix_replay(tmp_path):
+    d = str(tmp_path / "kv")
+    persistence = StorePersistence(d)
+    store = KeyValueStore(persistence)
+    populate(store)
+    store.compact()
+    assert persistence.compactions == 1
+    assert persistence.journal.size_bytes == 0
+    # Ops after the snapshot land in the journal only.
+    store.rpush("l", "z", now=2.0)
+    store.incr("counter", now=2.0)
+
+    fresh = StorePersistence(d)
+    recovered = KeyValueStore()
+    replayed = recovered.bind_persistence(fresh)
+    assert replayed == 2  # only the post-snapshot suffix
+    assert recovered.dump(now=2.0) == store.dump(now=2.0)
+    assert recovered.get("counter") == "4"
+
+
+def test_auto_compaction_threshold(tmp_path):
+    persistence = StorePersistence(str(tmp_path / "kv"), compact_every_ops=10)
+    store = KeyValueStore(persistence)
+    for i in range(25):
+        store.set(f"k{i}", str(i))
+    assert persistence.compactions == 2
+    assert persistence.ops_journaled == 25
+    recovered = KeyValueStore(StorePersistence(str(tmp_path / "kv")))
+    assert recovered.dump() == store.dump()
+
+
+def test_non_idempotent_ops_not_double_applied(tmp_path):
+    """Crash between snapshot write and journal truncate must not replay
+    pre-snapshot rpush/incr entries on recovery."""
+    d = str(tmp_path / "kv")
+    persistence = StorePersistence(d)
+    store = KeyValueStore(persistence)
+    store.rpush("l", "a", "b")
+    store.incr("n", by=5)
+    # Simulate the torn state: snapshot written, journal NOT truncated.
+    state = store.snapshot_state()
+    payload = pickle.dumps({"version": 1, "seq": persistence.seq, **state},
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    with open(os.path.join(d, SNAPSHOT_FILE), "wb") as fh:
+        fh.write(payload)
+
+    recovered = KeyValueStore()
+    replayed = recovered.bind_persistence(StorePersistence(d))
+    assert replayed == 0  # stale entries skipped by sequence filter
+    assert recovered.lrange("l", 0, -1) == ["a", "b"]
+    assert recovered.get("n") == "5"
+
+
+def test_torn_journal_tail_is_tolerated(tmp_path):
+    d = str(tmp_path / "kv")
+    store = KeyValueStore(StorePersistence(d))
+    store.set("a", "1")
+    store.set("b", "2")
+    # A crash mid-append leaves a truncated pickle frame at the tail.
+    path = os.path.join(d, JOURNAL_FILE)
+    with open(path, "ab") as fh:
+        fh.write(b"\x80\x05\x95\xff\xff")
+
+    recovered = KeyValueStore(StorePersistence(d))
+    assert recovered.get("a") == "1"
+    assert recovered.get("b") == "2"
+
+
+def test_corrupt_snapshot_raises(tmp_path):
+    d = str(tmp_path / "kv")
+    os.makedirs(d)
+    with open(os.path.join(d, SNAPSHOT_FILE), "wb") as fh:
+        fh.write(b"not a pickle at all")
+    with pytest.raises(CorruptPersistenceError):
+        KeyValueStore(StorePersistence(d))
+
+
+def test_version_mismatch_raises(tmp_path):
+    d = str(tmp_path / "kv")
+    os.makedirs(d)
+    payload = pickle.dumps({"version": 999, "seq": 0,
+                            "data": {}, "expiry": {}})
+    with open(os.path.join(d, SNAPSHOT_FILE), "wb") as fh:
+        fh.write(payload)
+    with pytest.raises(CorruptPersistenceError):
+        KeyValueStore(StorePersistence(d))
+
+
+def test_failed_commands_are_not_journaled(tmp_path):
+    persistence = StorePersistence(str(tmp_path / "kv"))
+    store = KeyValueStore(persistence)
+    store.set("s", "str")
+    before = persistence.ops_journaled
+    with pytest.raises(WrongTypeError):
+        store.hset("s", "f", 1)
+    with pytest.raises(WrongTypeError):
+        store.rpush("s", "x")
+    assert persistence.ops_journaled == before
+    # No-op mutations skip the journal too.
+    store.delete("missing")
+    store.hdel("missing", "f")
+    assert store.expire("missing", 5.0) is False
+    assert persistence.ops_journaled == before
+
+
+def test_expiry_survives_recovery(tmp_path):
+    d = str(tmp_path / "kv")
+    store = KeyValueStore(StorePersistence(d))
+    store.set("k", "v", now=10.0, ttl_s=5.0)
+
+    recovered = KeyValueStore(StorePersistence(d))
+    assert recovered.get("k", now=12.0) == "v"
+    assert recovered.get("k", now=15.0) is None
+
+
+def test_save_load_standalone_snapshot(tmp_path):
+    store = KeyValueStore()
+    populate(store)
+    path = str(tmp_path / "dump.pkl")
+    store.save(path)
+
+    loaded = KeyValueStore.load(path)
+    assert loaded.dump(now=1.0) == store.dump(now=1.0)
+    # The loaded store is independent of the original.
+    loaded.set("only-here", "1")
+    assert store.get("only-here") is None
+
+
+def test_flushall_is_durable(tmp_path):
+    d = str(tmp_path / "kv")
+    store = KeyValueStore(StorePersistence(d))
+    populate(store)
+    store.flushall()
+    store.set("after", "1")
+
+    recovered = KeyValueStore(StorePersistence(d))
+    assert recovered.keys() == ["after"]
+
+
+def test_snapshot_state_does_not_alias(tmp_path):
+    store = KeyValueStore()
+    store.rpush("l", "a")
+    state = store.snapshot_state()
+    state["data"]["l"].append("mutated")
+    assert store.lrange("l", 0, -1) == ["a"]

@@ -7,6 +7,11 @@ Every test that takes a ``sim_seed`` fixture runs once per seed:
 * ``--sim-seed S``: exactly seed ``S`` — the byte-for-byte replay knob
   for a seed the sweep reported as failing.
 
+A test module may set ``SIM_MIN_SEEDS = K`` to guarantee at least ``K``
+seeds regardless of ``--sim-seeds`` (acceptance suites that promise
+"holds across >= K seeds" stay honest even in the fast tier-1 sweep);
+``--sim-seed`` still overrides everything.
+
 Failures of seeded tests are appended to ``sim-failures.log`` in the
 rootdir (one line per failure, carrying the seed) so the nightly job can
 upload it as an artifact.
@@ -24,7 +29,9 @@ def pytest_generate_tests(metafunc):
     if exact is not None:
         seeds = [exact]
     else:
-        seeds = list(range(metafunc.config.getoption("--sim-seeds")))
+        n = max(metafunc.config.getoption("--sim-seeds"),
+                getattr(metafunc.module, "SIM_MIN_SEEDS", 0))
+        seeds = list(range(n))
     metafunc.parametrize("sim_seed", seeds,
                          ids=[f"seed{s}" for s in seeds])
 
