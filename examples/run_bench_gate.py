@@ -21,6 +21,14 @@ sharded, micro-batched pool. The pool must not be slower than the single
 writer beyond ``--writer-tolerance`` (default 10%, absorbing CI-box
 noise); the pair runs back-to-back so both see the same machine mood.
 
+A fourth leg gates the serving tier: ``run_serving_load.py`` (the
+10k-subscriber WebSocket harness, scaled down for CI) must bring at
+least ``--serving-min-subscribers`` live subscriptions up, keep client
+p99 push latency under ``--serving-max-p99-ms``, deliver at least one
+push, and preserve event-push parity (zero replica sequence gaps, every
+published event replicated). Its report is kept as
+``BENCH_serving.json``.
+
 Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
 runs the two legs back-to-back (order alternating), each pair therefore
 shares the box's momentary mood, and the gate takes the minimum on/off
@@ -128,6 +136,53 @@ def run_writer_leg(args) -> dict:
     return best
 
 
+def run_serving_leg(args) -> tuple[dict, list[str]]:
+    """The serving-tier gate: run the WebSocket load harness as its own
+    process tree (workers need their own FD budgets) and assert on the
+    report it writes."""
+    import subprocess
+
+    harness = Path(__file__).resolve().parent / "run_serving_load.py"
+    command = [
+        sys.executable, str(harness),
+        "--subscribers", str(args.serving_subscribers),
+        "--workers", str(args.serving_workers),
+        "--vessels", str(args.serving_vessels),
+        "--duration", str(args.serving_minutes * 60.0),
+        "--seed", str(args.seed),
+        "--json", args.serving_output,
+    ]
+    proc = subprocess.run(command, timeout=1_800)
+    if proc.returncode != 0:
+        return {}, [f"serving harness exited with {proc.returncode}"]
+    report = json.loads(Path(args.serving_output).read_text())
+
+    failures = []
+    subscribed = report["subscribers"]["subscribed"]
+    floor = args.serving_min_subscribers
+    print(f"      serving gate: {subscribed} subscribers (floor {floor}), "
+          f"p99 {report['push']['latency_ms']['p99']:.0f} ms "
+          f"(ceiling {args.serving_max_p99_ms:.0f}), "
+          f"{report['push']['client_pushes']} pushes, "
+          f"gaps {report['feed']['sequence_gaps']}")
+    if subscribed < floor:
+        failures.append(f"serving subscribers {subscribed} below the "
+                        f"floor {floor}")
+    p99 = report["push"]["latency_ms"]["p99"]
+    if p99 > args.serving_max_p99_ms:
+        failures.append(f"serving p99 push latency {p99:.0f} ms exceeds "
+                        f"{args.serving_max_p99_ms:.0f} ms")
+    if report["push"]["client_pushes"] <= 0:
+        failures.append("serving run delivered no pushes at all")
+    if not report["event_parity"]["ok"]:
+        failures.append(
+            f"event-push parity broken: published "
+            f"{report['event_parity']['published']}, replicated "
+            f"{report['event_parity']['replicated']}, "
+            f"{report['feed']['sequence_gaps']} sequence gap(s)")
+    return report, failures
+
+
 def check_telemetry(snapshot: dict) -> list[str]:
     """The quality assertions over the telemetry-on leg's snapshot."""
     problems = []
@@ -169,6 +224,17 @@ def main() -> None:
     parser.add_argument("--writer-tolerance", type=float, default=0.10,
                         help="how far below the single-writer throughput "
                              "the sharded pool may fall (fraction)")
+    parser.add_argument("--serving-subscribers", type=int, default=2_000)
+    parser.add_argument("--serving-workers", type=int, default=2)
+    parser.add_argument("--serving-vessels", type=int, default=400)
+    parser.add_argument("--serving-minutes", type=float, default=10.0)
+    parser.add_argument("--serving-min-subscribers", type=int, default=1_900,
+                        help="live-subscription floor for the serving leg")
+    parser.add_argument("--serving-max-p99-ms", type=float, default=1_500.0,
+                        help="client p99 push-latency ceiling (ms)")
+    parser.add_argument("--serving-output", default="BENCH_serving.json")
+    parser.add_argument("--skip-serving", action="store_true",
+                        help="skip the serving-tier leg")
     parser.add_argument("--baseline", default="BENCH_cluster.json",
                         help="file holding the recorded loopback_gate "
                              "baseline")
@@ -179,6 +245,9 @@ def main() -> None:
     args = parser.parse_args()
     if args.smoke:
         args.vessels, args.minutes, args.repeats = 80, 5.0, 1
+        args.serving_subscribers, args.serving_workers = 300, 1
+        args.serving_vessels, args.serving_minutes = 150, 5.0
+        args.serving_min_subscribers = 280
 
     print(f"bench gate: {args.vessels} vessels, {args.minutes:.0f} simulated "
           f"minutes, 2-node loopback, batched transport, "
@@ -241,9 +310,25 @@ def main() -> None:
             f"single-writer baseline {writer['single']:.0f} "
             f"(tolerance {args.writer_tolerance * 100.0:.0f}%)")
 
+    serving_summary = None
+    if args.skip_serving:
+        print("      serving gate: skipped (--skip-serving)")
+    else:
+        serving_report, serving_failures = run_serving_leg(args)
+        failures.extend(serving_failures)
+        if serving_report:
+            serving_summary = {
+                "subscribed": serving_report["subscribers"]["subscribed"],
+                "client_pushes": serving_report["push"]["client_pushes"],
+                "latency_ms": serving_report["push"]["latency_ms"],
+                "sequence_gaps": serving_report["feed"]["sequence_gaps"],
+                "event_parity_ok": serving_report["event_parity"]["ok"],
+            }
+
     report = {
         "workload": {"vessels": args.vessels, "sim_minutes": args.minutes,
                      "seed": args.seed, "repeats": args.repeats},
+        "serving_gate": serving_summary,
         "baseline_msgs_per_s": baseline,
         "telemetry_off": off,
         "telemetry_on": on,

@@ -1,0 +1,394 @@
+"""Serving-tier load harness: 10k+ live WebSocket subscribers.
+
+The coordinator process runs the full pipeline the paper's UI sits on
+top of — platform actors -> writer pool -> replication feed -> read
+replica -> :class:`~repro.serving.ServingServer` — and replays the
+Figure 6 global fleet workload through it while worker *subprocesses*
+hold thousands of WebSocket subscriptions each (subprocesses because a
+single process would exhaust its file-descriptor budget holding both
+sides of every socket).
+
+Each worker opens ``--connections`` sockets, registers one subscription
+per socket (a mix of port-centred bounding boxes, hex k-rings, vessel
+tracks and event feeds), prints ``READY <n>``, then counts every push it
+receives. Push latency is measured end to end: the server stamps each
+fanned-out update with ``time.monotonic()`` at dispatch, the worker
+subtracts that stamp on receipt — on Linux ``CLOCK_MONOTONIC`` is shared
+across processes, so the difference is real queueing + socket time.
+
+The run records subscriber counts, push throughput, client p50/p99 push
+latency, feed integrity (replica sequence gaps, bounded-subscription
+drops) and event-push parity into ``BENCH_serving.json``; the CI gate
+(``run_bench_gate.py --serving``) replays a scaled-down version of this
+harness and enforces the latency ceiling and subscriber floor.
+
+Run:  python examples/run_serving_load.py                    # full 10k
+      python examples/run_serving_load.py --subscribers 2000 --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+MMSI_BASE = 200_000_000  # FleetConfig.base_mmsi
+LATENCY_RESERVOIR = 50_000
+
+
+# ---------------------------------------------------------------------------
+# Worker: one process holding N subscriber connections
+# ---------------------------------------------------------------------------
+
+def _pick_subscription(rng: random.Random, ports, mmsi_lo: int,
+                       mmsi_hi: int) -> dict:
+    """One subscription from the harness mix. Boxes and rings centre on
+    real ports so they overlap the simulated shipping lanes."""
+    roll = rng.random()
+    port = ports[rng.randrange(len(ports))]
+    if roll < 0.55:
+        dlat = rng.uniform(0.5, 3.0)
+        dlon = rng.uniform(0.5, 3.0)
+        return {"op": "subscribe", "type": "bbox",
+                "lat_min": max(port.lat - dlat, -85.0),
+                "lat_max": min(port.lat + dlat, 85.0),
+                "lon_min": max(port.lon - dlon, -180.0),
+                "lon_max": min(port.lon + dlon, 180.0),
+                "res": rng.choice((5, 6))}
+    if roll < 0.75:
+        return {"op": "subscribe", "type": "kring",
+                "lat": port.lat, "lon": port.lon,
+                "res": 5, "k": rng.randint(1, 3)}
+    if roll < 0.90:
+        return {"op": "subscribe", "type": "vessel",
+                "mmsi": rng.randrange(mmsi_lo, mmsi_hi)}
+    return {"op": "subscribe", "type": "events",
+            "kind": rng.choice(("*", "collision"))}
+
+
+async def _worker_read_loop(ws, shared: dict, rng: random.Random) -> None:
+    """Count pushes on one connection until the end broadcast."""
+    samples = shared["samples"]
+    while True:
+        try:
+            message = await ws.recv_json()
+        except Exception:
+            shared["errors"] += 1
+            return
+        if message is None:
+            return
+        op = message.get("op")
+        if op == "push":
+            shared["pushes"] += 1
+            ts = message.get("ts")
+            if ts is not None:
+                latency = time.monotonic() - ts
+                shared["latency_count"] += 1
+                if len(samples) < LATENCY_RESERVOIR:
+                    samples.append(latency)
+                else:
+                    slot = rng.randrange(shared["latency_count"])
+                    if slot < LATENCY_RESERVOIR:
+                        samples[slot] = latency
+        elif op == "overflow":
+            # Cumulative per-session counter: keep the final value.
+            shared["overflow"][id(ws)] = message.get("dropped", 0)
+        elif op == "end":
+            return
+
+
+async def run_worker(args: argparse.Namespace) -> int:
+    from repro.ais.ports import PORTS
+
+    rng = random.Random(args.seed)
+    connections = []
+    for i in range(args.connections):
+        try:
+            ws = await connect_with_retry(args.host, args.port)
+        except OSError:
+            break
+        connections.append(ws)
+        if (i + 1) % args.connect_batch == 0:
+            await asyncio.sleep(0.01)
+
+    subscribed = 0
+    for ws in connections:
+        ws.send_text(json.dumps(_pick_subscription(
+            rng, PORTS, args.mmsi_lo, args.mmsi_hi)))
+    for ws in connections:
+        await ws.drain()
+    for ws in connections:
+        reply = await ws.recv_json()
+        if reply is not None and reply.get("op") == "subscribed":
+            subscribed += 1
+    print(f"READY {len(connections)} {subscribed}", flush=True)
+
+    shared = {"pushes": 0, "latency_count": 0, "errors": 0,
+              "samples": [], "overflow": {}}
+    await asyncio.gather(*(_worker_read_loop(ws, shared, rng)
+                           for ws in connections))
+    for ws in connections:
+        try:
+            await ws.close()
+        except Exception:
+            pass
+    print(json.dumps({
+        "connections": len(connections),
+        "subscribed": subscribed,
+        "pushes": shared["pushes"],
+        "errors": shared["errors"],
+        "overflow_dropped": sum(shared["overflow"].values()),
+        "latency_count": shared["latency_count"],
+        "latency_samples": [round(v, 6) for v in shared["samples"]],
+    }), flush=True)
+    return 0
+
+
+async def connect_with_retry(host: str, port: int, attempts: int = 5):
+    from repro.serving.protocol import connect_websocket
+
+    for attempt in range(attempts):
+        try:
+            return await connect_websocket(host, port)
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(0.05 * (attempt + 1))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator: platform + serving stack + worker fleet
+# ---------------------------------------------------------------------------
+
+def _raise_fd_limit() -> None:
+    import resource
+
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+async def _spawn_workers(args, port: int):
+    per_worker = [args.subscribers // args.workers] * args.workers
+    for i in range(args.subscribers % args.workers):
+        per_worker[i] += 1
+    procs = []
+    for i, n in enumerate(per_worker):
+        if n == 0:
+            continue
+        procs.append(await asyncio.create_subprocess_exec(
+            sys.executable, __file__, "--worker",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--connections", str(n),
+            "--connect-batch", str(args.connect_batch),
+            "--seed", str(args.seed * 1_000 + i),
+            "--mmsi-lo", str(MMSI_BASE),
+            "--mmsi-hi", str(MMSI_BASE + args.vessels),
+            stdout=asyncio.subprocess.PIPE,
+            # The final report line carries the latency reservoir
+            # (~1 MB); the default 64 KiB readline limit would truncate.
+            limit=64 * 1024 * 1024))
+    return procs
+
+
+async def run_coordinator(args: argparse.Namespace) -> int:
+    from repro.ais.datasets import scalability_fleet_config
+    from repro.ais.fleet import FleetEngine
+    from repro.platform import Platform, PlatformConfig
+    from repro.serving import (
+        ReadReplica,
+        ReplicaFeedPump,
+        ServingConfig,
+        ServingServer,
+    )
+    from repro.telemetry import MetricsRegistry
+
+    _raise_fd_limit()
+    platform = Platform(config=PlatformConfig(
+        serving_replica_feed=True, serving_feed_maxlen=args.feed_maxlen))
+    replica = ReadReplica()
+    registry = MetricsRegistry()
+    server = ServingServer(
+        replica,
+        config=ServingConfig(client_queue_maxlen=args.queue_maxlen),
+        registry=registry)
+    await server.start()
+    print(f"serving on 127.0.0.1:{server.port}", flush=True)
+
+    event_parity_sub = platform.api.subscribe_events("*")
+    feed_sub = platform.subscribe_replication()
+    pump = ReplicaFeedPump(feed_sub, replica, server).start()
+
+    procs = await _spawn_workers(args, server.port)
+    connected = subscribed = 0
+    for proc in procs:
+        line = (await proc.stdout.readline()).decode().split()
+        if line and line[0] == "READY":
+            connected += int(line[1])
+            subscribed += int(line[2])
+    print(f"{connected} connections up, {subscribed} subscriptions live",
+          flush=True)
+
+    engine = FleetEngine(scalability_fleet_config(
+        n_vessels=args.vessels, duration_s=args.duration, seed=args.seed))
+    messages = ticks = 0
+    start = time.monotonic()
+    for tick in engine.stream():
+        if len(tick):
+            platform.publish_batch(tick)
+            messages += platform.process_available()
+        ticks += 1
+        if ticks % 10 == 0:
+            platform.publish_flow_snapshot()
+        # Backpressure pacing: let the pump and the send loops catch up
+        # before producing the next tick, so measured push latency is the
+        # serving tier's, not the producer outrunning one CPU.
+        while feed_sub.pending() > 0:
+            await asyncio.sleep(0.005)
+        await asyncio.sleep(0)
+    platform.publish_flow_snapshot()
+    while feed_sub.pending() > 0:
+        await asyncio.sleep(0.01)
+    await asyncio.sleep(args.settle)
+    wall = time.monotonic() - start
+
+    receivers = server.broadcast({"op": "end"})
+    worker_reports = []
+    for proc in procs:
+        try:
+            raw = await asyncio.wait_for(proc.stdout.readline(),
+                                         timeout=120.0)
+            worker_reports.append(json.loads(raw))
+        except (asyncio.TimeoutError, json.JSONDecodeError):
+            proc.kill()
+        await proc.wait()
+    pump.stop(drain=True)
+    await server.stop()
+    platform.shutdown()
+
+    samples = sorted(s for r in worker_reports
+                     for s in r["latency_samples"])
+    client_pushes = sum(r["pushes"] for r in worker_reports)
+    stats = server.stats()
+    primary_events = len(event_parity_sub.get_all())
+    report = {
+        "harness": "run_serving_load",
+        "config": {
+            "subscribers": args.subscribers, "workers": args.workers,
+            "vessels": args.vessels, "duration_s": args.duration,
+            "seed": args.seed, "queue_maxlen": args.queue_maxlen,
+            "feed_maxlen": args.feed_maxlen,
+        },
+        "subscribers": {
+            "target": args.subscribers,
+            "connected": connected,
+            "subscribed": subscribed,
+            "end_broadcast_receivers": receivers,
+        },
+        "workload": {
+            "messages": messages,
+            "ticks": ticks,
+            "wall_s": round(wall, 3),
+            "msgs_per_s": round(messages / wall, 1) if wall else 0.0,
+        },
+        "push": {
+            "client_pushes": client_pushes,
+            "pushes_per_s": round(client_pushes / wall, 1) if wall else 0.0,
+            "server_pushes": stats["pushes_total"],
+            "latency_ms": {
+                "p50": round(_percentile(samples, 50.0) * 1e3, 3),
+                "p90": round(_percentile(samples, 90.0) * 1e3, 3),
+                "p99": round(_percentile(samples, 99.0) * 1e3, 3),
+                "samples": len(samples),
+                "observed": sum(r["latency_count"]
+                                for r in worker_reports),
+            },
+        },
+        "overflow": {
+            "client_reported_dropped": sum(r["overflow_dropped"]
+                                           for r in worker_reports),
+            "server_dropped": stats["client_dropped"],
+        },
+        "feed": {
+            "batches_applied": replica.batches_applied,
+            "states_applied": replica.states_applied,
+            "events_applied": replica.events_applied,
+            "sequence_gaps": replica.gaps,
+            "subscription_drops": pump.feed_drops,
+            "messages_pumped": pump.messages_pumped,
+        },
+        "event_parity": {
+            "published": primary_events,
+            "replicated": replica.events_applied,
+            "ok": (primary_events == replica.events_applied
+                   and replica.gaps == 0),
+        },
+        "worker_errors": sum(r["errors"] for r in worker_reports),
+    }
+    out = Path(args.json)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    push = report["push"]
+    print(f"subscribers={subscribed} pushes={client_pushes} "
+          f"({push['pushes_per_s']}/s) "
+          f"p50={push['latency_ms']['p50']}ms "
+          f"p99={push['latency_ms']['p99']}ms "
+          f"gaps={replica.gaps} parity_ok={report['event_parity']['ok']}",
+          flush=True)
+    print(f"wrote {out}", flush=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--subscribers", type=int, default=10_000)
+    parser.add_argument("--workers", type=int, default=5)
+    parser.add_argument("--vessels", type=int, default=1_500)
+    parser.add_argument("--duration", type=float, default=1_200.0,
+                        help="simulated workload seconds")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--queue-maxlen", type=int, default=256)
+    parser.add_argument("--feed-maxlen", type=int, default=50_000)
+    parser.add_argument("--settle", type=float, default=1.0,
+                        help="post-workload drain seconds")
+    parser.add_argument("--connect-batch", type=int, default=200)
+    parser.add_argument("--json", default="BENCH_serving.json")
+    # Worker (internal) mode.
+    parser.add_argument("--worker", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--host", default="127.0.0.1",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--port", type=int, default=0,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--connections", type=int, default=0,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--mmsi-lo", type=int, default=MMSI_BASE,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--mmsi-hi", type=int, default=MMSI_BASE + 1,
+                        help=argparse.SUPPRESS)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.worker:
+        _raise_fd_limit()
+        return asyncio.run(run_worker(args))
+    return asyncio.run(run_coordinator(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

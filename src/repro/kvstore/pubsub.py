@@ -1,9 +1,17 @@
 """Publish/subscribe channels over the KV store's lock discipline.
 
 The middleware uses pub/sub to push event notifications (forecast collisions,
-proximity alerts) to the UI without polling. Subscribers receive messages
-into unbounded per-subscription queues; delivery is fan-out to every
-subscription whose pattern matches the channel.
+proximity alerts) to the UI without polling, and the serving tier rides the
+same mechanism for its read-replica feed (channel ``repl:*``, see
+SERVING.md). Delivery is fan-out to every subscription whose glob pattern
+matches the channel.
+
+Subscriptions may be **bounded**: past ``maxlen`` pending messages the
+oldest pending message is dropped and the subscription's ``dropped``
+counter increments — a slow consumer loses its tail, never blocks the
+publisher, and can see exactly how much it lost. ``get(timeout=...)``
+blocks on a condition variable until a message arrives, so pull-style
+consumers (the replica feed pump) need no polling loop.
 """
 
 from __future__ import annotations
@@ -15,13 +23,36 @@ from typing import Any
 
 
 class Subscription:
-    """A handle holding the messages delivered to one subscriber."""
+    """A handle holding the messages delivered to one subscriber.
 
-    def __init__(self, pattern: str, pubsub: "PubSub") -> None:
+    ``maxlen=None`` keeps the historical unbounded behaviour; with a bound,
+    overflow drops the *oldest* pending message (the newest state of the
+    world always gets through) and counts it in :attr:`dropped`.
+    """
+
+    def __init__(self, pattern: str, pubsub: "PubSub",
+                 maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be >= 1 (or None for unbounded)")
         self.pattern = pattern
+        self.maxlen = maxlen
         self._queue: deque[tuple[str, Any]] = deque()
         self._pubsub = pubsub
         self._closed = False
+        #: Messages discarded by the drop-oldest overflow policy.
+        self.dropped = 0
+        # Shares the pub/sub lock, so publishers notify under the same
+        # lock they deliver under — no wakeup can be lost between the
+        # emptiness check and the wait.
+        self._ready = threading.Condition(pubsub._lock)
+
+    def _deliver(self, channel: str, message: Any) -> None:
+        """Append one message (caller holds the pub/sub lock)."""
+        if self.maxlen is not None and len(self._queue) >= self.maxlen:
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append((channel, message))
+        self._ready.notify_all()
 
     def get_all(self) -> list[tuple[str, Any]]:
         """Drain and return all pending ``(channel, message)`` pairs."""
@@ -30,14 +61,32 @@ class Subscription:
             self._queue.clear()
             return out
 
-    def get(self) -> tuple[str, Any] | None:
-        """Pop the oldest pending message, or ``None``."""
-        with self._pubsub._lock:
+    def get(self, timeout: float | None = None) -> tuple[str, Any] | None:
+        """Pop the oldest pending message, or ``None``.
+
+        With a ``timeout`` the call blocks until a message arrives, the
+        subscription is closed, or ``timeout`` seconds pass (returning
+        ``None`` in the latter two cases). ``timeout=None`` preserves the
+        historical non-blocking behaviour.
+        """
+        with self._ready:
+            if timeout is not None and not self._queue and not self._closed:
+                self._ready.wait_for(
+                    lambda: bool(self._queue) or self._closed, timeout)
             return self._queue.popleft() if self._queue else None
 
     def pending(self) -> int:
         with self._pubsub._lock:
             return len(self._queue)
+
+    def drop_count(self) -> int:
+        """Messages lost to the overflow policy so far."""
+        with self._pubsub._lock:
+            return self.dropped
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
         self._pubsub.unsubscribe(self)
@@ -50,11 +99,12 @@ class PubSub:
         self._lock = threading.RLock()
         self._subs: list[Subscription] = []
 
-    def subscribe(self, pattern: str) -> Subscription:
+    def subscribe(self, pattern: str,
+                  maxlen: int | None = None) -> Subscription:
         """Subscribe to channels matching a glob ``pattern`` (e.g.
-        ``events:*``)."""
+        ``events:*``), optionally bounding the pending queue."""
         with self._lock:
-            sub = Subscription(pattern, self)
+            sub = Subscription(pattern, self, maxlen=maxlen)
             self._subs.append(sub)
             return sub
 
@@ -63,6 +113,7 @@ class PubSub:
             if sub in self._subs:
                 self._subs.remove(sub)
             sub._closed = True
+            sub._ready.notify_all()  # release any blocked get()
 
     def publish(self, channel: str, message: Any) -> int:
         """Deliver to all matching subscriptions; returns receiver count."""
@@ -70,7 +121,7 @@ class PubSub:
             count = 0
             for sub in self._subs:
                 if fnmatch.fnmatch(channel, sub.pattern):
-                    sub._queue.append((channel, message))
+                    sub._deliver(channel, message)
                     count += 1
             return count
 

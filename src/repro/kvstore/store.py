@@ -296,13 +296,15 @@ class KeyValueStore:
             lst = self._typed(key, list, create=False, now=now)
             if lst is None:
                 return
+            # Journal the caller's indices: normalized ones (e.g. a stop
+            # clamped to -1) would be re-normalized on replay.
+            self._journal("ltrim", key, start, stop, now)
             n = len(lst)
             if start < 0:
                 start += n
             if stop < 0:
                 stop += n
             lst[:] = lst[max(start, 0):stop + 1]
-            self._journal("ltrim", key, start, stop, now)
 
     # -- sorted sets -----------------------------------------------------------------
 

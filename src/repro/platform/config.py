@@ -79,6 +79,14 @@ class PlatformConfig:
     #: Hard cap on each writer shard's event-dedup map; oldest entries are
     #: evicted past this (debounce-expired entries go first).
     event_dedup_max: int = 4096
+    #: Publish every writer flush batch on pub/sub channel ``repl:flush``
+    #: so ``repro.serving`` read replicas can follow the primary without
+    #: touching its store (see SERVING.md). Off by default: the serving
+    #: tier opts in.
+    serving_replica_feed: bool = False
+    #: Bound on a replica feed subscription created via
+    #: :meth:`Platform.subscribe_replication` (drop-oldest past this).
+    serving_feed_maxlen: int = 10_000
 
     def __post_init__(self) -> None:
         if self.downsample_s < 0:
@@ -97,3 +105,5 @@ class PlatformConfig:
             raise ValueError("writer_batch_linger_s must be non-negative")
         if self.event_dedup_max < 1:
             raise ValueError("event_dedup_max must be >= 1")
+        if self.serving_feed_maxlen < 1:
+            raise ValueError("serving_feed_maxlen must be >= 1")

@@ -209,5 +209,36 @@ class Platform:
         """The traffic-flow aggregation state (an ``IndirectVTFF``)."""
         return self.system.ask_sync(self.wiring.flow_ref, "snapshot")
 
+    # -- serving replication ------------------------------------------------------------
+
+    def subscribe_replication(self, maxlen: int | None = None):
+        """A bounded pub/sub subscription carrying the writer pool's
+        replication feed (``repl:*``) for a serving-tier read replica.
+        Requires ``serving_replica_feed=True`` in the config."""
+        if not self.config.serving_replica_feed:
+            raise RuntimeError(
+                "serving_replica_feed is disabled in this PlatformConfig")
+        if maxlen is None:
+            maxlen = self.config.serving_feed_maxlen
+        return self.pubsub.subscribe("repl:*", maxlen=maxlen)
+
+    def publish_flow_snapshot(self, windows: Sequence[int] = (1, 2, 3)
+                              ) -> None:
+        """Replicate the traffic raster: one pub/sub message carrying the
+        predicted per-cell flow and heat class for each window. Driven by
+        the platform owner at its own cadence (the serving tier reads the
+        replicated raster, never the flow actor)."""
+        from repro.platform.writer_actor import REPL_FLOW_CHANNEL
+        vtff = self.flow_snapshot()
+        flow: dict[int, dict[int, int]] = {}
+        heat: dict[int, dict[int, str]] = {}
+        for window in windows:
+            predicted = vtff.predicted_flow(window)
+            flow[window] = predicted
+            heat[window] = {cell: vtff.grid.classify(count).value
+                            for cell, count in predicted.items()}
+        self.pubsub.publish(REPL_FLOW_CHANNEL, {
+            "t": self.system.now, "flow": flow, "heat": heat})
+
     def shutdown(self) -> None:
         self.system.shutdown()

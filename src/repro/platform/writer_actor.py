@@ -31,6 +31,7 @@ when intermediate states coalesce away inside a batch.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING
 
 from repro.actors import Actor, ActorContext
@@ -45,6 +46,24 @@ from repro.platform.messages import (
 if TYPE_CHECKING:
     from repro.actors import ActorRef
     from repro.platform.pipeline import PlatformWiring
+
+#: Pub/sub channel carrying flushed writer batches to serving replicas
+#: (``PlatformConfig.serving_replica_feed``; consumed by
+#: :class:`repro.serving.replica.ReadReplica`).
+REPL_FLUSH_CHANNEL = "repl:flush"
+#: Pub/sub channel carrying periodic traffic-flow raster snapshots
+#: (:meth:`Platform.publish_flow_snapshot`).
+REPL_FLOW_CHANNEL = "repl:flow"
+
+
+def event_payload_dict(payload) -> dict:
+    """A plain JSON-able dict form of an event payload (replication and
+    serving pushes must not carry live dataclass references)."""
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return dataclasses.asdict(payload)
+    if isinstance(payload, dict):
+        return dict(payload)
+    return {"repr": repr(payload)}
 
 
 class WriterActor(Actor):
@@ -77,6 +96,9 @@ class WriterActor(Actor):
         self._flush_seq = 0
         self._timer_armed = False
         self._tel_instruments: tuple | None = None
+        #: Replication sequence: counts only *published* flush batches,
+        #: so replicas can detect feed gaps (see SERVING.md).
+        self._repl_seq = 0
 
     # -- receive --------------------------------------------------------------------
 
@@ -168,6 +190,9 @@ class WriterActor(Actor):
         if ops == 0:
             return
         kv = self.wiring.kvstore
+        replicate = self.wiring.config.serving_replica_feed
+        repl_states: list[dict] = []
+        repl_events: list[dict] = []
         for update in self._pending_states.values():
             snapshot = {
                 "t": update.t, "lat": update.lat, "lon": update.lon,
@@ -180,13 +205,26 @@ class WriterActor(Actor):
             kv.hmset(f"vessel:{update.mmsi}", snapshot, now=update.t)
             kv.zadd("vessels:last_seen", update.t, str(update.mmsi),
                     now=update.t)
+            if replicate:
+                repl_states.append({"mmsi": update.mmsi, **snapshot})
         for record, member in self._pending_events:
             kv.rpush(f"events:{record.kind}", record.payload, now=record.t)
             kv.zadd("events:all", record.t, member, now=record.t)
+            if replicate:
+                repl_events.append({
+                    "kind": record.kind, "t": record.t,
+                    "payload": event_payload_dict(record.payload)})
         self._pending_states.clear()
         self._pending_events.clear()
         self.flushes += 1
         self.kv_ops_flushed += ops
+        if replicate:
+            # Publish after the primary KV write, so a replica is never
+            # ahead of the store it mirrors.
+            self._repl_seq += 1
+            self.wiring.pubsub.publish(REPL_FLUSH_CHANNEL, {
+                "shard": self.shard, "seq": self._repl_seq,
+                "states": repl_states, "events": repl_events})
         self._record_telemetry(reason, ops)
 
     def _record_telemetry(self, reason: str, ops: int) -> None:

@@ -1,0 +1,203 @@
+"""Per-cell fanout index for continuous spatial subscriptions.
+
+Dolphin-style reactive moving-object subscriptions: a position update must
+wake only the subscribers whose watch region contains it, never the whole
+subscriber population. Regions register into the hex cells they cover (at
+their own resolution); an update is then matched by bucketing its position
+into one cell per *active* resolution and exact-checking only the
+subscriptions registered there — O(active resolutions + candidates), not
+O(subscriptions).
+
+Two region shapes exist:
+
+* :class:`BBoxRegion` — a lat/lon box, registered into every cell whose
+  centre falls inside the box expanded by one cell circumradius. The
+  expansion makes the cell cover a strict superset of the box (any point
+  of the box is within one circumradius of its cell's centre in the
+  projected plane), so the exact ``contains`` check never misses.
+* :class:`KRingRegion` — an H3-style k-ring: the filled ``grid_disk`` of
+  cells within ``k`` steps of a centre cell. Registration *is* the exact
+  predicate here (cell membership == grid distance <= k).
+
+The Hypothesis property suite in ``tests/serving`` pins both against a
+brute-force geometry oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.constants import METERS_PER_DEG_LAT
+from repro.hexgrid import grid_disk, grid_distance, latlng_to_cell
+from repro.hexgrid.cell import pack_cell, unpack_cell
+from repro.hexgrid.index import EDGE_LENGTHS_M, _SQRT3, cell_area_m2
+
+
+def _lon_intervals(lon_min: float, lon_max: float,
+                   margin_deg: float) -> list[tuple[float, float]]:
+    """The longitude interval(s) of a (possibly antimeridian-crossing) box
+    expanded by ``margin_deg``, split into in-range [-180, 180] pieces so
+    wrap-around cells register under their normalized coordinates."""
+    if lon_min > lon_max:  # crosses the antimeridian: two raw intervals
+        raw = [(lon_min - margin_deg, 180.0 + margin_deg),
+               (-180.0 - margin_deg, lon_max + margin_deg)]
+    else:
+        raw = [(lon_min - margin_deg, lon_max + margin_deg)]
+    out: list[tuple[float, float]] = []
+    for lo, hi in raw:
+        if lo < -180.0:  # spill past the west edge wraps to the east
+            out.append((lo + 360.0, 180.0))
+            lo = -180.0
+        if hi > 180.0:   # spill past the east edge wraps to the west
+            out.append((-180.0, hi - 360.0))
+            hi = 180.0
+        out.append((lo, hi))
+    return out
+
+
+def estimate_bbox_cells(bbox: BoundingBox, res: int) -> float:
+    """Upper-ish estimate of how many cells :func:`cells_covering_bbox`
+    would return — cheap enough to pick a resolution before committing."""
+    s = EDGE_LENGTHS_M[res]
+    margin = s / METERS_PER_DEG_LAT
+    dlat = (bbox.lat_max - bbox.lat_min) + 2.0 * margin
+    dlon = (bbox.lon_max - bbox.lon_min) if bbox.lon_max >= bbox.lon_min \
+        else (360.0 - bbox.lon_min + bbox.lon_max)
+    dlon += 2.0 * margin
+    area = (dlat * METERS_PER_DEG_LAT) * (dlon * METERS_PER_DEG_LAT)
+    return area / cell_area_m2(res) + 4.0 * (dlat + dlon) \
+        * METERS_PER_DEG_LAT / s + 8.0
+
+
+def cells_covering_bbox(bbox: BoundingBox, res: int) -> list[int]:
+    """Every cell at ``res`` whose centre lies within ``bbox`` expanded by
+    one cell circumradius — a strict superset of the cells any point of
+    the box can fall into."""
+    s = EDGE_LENGTHS_M[res]
+    margin_m = s * 1.000001
+    margin_deg = margin_m / METERS_PER_DEG_LAT
+    y_lo = max(-90.0, bbox.lat_min - margin_deg) * METERS_PER_DEG_LAT
+    y_hi = min(90.0, bbox.lat_max + margin_deg) * METERS_PER_DEG_LAT
+    # Cell centres sit at y = 1.5*s*r and x = sqrt(3)*s*(q + r/2).
+    r_lo = math.ceil(y_lo / (1.5 * s))
+    r_hi = math.floor(y_hi / (1.5 * s))
+    cells: list[int] = []
+    for x_lo_deg, x_hi_deg in _lon_intervals(bbox.lon_min, bbox.lon_max,
+                                             margin_deg):
+        x_lo = x_lo_deg * METERS_PER_DEG_LAT
+        x_hi = x_hi_deg * METERS_PER_DEG_LAT
+        for r in range(r_lo, r_hi + 1):
+            q_lo = math.ceil(x_lo / (_SQRT3 * s) - r / 2.0)
+            q_hi = math.floor(x_hi / (_SQRT3 * s) - r / 2.0)
+            for q in range(q_lo, q_hi + 1):
+                cells.append(pack_cell(res, q, r))
+    return cells
+
+
+@dataclass(frozen=True)
+class BBoxRegion:
+    """A bounding-box watch region at a given index resolution."""
+
+    bbox: BoundingBox
+    resolution: int
+
+    def matches(self, lat: float, lon: float) -> bool:
+        return self.bbox.contains(lat, lon)
+
+    def cells(self) -> tuple[int, list[int]]:
+        return self.resolution, cells_covering_bbox(self.bbox,
+                                                    self.resolution)
+
+    @classmethod
+    def fitted(cls, bbox: BoundingBox, resolution: int,
+               max_cells: int) -> "BBoxRegion":
+        """Build a region, coarsening the resolution until its cell cover
+        fits under ``max_cells`` (large boxes never blow up the index)."""
+        res = resolution
+        while res > 0 and estimate_bbox_cells(bbox, res) > max_cells:
+            res -= 1
+        return cls(bbox=bbox, resolution=res)
+
+
+@dataclass(frozen=True)
+class KRingRegion:
+    """A k-ring watch region: all cells within ``k`` steps of ``center``."""
+
+    center: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+        unpack_cell(self.center)  # validate
+
+    @property
+    def resolution(self) -> int:
+        return unpack_cell(self.center)[0]
+
+    def matches(self, lat: float, lon: float) -> bool:
+        cell = latlng_to_cell(lat, lon, self.resolution)
+        return grid_distance(cell, self.center) <= self.k
+
+    def cells(self) -> tuple[int, list[int]]:
+        return self.resolution, grid_disk(self.center, self.k)
+
+
+@dataclass
+class SpatialFanoutIndex:
+    """sid -> region registry with per-cell buckets, one layer per active
+    resolution. Not thread-safe: owned by the serving event loop."""
+
+    #: res -> cell -> set of subscription ids registered there.
+    _buckets: dict[int, dict[int, set[int]]] = field(default_factory=dict)
+    #: sid -> (region, res, registered cells) for removal.
+    _regions: dict[int, tuple[object, int, list[int]]] = \
+        field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def add(self, sid: int, region: BBoxRegion | KRingRegion) -> int:
+        """Register a region; returns how many cells it occupies."""
+        if sid in self._regions:
+            raise ValueError(f"subscription {sid} already registered")
+        res, cells = region.cells()
+        layer = self._buckets.setdefault(res, {})
+        for cell in cells:
+            layer.setdefault(cell, set()).add(sid)
+        self._regions[sid] = (region, res, cells)
+        return len(cells)
+
+    def remove(self, sid: int) -> bool:
+        entry = self._regions.pop(sid, None)
+        if entry is None:
+            return False
+        _, res, cells = entry
+        layer = self._buckets.get(res, {})
+        for cell in cells:
+            bucket = layer.get(cell)
+            if bucket is not None:
+                bucket.discard(sid)
+                if not bucket:
+                    del layer[cell]
+        if not layer:
+            self._buckets.pop(res, None)
+        return True
+
+    def match(self, lat: float, lon: float) -> tuple[list[int], int]:
+        """Subscription ids whose region contains ``(lat, lon)`` plus the
+        candidate count examined (for fanout telemetry)."""
+        matched: list[int] = []
+        candidates = 0
+        for res, layer in self._buckets.items():
+            bucket = layer.get(latlng_to_cell(lat, lon, res))
+            if not bucket:
+                continue
+            candidates += len(bucket)
+            for sid in bucket:
+                region = self._regions[sid][0]
+                if region.matches(lat, lon):
+                    matched.append(sid)
+        return matched, candidates

@@ -18,6 +18,11 @@ import pytest
 import repro.cluster.membership as membership_mod
 import repro.cluster.node as node_mod
 import repro.cluster.transport as transport_mod
+import repro.serving.bridge as serving_bridge_mod
+import repro.serving.fanout as serving_fanout_mod
+import repro.serving.protocol as serving_protocol_mod
+import repro.serving.replica as serving_replica_mod
+import repro.serving.server as serving_server_mod
 import repro.telemetry as telemetry_mod
 import repro.telemetry.registry as tel_registry_mod
 import repro.telemetry.trace as tel_trace_mod
@@ -31,9 +36,14 @@ from repro.cluster.membership import MemberState, Membership
 from repro.cluster.transport import BatchingTransport
 
 # The telemetry layer timestamps every histogram and trace hop, so it is
-# held to the same injectable-clock contract as the cluster modules.
+# held to the same injectable-clock contract as the cluster modules. The
+# serving tier stamps push latency the same way (its server and feed pump
+# take ``clock=time.monotonic`` defaults), so it is audited too.
 AUDITED_MODULES = [membership_mod, transport_mod, node_mod,
-                   telemetry_mod, tel_registry_mod, tel_trace_mod]
+                   telemetry_mod, tel_registry_mod, tel_trace_mod,
+                   serving_bridge_mod, serving_fanout_mod,
+                   serving_protocol_mod, serving_replica_mod,
+                   serving_server_mod]
 
 
 def _time_reads_outside_defaults(module) -> list[str]:

@@ -1,0 +1,99 @@
+"""Pub/sub semantics: pattern fan-out, bounds, blocking get."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.kvstore import PubSub
+
+
+def test_publish_fans_out_to_matching_patterns():
+    ps = PubSub()
+    all_events = ps.subscribe("events:*")
+    collisions = ps.subscribe("events:collision")
+    other = ps.subscribe("repl:*")
+
+    assert ps.publish("events:collision", {"pair": (1, 2)}) == 2
+    assert ps.publish("events:proximity", {"pair": (3, 4)}) == 1
+
+    assert [c for c, _ in all_events.get_all()] == [
+        "events:collision", "events:proximity"]
+    assert collisions.pending() == 1
+    assert other.pending() == 0
+
+
+def test_unsubscribe_stops_delivery_and_marks_closed():
+    ps = PubSub()
+    sub = ps.subscribe("events:*")
+    ps.publish("events:a", 1)
+    sub.close()
+    assert sub.closed
+    ps.publish("events:a", 2)
+    # The message delivered before close is still readable.
+    assert sub.get() == ("events:a", 1)
+    assert sub.get() is None
+    assert ps.subscriber_count() == 0
+
+
+def test_bounded_subscription_drops_oldest_and_counts():
+    ps = PubSub()
+    sub = ps.subscribe("c", maxlen=3)
+    for i in range(5):
+        ps.publish("c", i)
+    assert sub.drop_count() == 2
+    assert [m for _, m in sub.get_all()] == [2, 3, 4]
+    # Draining does not reset the drop counter.
+    assert sub.drop_count() == 2
+
+
+def test_maxlen_validation():
+    ps = PubSub()
+    with pytest.raises(ValueError):
+        ps.subscribe("c", maxlen=0)
+
+
+def test_get_without_timeout_is_nonblocking():
+    ps = PubSub()
+    sub = ps.subscribe("c")
+    assert sub.get() is None
+    assert sub.get(timeout=0) is None
+
+
+def test_blocking_get_wakes_on_publish():
+    ps = PubSub()
+    sub = ps.subscribe("c", maxlen=10)
+    got = []
+
+    def reader():
+        got.append(sub.get(timeout=5.0))
+
+    t = threading.Thread(target=reader)
+    t.start()
+    ps.publish("c", "hello")
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert got == [("c", "hello")]
+
+
+def test_blocking_get_times_out_empty():
+    ps = PubSub()
+    sub = ps.subscribe("c")
+    assert sub.get(timeout=0.01) is None
+
+
+def test_blocking_get_released_by_close():
+    ps = PubSub()
+    sub = ps.subscribe("c")
+    got = []
+
+    def reader():
+        got.append(sub.get(timeout=5.0))
+
+    t = threading.Thread(target=reader)
+    t.start()
+    sub.close()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert got == [None]

@@ -1,0 +1,121 @@
+"""Spatial fanout index: registration, matching, removal, coarsening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.serving.fanout import (
+    BBoxRegion,
+    KRingRegion,
+    SpatialFanoutIndex,
+    cells_covering_bbox,
+    estimate_bbox_cells,
+)
+
+AEGEAN = BoundingBox(lat_min=37.0, lat_max=38.0, lon_min=24.0, lon_max=25.0)
+
+
+def test_covering_cells_contain_every_interior_cell():
+    res = 6
+    cover = set(cells_covering_bbox(AEGEAN, res))
+    # Any point inside the box must land in a covered cell.
+    for lat in (37.0, 37.25, 37.5, 37.99, 38.0):
+        for lon in (24.0, 24.5, 24.99, 25.0):
+            assert latlng_to_cell(lat, lon, res) in cover
+
+
+def test_covering_estimate_bounds_actual_count():
+    for res in (4, 5, 6):
+        actual = len(cells_covering_bbox(AEGEAN, res))
+        assert actual <= estimate_bbox_cells(AEGEAN, res) * 1.5
+
+
+def test_bbox_region_fitted_coarsens_to_cap():
+    big = BoundingBox(lat_min=30.0, lat_max=60.0, lon_min=-30.0,
+                      lon_max=30.0)
+    region = BBoxRegion.fitted(big, resolution=8, max_cells=512)
+    assert region.resolution < 8
+    assert len(region.cells()[1]) <= 512 * 2  # estimate is approximate
+
+
+def test_antimeridian_bbox_cover_matches_both_sides():
+    box = BoundingBox(lat_min=-5.0, lat_max=5.0, lon_min=175.0,
+                      lon_max=-175.0)
+    res = 4
+    cover = set(cells_covering_bbox(box, res))
+    assert latlng_to_cell(0.0, 179.5, res) in cover
+    assert latlng_to_cell(0.0, -179.5, res) in cover
+    region = BBoxRegion(bbox=box, resolution=res)
+    assert region.matches(0.0, 178.0)
+    assert region.matches(0.0, -178.0)
+    assert not region.matches(0.0, 0.0)
+
+
+def test_kring_region_cells_are_grid_disk():
+    center = latlng_to_cell(37.5, 24.5, 7)
+    region = KRingRegion(center=center, k=2)
+    res, cells = region.cells()
+    assert res == 7
+    assert set(cells) == set(grid_disk(center, 2))
+    lat, lon = 37.5, 24.5
+    assert region.matches(lat, lon)
+
+
+def test_kring_rejects_negative_k():
+    center = latlng_to_cell(37.5, 24.5, 7)
+    with pytest.raises(ValueError):
+        KRingRegion(center=center, k=-1)
+
+
+def test_index_add_match_remove():
+    index = SpatialFanoutIndex()
+    inner = BBoxRegion(AEGEAN, resolution=6)
+    outer = BBoxRegion(BoundingBox(lat_min=35.0, lat_max=40.0,
+                                   lon_min=22.0, lon_max=27.0),
+                       resolution=5)
+    ring = KRingRegion(center=latlng_to_cell(37.5, 24.5, 7), k=1)
+    index.add(1, inner)
+    index.add(2, outer)
+    index.add(3, ring)
+    assert len(index) == 3
+
+    matched, candidates = index.match(37.5, 24.5)
+    assert sorted(matched) == [1, 2, 3]
+    assert candidates >= 3
+
+    # Outside the inner box and the ring, inside the outer box.
+    matched, _ = index.match(36.0, 23.0)
+    assert matched == [2]
+
+    # Nowhere: no candidates touched at all.
+    matched, candidates = index.match(-40.0, -120.0)
+    assert matched == [] and candidates == 0
+
+    assert index.remove(2)
+    assert not index.remove(2)
+    matched, _ = index.match(36.0, 23.0)
+    assert matched == []
+    index.remove(1)
+    index.remove(3)
+    assert len(index) == 0
+    # All buckets cleaned up.
+    assert index._buckets == {}
+
+
+def test_index_rejects_duplicate_sid():
+    index = SpatialFanoutIndex()
+    index.add(7, BBoxRegion(AEGEAN, resolution=5))
+    with pytest.raises(ValueError):
+        index.add(7, BBoxRegion(AEGEAN, resolution=5))
+
+
+def test_match_is_exact_not_cell_granular():
+    """A point in a *covered cell* but outside the box must not match."""
+    index = SpatialFanoutIndex()
+    index.add(1, BBoxRegion(AEGEAN, resolution=5))
+    # Just outside the east edge: its cell likely overlaps the cover.
+    matched, candidates = index.match(37.5, 25.001)
+    assert matched == []
+    assert candidates >= 1  # the bucket was consulted, the exact check won

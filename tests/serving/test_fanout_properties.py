@@ -1,0 +1,102 @@
+"""Property test: fanout matching agrees with a brute-force geometry oracle.
+
+The fanout index answers "which subscriptions contain this position?"
+through per-cell buckets plus an exact check. The oracle ignores the index
+entirely and evaluates every region's geometric predicate directly. For
+any random mix of bbox/k-ring regions and any random position, the two
+answers must be identical — the index may consult too few or too many
+buckets only at its own peril.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.hexgrid import grid_distance, latlng_to_cell
+from repro.serving.fanout import BBoxRegion, KRingRegion, SpatialFanoutIndex
+
+# Stay away from the poles (degenerate equirectangular cells) and the
+# antimeridian (covered by a dedicated deterministic test); keep boxes
+# small enough that res-5..7 covers stay cheap.
+_LAT = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False,
+                 allow_infinity=False)
+_LON = st.floats(min_value=-170.0, max_value=170.0, allow_nan=False,
+                 allow_infinity=False)
+_SPAN = st.floats(min_value=0.001, max_value=3.0, allow_nan=False)
+_RES = st.integers(min_value=4, max_value=7)
+
+
+@st.composite
+def bbox_regions(draw):
+    lat0 = draw(_LAT)
+    lon0 = draw(_LON)
+    dlat = draw(_SPAN)
+    dlon = draw(_SPAN)
+    bbox = BoundingBox(lat_min=lat0, lat_max=min(lat0 + dlat, 90.0),
+                       lon_min=lon0, lon_max=min(lon0 + dlon, 180.0))
+    return BBoxRegion.fitted(bbox, draw(_RES), max_cells=4096)
+
+
+@st.composite
+def kring_regions(draw):
+    lat = draw(_LAT)
+    lon = draw(_LON)
+    res = draw(_RES)
+    k = draw(st.integers(min_value=0, max_value=4))
+    return KRingRegion(center=latlng_to_cell(lat, lon, res), k=k)
+
+
+_REGIONS = st.lists(st.one_of(bbox_regions(), kring_regions()),
+                    min_size=1, max_size=8)
+
+
+def _oracle_matches(regions, lat, lon):
+    """Brute force: evaluate every region's geometry, no index."""
+    matched = []
+    for sid, region in enumerate(regions, start=1):
+        if isinstance(region, BBoxRegion):
+            hit = region.bbox.contains(lat, lon)
+        else:
+            cell = latlng_to_cell(lat, lon, region.resolution)
+            hit = grid_distance(cell, region.center) <= region.k
+        if hit:
+            matched.append(sid)
+    return matched
+
+
+@settings(max_examples=80, deadline=None)
+@given(regions=_REGIONS, lat=_LAT, lon=_LON)
+def test_index_agrees_with_oracle_at_random_positions(regions, lat, lon):
+    index = SpatialFanoutIndex()
+    for sid, region in enumerate(regions, start=1):
+        index.add(sid, region)
+    matched, _ = index.match(lat, lon)
+    assert sorted(matched) == _oracle_matches(regions, lat, lon)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regions=_REGIONS, data=st.data())
+def test_index_agrees_with_oracle_near_region_edges(regions, data):
+    """Positions *near* a region's boundary are the adversarial case for
+    the cover-superset argument; sample them deliberately."""
+    region = regions[0]
+    if isinstance(region, BBoxRegion):
+        bbox = region.bbox
+        eps = data.draw(st.floats(min_value=-0.01, max_value=0.01))
+        lat = min(max(bbox.lat_max + eps, -90.0), 90.0)
+        lon = min(max(bbox.lon_min - eps, -180.0), 180.0)
+    else:
+        from repro.hexgrid import cell_to_latlng, grid_ring
+        edge_cells = grid_ring(region.center, region.k + 1) or \
+            [region.center]
+        pick = data.draw(st.integers(min_value=0,
+                                     max_value=len(edge_cells) - 1))
+        lat, lon = cell_to_latlng(edge_cells[pick])
+        if not -90.0 <= lat <= 90.0:
+            lat = max(-90.0, min(90.0, lat))
+    index = SpatialFanoutIndex()
+    for sid, reg in enumerate(regions, start=1):
+        index.add(sid, reg)
+    matched, _ = index.match(lat, lon)
+    assert sorted(matched) == _oracle_matches(regions, lat, lon)

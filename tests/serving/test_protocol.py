@@ -1,0 +1,123 @@
+"""Wire protocol: HTTP parsing, handshake vectors, frame round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import asyncio
+import pytest
+
+from repro.serving.protocol import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    HttpRequest,
+    ProtocolError,
+    encode_frame,
+    http_response,
+    json_response,
+    read_frame,
+    read_http_request,
+    websocket_accept_key,
+    websocket_handshake_response,
+)
+
+
+def _run_against(data: bytes, fn, **kwargs):
+    """Run ``fn(reader, **kwargs)`` against a pre-fed stream reader (the
+    reader must be built inside a running loop on 3.11)."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await fn(reader, **kwargs)
+    return asyncio.run(go())
+
+
+def test_accept_key_matches_rfc6455_vector():
+    # The example key from RFC 6455 section 1.3.
+    assert websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==") == \
+        "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+
+def test_http_request_parsing_and_query():
+    raw = (b"GET /events/collision?limit=5&x=1 HTTP/1.1\r\n"
+           b"Host: example\r\n"
+           b"Upgrade: WebSocket\r\n"
+           b"Sec-WebSocket-Key: abc\r\n\r\n")
+    request = _run_against(raw, read_http_request)
+    assert request.method == "GET"
+    assert request.path == "/events/collision"
+    assert request.query == {"limit": "5", "x": "1"}
+    assert request.headers["host"] == "example"
+    assert request.wants_websocket()
+
+
+def test_http_request_clean_eof_returns_none():
+    assert _run_against(b"", read_http_request) is None
+
+
+def test_http_request_truncated_raises():
+    with pytest.raises(ProtocolError):
+        _run_against(b"GET / HTTP/1.1\r\n", read_http_request)
+
+
+def test_http_request_bad_request_line():
+    with pytest.raises(ProtocolError):
+        _run_against(b"BROKEN\r\n\r\n", read_http_request)
+
+
+def test_handshake_response_contains_accept():
+    request = HttpRequest(method="GET", target="/ws", headers={
+        "upgrade": "websocket",
+        "sec-websocket-key": "dGhlIHNhbXBsZSBub25jZQ=="})
+    response = websocket_handshake_response(request).decode()
+    assert "101 Switching Protocols" in response
+    assert "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in response
+
+
+def test_json_response_shape():
+    raw = json_response(200, {"ok": True}).decode()
+    head, _, body = raw.partition("\r\n\r\n")
+    assert "200 OK" in head
+    assert "application/json" in head
+    assert json.loads(body) == {"ok": True}
+    assert f"Content-Length: {len(body)}" in head
+
+
+def test_http_response_status_reasons():
+    assert b"404 Not Found" in http_response(404, b"", "text/plain")
+    assert b"426 Upgrade Required" in http_response(426, b"", "text/plain")
+
+
+@pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 70000])
+@pytest.mark.parametrize("mask", [False, True])
+def test_frame_roundtrip_all_length_encodings(size, mask):
+    payload = bytes(i % 251 for i in range(size))
+    frame = encode_frame(OP_BINARY, payload, mask=mask)
+    opcode, out = _run_against(frame, read_frame, max_payload=1 << 20)
+    assert opcode == OP_BINARY
+    assert out == payload
+
+
+def test_frame_oversize_rejected():
+    frame = encode_frame(OP_TEXT, b"x" * 2048)
+    with pytest.raises(ProtocolError):
+        _run_against(frame, read_frame, max_payload=1024)
+
+
+def test_fragmented_frame_rejected():
+    frame = bytearray(encode_frame(OP_TEXT, b"hi"))
+    frame[0] &= 0x7F  # clear FIN
+    with pytest.raises(ProtocolError):
+        _run_against(bytes(frame), read_frame)
+
+
+def test_control_frames_roundtrip():
+    ping = encode_frame(OP_PING, b"beat")
+    opcode, payload = _run_against(ping, read_frame)
+    assert (opcode, payload) == (OP_PING, b"beat")
+    close = encode_frame(OP_CLOSE, b"")
+    opcode, payload = _run_against(close, read_frame)
+    assert (opcode, payload) == (OP_CLOSE, b"")
