@@ -29,6 +29,17 @@ push, and preserve event-push parity (zero replica sequence gaps, every
 published event replicated). Its report is kept as
 ``BENCH_serving.json``.
 
+A fifth leg — ``forecast_gate`` — gates pooled fleet-wide inference: the
+single-node Figure 6 workload runs through the deterministic in-process
+platform with forecast batching on and off (interleaved repeats, best of
+each), and an Aegean proximity scenario runs through both modes for
+event parity. Batching must not change a single proximity/collision
+event count, and on the recorded baseline workload (200 vessels, 10
+simulated minutes) the batched leg must reach at least
+``--forecast-min-speedup`` (default 3x) times the 867 msg/s single-node
+throughput recorded before pooled inference landed. The leg's numbers
+are written into ``BENCH_cluster.json`` under ``forecast_gate``.
+
 Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
 runs the two legs back-to-back (order alternating), each pair therefore
 shares the box's momentary mood, and the gate takes the minimum on/off
@@ -62,6 +73,102 @@ from repro.evaluation.figure6 import run_figure6_cluster  # noqa: E402
 from repro.platform import PlatformConfig  # noqa: E402
 
 BATCHED_CONFIG = ClusterConfig(transport_batching=True)
+
+#: Single-node Figure 6 throughput recorded in BENCH_cluster.json before
+#: pooled fleet-wide inference landed (batch-size-1 forward per vessel per
+#: kept fix). The forecast gate's speedup floor anchors here so a noisy
+#: same-run baseline leg cannot flake CI.
+PRE_BATCH_ONE_NODE_MSGS_PER_S = 867.0
+#: The workload that number was recorded on; the throughput floor only
+#: applies when the gate runs the same workload.
+PRE_BATCH_WORKLOAD = (200, 10.0)
+
+
+def run_forecast_leg(args) -> tuple[dict, list[str]]:
+    """The pooled-inference gate: single-node Figure 6 throughput with
+    forecast batching on vs off, plus batched-vs-unbatched event parity
+    on a proximity scenario. Deterministic in-process platform — same
+    seed, same scheduler, so any event-count difference is the batching
+    subsystem's fault, not the box's."""
+    from repro.ais.datasets import proximity_scenario, scalability_fleet_config
+    from repro.ais.fleet import FleetEngine
+    from repro.platform import Platform
+
+    def throughput(batching: bool) -> float:
+        gc.collect()
+        platform = Platform(config=PlatformConfig(
+            record_metrics=True, forecast_batching=batching))
+        engine = FleetEngine(scalability_fleet_config(
+            n_vessels=args.vessels, duration_s=args.minutes * 60.0,
+            seed=args.seed))
+        total = 0
+        start = time.perf_counter()
+        for tick in engine.stream():
+            if len(tick):
+                platform.publish_batch(tick)
+                total += platform.process_available()
+        return total / (time.perf_counter() - start)
+
+    best = {False: 0.0, True: 0.0}
+    for i in range(args.repeats):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        for batching in order:
+            rate = throughput(batching)
+            best[batching] = max(best[batching], rate)
+            print(f"      forecast {'batched  ' if batching else 'unbatched'} "
+                  f"{rate:.0f} msg/s")
+
+    def events(batching: bool) -> dict:
+        platform = Platform(config=PlatformConfig(
+            forecast_batching=batching))
+        scenario = proximity_scenario(n_event_pairs=4, n_near_miss_pairs=2,
+                                      n_background=2, duration_s=3_600.0,
+                                      seed=args.seed)
+        ordered = sorted(scenario.result.messages, key=lambda m: m.t)
+        for i in range(0, len(ordered), 500):
+            platform.publish_messages(ordered[i:i + 500])
+            platform.process_available()
+        now = platform.system.now
+        return {kind: platform.kvstore.llen(f"events:{kind}", now=now)
+                for kind in ("proximity", "collision")}
+
+    parity = {"unbatched": events(False), "batched": events(True)}
+    parity["identical"] = parity["unbatched"] == parity["batched"]
+
+    speedup_vs_recorded = best[True] / PRE_BATCH_ONE_NODE_MSGS_PER_S
+    leg = {
+        "msgs_per_s_batched": best[True],
+        "msgs_per_s_unbatched": best[False],
+        "speedup_vs_recorded_baseline": speedup_vs_recorded,
+        "recorded_baseline_msgs_per_s": PRE_BATCH_ONE_NODE_MSGS_PER_S,
+        "event_parity": parity,
+        "workload": {"vessels": args.vessels, "sim_minutes": args.minutes,
+                     "seed": args.seed},
+    }
+    print(f"      forecast gate: batched {best[True]:.0f} msg/s = "
+          f"{speedup_vs_recorded:.2f}x the recorded "
+          f"{PRE_BATCH_ONE_NODE_MSGS_PER_S:.0f} msg/s; parity "
+          f"unbatched {parity['unbatched']} vs batched {parity['batched']} "
+          f"— {'identical' if parity['identical'] else 'MISMATCH'}")
+
+    failures = []
+    if not parity["identical"]:
+        failures.append(
+            f"forecast batching changed event counts: unbatched "
+            f"{parity['unbatched']} vs batched {parity['batched']}")
+    on_recorded_workload = (args.vessels, args.minutes) == PRE_BATCH_WORKLOAD
+    if on_recorded_workload \
+            and speedup_vs_recorded < args.forecast_min_speedup:
+        failures.append(
+            f"batched single-node throughput {best[True]:.0f} msg/s is only "
+            f"{speedup_vs_recorded:.2f}x the recorded "
+            f"{PRE_BATCH_ONE_NODE_MSGS_PER_S:.0f} msg/s baseline "
+            f"(floor {args.forecast_min_speedup:.1f}x)")
+    elif not on_recorded_workload:
+        print(f"      (speedup floor not enforced: workload differs from "
+              f"the recorded {PRE_BATCH_WORKLOAD[0]} vessels / "
+              f"{PRE_BATCH_WORKLOAD[1]:.0f} min baseline)")
+    return leg, failures
 
 
 def run_once(args, telemetry: bool) -> dict:
@@ -224,6 +331,10 @@ def main() -> None:
     parser.add_argument("--writer-tolerance", type=float, default=0.10,
                         help="how far below the single-writer throughput "
                              "the sharded pool may fall (fraction)")
+    parser.add_argument("--forecast-min-speedup", type=float, default=3.0,
+                        help="batched single-node throughput floor, as a "
+                             "multiple of the recorded pre-batching "
+                             "867 msg/s baseline")
     parser.add_argument("--serving-subscribers", type=int, default=2_000)
     parser.add_argument("--serving-workers", type=int, default=2)
     parser.add_argument("--serving-vessels", type=int, default=400)
@@ -310,6 +421,13 @@ def main() -> None:
             f"single-writer baseline {writer['single']:.0f} "
             f"(tolerance {args.writer_tolerance * 100.0:.0f}%)")
 
+    forecast_leg, forecast_failures = run_forecast_leg(args)
+    failures.extend(forecast_failures)
+    # The forecast gate's numbers live next to the recorded one_node
+    # baseline they are measured against.
+    recorded["forecast_gate"] = forecast_leg
+    baseline_path.write_text(json.dumps(recorded, indent=2) + "\n")
+
     serving_summary = None
     if args.skip_serving:
         print("      serving gate: skipped (--skip-serving)")
@@ -335,6 +453,7 @@ def main() -> None:
         "telemetry_overhead": overhead,
         "pair_cpu_ratios": pair_ratios,
         "writer_gate": writer,
+        "forecast_gate": forecast_leg,
         "complete_traces": len(complete),
         "telemetry_snapshot": telemetry_snapshot,
         "failures": failures,

@@ -173,9 +173,18 @@ def drive_stream(platform: DistributedPlatform, engine: FleetEngine,
 
 def flush_cluster_writers(platform: DistributedPlatform, node: ClusterNode,
                           remote_ids: list[str]) -> None:
-    """Flush every node's writer micro-batches so KV event counts include
-    everything processed (the sharded writer pool holds partial batches
-    until its op threshold or linger timer fires)."""
+    """Flush every node's pending micro-batches so KV event counts include
+    everything processed. Two phases, cluster-wide: first the pooled
+    forecast batches (their fan-out emits the deferred vessel state
+    updates), then the writer pools — in that order, or late updates
+    would sit behind an already-consumed flush until a linger fires."""
+    platform.flush_forecasts()
+    for node_id in remote_ids:
+        try:
+            node.ask_control(node_id, "flush_forecasts").result(10.0)
+        except Exception:
+            pass
+    platform.system.await_idle(timeout=30.0)
     platform.flush_writers()
     for node_id in remote_ids:
         try:

@@ -1,0 +1,119 @@
+"""S-VRF inference micro-benchmark: forwards/s at batch sizes 1/32/256.
+
+The pooled :class:`~repro.platform.forecast_service.ForecastService` exists
+because a batch-size-1 BiLSTM forward per vessel per kept fix dominated the
+single-node hot path. This benchmark pins the shape of that win at the
+model level: one ``predict_transitions`` pass over ``(n, INPUT_STEPS, 3)``
+windows at n = 1, 32 and 256, reported as *forwards per second* (windows
+forecast per wall second, so bigger batches show their amortisation
+directly) plus the per-pass latency.
+
+Weights are seeded (identity-ish scalers, no training) — matmul cost does
+not depend on the weight values, and CI has no business training a model
+to time one. The same-architecture forward is what the platform runs.
+
+Writes BENCH_inference.json (uploaded as a CI artifact). Exits non-zero
+only if batching stops paying at all (batch-256 forwards/s not above
+batch-1) — a sanity backstop, not a calibrated floor.
+
+Run:  python examples/run_inference_bench.py [--repeats 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ml import StandardScaler  # noqa: E402
+from repro.models.svrf import SVRFConfig, SVRFModel  # noqa: E402
+
+BATCH_SIZES = (1, 32, 256)
+
+
+def seeded_model() -> SVRFModel:
+    model = SVRFModel(SVRFConfig(seed=0))
+    model.x_scaler = StandardScaler.from_state(
+        {"mean": np.zeros(3), "std": np.ones(3)})
+    out = model.config.output_steps * 2
+    model.y_scaler = StandardScaler.from_state(
+        {"mean": np.zeros(out), "std": np.full(out, 1e-3)})
+    model.trained = True
+    return model
+
+
+def bench_batch(model: SVRFModel, batch: int, repeats: int,
+                target_s: float = 0.25) -> dict:
+    """Best forwards/s over ``repeats`` timed runs of ``passes`` calls."""
+    rng = np.random.default_rng(batch)
+    x = rng.normal(scale=1e-3,
+                   size=(batch, model.config.input_steps, 3))
+    model.predict_transitions(x)  # warm (allocations, BLAS thread spin-up)
+    start = time.perf_counter()
+    model.predict_transitions(x)
+    once = time.perf_counter() - start
+    passes = max(1, int(target_s / max(once, 1e-9)))
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(passes):
+            model.predict_transitions(x)
+        best = min(best, (time.perf_counter() - start) / passes)
+    return {
+        "batch": batch,
+        "forwards_per_s": batch / best,
+        "pass_ms": best * 1e3,
+        "timed_passes": passes,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed runs per batch size; the best counts")
+    parser.add_argument("--output", default="BENCH_inference.json")
+    args = parser.parse_args()
+
+    model = seeded_model()
+    config = model.config
+    print(f"S-VRF forward: BiLSTM hidden={config.hidden}, "
+          f"dense={config.dense}, window={config.input_steps} steps")
+    results = [bench_batch(model, batch, args.repeats)
+               for batch in BATCH_SIZES]
+    for row in results:
+        print(f"  batch {row['batch']:4d}: "
+              f"{row['forwards_per_s']:10.0f} forwards/s  "
+              f"({row['pass_ms']:.2f} ms/pass)")
+
+    by_batch = {row["batch"]: row for row in results}
+    amortisation = (by_batch[BATCH_SIZES[-1]]["forwards_per_s"]
+                    / by_batch[1]["forwards_per_s"])
+    print(f"  batch-{BATCH_SIZES[-1]} amortisation: {amortisation:.1f}x "
+          f"the batch-1 rate")
+
+    report = {
+        "model": {"hidden": config.hidden, "dense": config.dense,
+                  "input_steps": config.input_steps,
+                  "output_steps": config.output_steps,
+                  "bidirectional": config.bidirectional},
+        "batches": results,
+        "amortisation_vs_batch1": amortisation,
+        "repeats": args.repeats,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if amortisation <= 1.0:
+        print("FAIL: batched forward is not faster per window than "
+              "batch-1 inference", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

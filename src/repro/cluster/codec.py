@@ -139,10 +139,11 @@ _P_PICKLE = 0x01
 _P_INT = 0x02        #: signed 64-bit int
 _P_STR = 0x03
 _P_UINT = 0x04       #: unsigned 64-bit int above INT64_MAX (H3 cell keys)
-_P_POSITION = 0x10   #: platform.messages.PositionIngested
-_P_CELLOBS = 0x11    #: platform.messages.CellObservation
-_P_FORECAST = 0x12   #: platform.messages.ForecastShared
-_P_HEARTBEAT = 0x13  #: cluster.protocol.Heartbeat
+_P_POSITION = 0x10        #: platform.messages.PositionIngested
+_P_CELLOBS = 0x11         #: platform.messages.CellObservation
+_P_FORECAST = 0x12        #: platform.messages.ForecastShared
+_P_HEARTBEAT = 0x13       #: cluster.protocol.Heartbeat
+_P_FORECAST_BATCH = 0x14  #: platform.messages.ForecastSharedBatch
 
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
@@ -158,6 +159,7 @@ _AIS_BODY = struct.Struct(">QdddddhBB")      # mmsi,t,lat,lon,sog,cog,hdg,st,src
 #: above ``2**63`` are routine at the collision-cell resolution).
 _CELLOBS_BODY = struct.Struct(">QQddd")      # cell, mmsi, t, lat, lon
 _FORECAST_HEAD = struct.Struct(">QQH")       # cell, mmsi, n_positions
+_FORECAST_BATCH_HEAD = struct.Struct(">QHH")  # mmsi, n_cells, n_positions
 _POS_FIXED = struct.Struct(">Bddd")          # flags, t, lat, lon
 _DOUBLE = struct.Struct(">d")
 
@@ -180,6 +182,7 @@ def _hot() -> dict:
         from repro.platform.messages import (
             CellObservation,
             ForecastShared,
+            ForecastSharedBatch,
             PositionIngested,
         )
         _HOT = {
@@ -191,6 +194,7 @@ def _hot() -> dict:
             "RouteForecast": RouteForecast,
             "CellObservation": CellObservation,
             "ForecastShared": ForecastShared,
+            "ForecastSharedBatch": ForecastSharedBatch,
             "PositionIngested": PositionIngested,
         }
     return _HOT
@@ -288,6 +292,8 @@ def _try_put_payload(out: bytearray, message: Any) -> bool:
         return True
     if t is hot["ForecastShared"]:
         return _try_put_forecast(out, message)
+    if t is hot["ForecastSharedBatch"]:
+        return _try_put_forecast_batch(out, message)
     if t is hot["Heartbeat"]:
         out.append(_P_HEARTBEAT)
         _put_str(out, message.node_id)
@@ -322,8 +328,32 @@ _ENC_POSITIONS_CACHE: tuple | None = None   # (positions tuple, bytes)
 _DEC_POSITIONS_CACHE: tuple | None = None   # (bytes, positions tuple)
 
 
-def _try_put_forecast(out: bytearray, message: Any) -> bool:
+def _positions_body(positions: tuple) -> bytes | None:
+    """The packed positions region of a forecast payload (cached), or
+    None when a position doesn't fit the fixed layout."""
     global _ENC_POSITIONS_CACHE
+    cached = _ENC_POSITIONS_CACHE
+    if cached is not None and cached[0] is positions:
+        return cached[1]
+    position_cls = _hot()["Position"]
+    for p in positions:
+        if type(p) is not position_cls:
+            return None
+    buf = bytearray()
+    for p in positions:
+        flags = (1 if p.sog is not None else 0) | \
+                (2 if p.cog is not None else 0)
+        buf += _POS_FIXED.pack(flags, p.t, p.lat, p.lon)
+        if p.sog is not None:
+            buf += _DOUBLE.pack(p.sog)
+        if p.cog is not None:
+            buf += _DOUBLE.pack(p.cog)
+    body = bytes(buf)
+    _ENC_POSITIONS_CACHE = (positions, body)
+    return body
+
+
+def _try_put_forecast(out: bytearray, message: Any) -> bool:
     hot = _hot()
     forecast = message.forecast
     if (type(forecast) is not hot["RouteForecast"]
@@ -335,29 +365,78 @@ def _try_put_forecast(out: bytearray, message: Any) -> bool:
     positions = forecast.positions
     if len(positions) > 0xFFFF:
         return False
-    cached = _ENC_POSITIONS_CACHE
-    if cached is not None and cached[0] is positions:
-        body = cached[1]
-    else:
-        position_cls = hot["Position"]
-        for p in positions:
-            if type(p) is not position_cls:
-                return False
-        buf = bytearray()
-        for p in positions:
-            flags = (1 if p.sog is not None else 0) | \
-                    (2 if p.cog is not None else 0)
-            buf += _POS_FIXED.pack(flags, p.t, p.lat, p.lon)
-            if p.sog is not None:
-                buf += _DOUBLE.pack(p.sog)
-            if p.cog is not None:
-                buf += _DOUBLE.pack(p.cog)
-        body = bytes(buf)
-        _ENC_POSITIONS_CACHE = (positions, body)
+    body = _positions_body(positions)
+    if body is None:
+        return False
     out.append(_P_FORECAST)
     out += _FORECAST_HEAD.pack(message.cell, forecast.mmsi, len(positions))
     out += body
     return True
+
+
+def _try_put_forecast_batch(out: bytearray, message: Any) -> bool:
+    """One forecast, many destination cells: the positions region is
+    written once, prefixed by the cell list."""
+    hot = _hot()
+    forecast = message.forecast
+    cells = message.cells
+    if (type(forecast) is not hot["RouteForecast"]
+            or type(cells) is not tuple
+            or not 1 <= len(cells) <= 0xFFFF
+            or type(forecast.mmsi) is not int
+            or not 0 <= forecast.mmsi < (1 << 64)):
+        return False
+    for cell in cells:
+        if type(cell) is not int or not 0 <= cell < (1 << 64):
+            return False
+    positions = forecast.positions
+    if len(positions) > 0xFFFF:
+        return False
+    body = _positions_body(positions)
+    if body is None:
+        return False
+    out.append(_P_FORECAST_BATCH)
+    out += _FORECAST_BATCH_HEAD.pack(forecast.mmsi, len(cells),
+                                     len(positions))
+    for cell in cells:
+        out += _U64.pack(cell)
+    out += body
+    return True
+
+
+def _get_positions(data: bytes, pos: int, count: int) -> tuple[tuple, int]:
+    """Decode a packed positions region; returns ``(tuple, end_offset)``.
+
+    Walks the flags bytes to find the region end, then checks the decode
+    cache — the fan-out delivers the same positions blob to every cell of
+    one forecast, and tuples are immutable to share."""
+    global _DEC_POSITIONS_CACHE
+    end = pos
+    for _ in range(count):
+        flags = data[end]
+        end += _POS_FIXED.size + (8 if flags & 1 else 0) \
+            + (8 if flags & 2 else 0)
+    blob = bytes(data[pos:end])
+    cached = _DEC_POSITIONS_CACHE
+    if cached is not None and cached[0] == blob:
+        return cached[1], end
+    positions = []
+    position_cls = _hot()["Position"]
+    while pos < end:
+        flags, t, lat, lon = _POS_FIXED.unpack_from(data, pos)
+        pos += _POS_FIXED.size
+        sog = cog = None
+        if flags & 1:
+            (sog,) = _DOUBLE.unpack_from(data, pos)
+            pos += _DOUBLE.size
+        if flags & 2:
+            (cog,) = _DOUBLE.unpack_from(data, pos)
+            pos += _DOUBLE.size
+        positions.append(position_cls(t=t, lat=lat, lon=lon,
+                                      sog=sog, cog=cog))
+    positions_t = tuple(positions)
+    _DEC_POSITIONS_CACHE = (blob, positions_t)
+    return positions_t, end
 
 
 def _get_payload(data: bytes, pos: int) -> tuple[Any, int]:
@@ -382,40 +461,20 @@ def _get_payload(data: bytes, pos: int) -> tuple[Any, int]:
         return hot["CellObservation"](cell=cell, mmsi=mmsi, t=t, lat=lat,
                                       lon=lon), pos + _CELLOBS_BODY.size
     if tag == _P_FORECAST:
-        global _DEC_POSITIONS_CACHE
         cell, mmsi, count = _FORECAST_HEAD.unpack_from(data, pos)
         pos += _FORECAST_HEAD.size
-        # Walk the flags bytes to find the region end, then check the
-        # decode cache — the fan-out delivers the same positions blob to
-        # every cell of one forecast, and tuples are immutable to share.
-        end = pos
-        for _ in range(count):
-            flags = data[end]
-            end += _POS_FIXED.size + (8 if flags & 1 else 0) \
-                + (8 if flags & 2 else 0)
-        blob = bytes(data[pos:end])
-        cached = _DEC_POSITIONS_CACHE
-        if cached is not None and cached[0] == blob:
-            positions_t = cached[1]
-        else:
-            positions = []
-            position_cls = hot["Position"]
-            while pos < end:
-                flags, t, lat, lon = _POS_FIXED.unpack_from(data, pos)
-                pos += _POS_FIXED.size
-                sog = cog = None
-                if flags & 1:
-                    (sog,) = _DOUBLE.unpack_from(data, pos)
-                    pos += _DOUBLE.size
-                if flags & 2:
-                    (cog,) = _DOUBLE.unpack_from(data, pos)
-                    pos += _DOUBLE.size
-                positions.append(position_cls(t=t, lat=lat, lon=lon,
-                                              sog=sog, cog=cog))
-            positions_t = tuple(positions)
-            _DEC_POSITIONS_CACHE = (blob, positions_t)
+        positions_t, end = _get_positions(data, pos, count)
         forecast = hot["RouteForecast"](mmsi=mmsi, positions=positions_t)
         return hot["ForecastShared"](cell=cell, forecast=forecast), end
+    if tag == _P_FORECAST_BATCH:
+        mmsi, n_cells, count = _FORECAST_BATCH_HEAD.unpack_from(data, pos)
+        pos += _FORECAST_BATCH_HEAD.size
+        cells = struct.unpack_from(f">{n_cells}Q", data, pos)
+        pos += 8 * n_cells
+        positions_t, end = _get_positions(data, pos, count)
+        forecast = hot["RouteForecast"](mmsi=mmsi, positions=positions_t)
+        return hot["ForecastSharedBatch"](cells=cells,
+                                          forecast=forecast), end
     if tag == _P_HEARTBEAT:
         node_id, pos = _get_str(data, pos)
         return hot["Heartbeat"](node_id), pos

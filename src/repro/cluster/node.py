@@ -203,14 +203,18 @@ class ClusterNode:
 
     # -- entities -----------------------------------------------------------------
 
-    def register_entity(self, entity: str, factory, strategy=None
-                        ) -> ShardRouter:
+    def register_entity(self, entity: str, factory, strategy=None,
+                        local_router=None) -> ShardRouter:
         """Declare a sharded entity type (e.g. ``vessel``); returns its
         location-transparent router. Every node must register the same
-        entity set — an entity's actors can live on any of them."""
+        entity set — an entity's actors can live on any of them.
+        ``local_router`` substitutes a specialised
+        :class:`~repro.actors.router.KeyRouter` for local delivery (the
+        collision entity's single-occupant fast path)."""
         if entity in self._routers:
             raise ValueError(f"entity {entity!r} already registered")
-        router = ShardRouter(self, entity, factory, strategy=strategy)
+        router = ShardRouter(self, entity, factory, strategy=strategy,
+                             local_router=local_router)
         self._routers[entity] = router
         return router
 

@@ -51,6 +51,20 @@ def shard_for_key(entity: str, key: Any, num_shards: int) -> int:
     return stable_hash((entity, key)) % num_shards
 
 
+#: Platform message types bound lazily — the sharding layer must stay
+#: importable without pulling :mod:`repro.platform` in (which imports the
+#: cluster package right back).
+_FORECAST_TYPES = None
+
+
+def _forecast_messages():
+    global _FORECAST_TYPES
+    if _FORECAST_TYPES is None:
+        from repro.platform.messages import ForecastShared, ForecastSharedBatch
+        _FORECAST_TYPES = (ForecastShared, ForecastSharedBatch)
+    return _FORECAST_TYPES
+
+
 class HashRing:
     """Consistent-hash ring with virtual nodes."""
 
@@ -132,18 +146,31 @@ class ShardRouter:
     which is what per-node metrics and handoff need.
     """
 
+    #: Clear the key -> shard memo past this many distinct keys.
+    _SHARD_CACHE_MAX = 1 << 20
+
     def __init__(self, node: "ClusterNode", entity: str, factory,
-                 strategy=None) -> None:
+                 strategy=None, local_router=None) -> None:
         self._node = node
         self.entity = entity
-        self._local = KeyRouter(node.system, entity, factory,
-                                strategy=strategy)
+        self._local = local_router or KeyRouter(node.system, entity, factory,
+                                                strategy=strategy)
         #: Messages routed away from this node (remote deliveries).
         self.remote_told = 0
+        #: key -> shard memo. ``shard_for_key`` is a pure function of
+        #: (entity, key, num_shards) — only the shard -> *node* assignment
+        #: moves with membership — so the memo survives table changes.
+        #: One BLAKE2b digest per *distinct* key instead of per tell.
+        self._shard_cache: dict[Any, int] = {}
 
     def shard_of(self, key: Any) -> int:
-        return shard_for_key(self.entity, key,
-                             self._node.config.num_shards)
+        shard = self._shard_cache.get(key)
+        if shard is None:
+            if len(self._shard_cache) >= self._SHARD_CACHE_MAX:
+                self._shard_cache.clear()
+            shard = self._shard_cache[key] = shard_for_key(
+                self.entity, key, self._node.config.num_shards)
+        return shard
 
     def owner_of(self, key: Any) -> str:
         return self._node.shard_owner(self.shard_of(key))
@@ -162,12 +189,58 @@ class ShardRouter:
             self.remote_told += 1
             self._node.send_sharded(self.entity, key, message, sender=sender)
 
+    def share_forecast(self, cells, forecast, sender=None) -> None:
+        """Fan one forecast out to many collision cells, batching the
+        remote legs: cells owned by the same node travel in a single
+        :class:`~repro.platform.messages.ForecastSharedBatch` envelope
+        instead of one wire message per cell."""
+        ForecastShared, ForecastSharedBatch = _forecast_messages()
+        node_id = self._node.node_id
+        remote: dict[str, list[int]] = {}
+        for cell in cells:
+            owner = self._node.shard_owner(self.shard_of(cell))
+            if owner == node_id:
+                self._local.tell(cell, ForecastShared(cell=cell,
+                                                      forecast=forecast),
+                                 sender=sender)
+            else:
+                remote.setdefault(owner, []).append(cell)
+        for group in remote.values():
+            self.remote_told += len(group)
+            if len(group) == 1:
+                self._node.send_sharded(
+                    self.entity, group[0],
+                    ForecastShared(cell=group[0], forecast=forecast),
+                    sender=sender)
+            else:
+                self._node.send_sharded(
+                    self.entity, group[0],
+                    ForecastSharedBatch(cells=tuple(group),
+                                        forecast=forecast),
+                    sender=sender)
+
     def deliver_local(self, key: Any, message: Any, sender=None) -> None:
         """Entry point for inbound wire messages (bypasses ownership —
         the node already resolved/forwarded)."""
+        ForecastShared, ForecastSharedBatch = _forecast_messages()
+        if isinstance(message, ForecastSharedBatch):
+            # Expand the batched fan-out; each cell re-routes individually
+            # (via tell, not deliver_local) so cells whose shard moved
+            # while the envelope was in flight still reach their owner.
+            for cell in message.cells:
+                self.tell(cell, ForecastShared(cell=cell,
+                                               forecast=message.forecast),
+                          sender=sender)
+            return
         self._local.tell(key, message, sender=sender)
 
     # -- local population (KeyRouter-compatible surface) -----------------------
+
+    def stashed_state(self, key: Any) -> dict | None:
+        """Checkpoint view of a single-occupant stashed key, when the
+        local router keeps one (collision cells); ``None`` otherwise."""
+        stashed = getattr(self._local, "stashed_state", None)
+        return stashed(key) if stashed is not None else None
 
     def known_keys(self) -> list[Any]:
         return self._local.known_keys()

@@ -87,13 +87,25 @@ def trajectories_intersect(fc_a: RouteForecast, fc_b: RouteForecast,
     temporally matched samples. Trajectories are densified to ``step_s``
     so path crossings between the 5-minute marks are not missed. Returns
     the encounter at minimum predicted separation, or ``None``.
+
+    Only encounters at or after the freshest of the two anchors are
+    considered (one forecast is usually staler than the other): a crossing
+    whose estimated time lies behind the newest known position is not an
+    actionable warning, and admitting it would make the reported encounter
+    order-sensitive for near-parallel tracks whose minimum separation is
+    effectively constant along the horizon. Guarantees
+    ``lead_time_s >= 0`` on every returned hit.
     """
     ta, lat_a, lon_a = _densify(fc_a, step_s)
     tb, lat_b, lon_b = _densify(fc_b, step_s)
+    forecast_at = max(fc_a.anchor.t, fc_b.anchor.t)
 
-    # Temporal intersection: |ta_i - tb_j| <= threshold, vectorised.
+    # Temporal intersection: |ta_i - tb_j| <= threshold, vectorised —
+    # restricted to sample pairs whose midpoint (the estimated encounter
+    # time) is not in the past.
     dt = np.abs(ta[:, None] - tb[None, :])
-    mask = dt <= temporal_threshold_s
+    mask = (dt <= temporal_threshold_s) \
+        & ((ta[:, None] + tb[None, :]) * 0.5 >= forecast_at)
     if not mask.any():
         return None
     ia, ib = np.nonzero(mask)
@@ -115,7 +127,7 @@ def trajectories_intersect(fc_a: RouteForecast, fc_b: RouteForecast,
         lat=float((lat_a[i] + lat_b[j]) / 2.0),
         lon=float((lon_a[i] + lon_b[j]) / 2.0),
         min_distance_m=float(d[k]),
-        forecast_at=max(fc_a.anchor.t, fc_b.anchor.t))
+        forecast_at=forecast_at)
 
 
 class CollisionForecaster:

@@ -25,21 +25,46 @@ class LinearKinematicModel:
 
     #: A single fix suffices — the model only uses the last report.
     min_history = 1
+    #: No displacement window: pooled inference batches anchors only.
+    window_size = 0
 
     def forecast(self, mmsi: int, history: Sequence[Position]) -> RouteForecast:
         if not history:
             raise ValueError("linear kinematic model needs at least one fix")
-        last = history[-1]
-        if last.sog is None or last.cog is None:
-            raise ValueError("last fix must carry SOG and COG")
-        speed_mps = last.sog * KNOTS_TO_MPS
-        positions = [last]
-        for k, t in enumerate(forecast_mark_times(last.t), start=1):
-            lat, lon = destination_point(last.lat, last.lon, last.cog,
-                                         speed_mps * OUTPUT_INTERVAL_S * k)
-            positions.append(Position(t=t, lat=lat, lon=lon,
-                                      sog=last.sog, cog=last.cog))
-        return RouteForecast(mmsi=mmsi, positions=tuple(positions))
+        return self.forecast_batch([mmsi], None, [history[-1]])[0]
+
+    def forecast_batch(self, mmsis: Sequence[int], windows,
+                       anchors: Sequence[Position]) -> list[RouteForecast]:
+        """Vectorised dead reckoning over many vessels' latest fixes.
+
+        ``windows`` is accepted for forecaster-protocol parity and ignored.
+        The scalar :meth:`forecast` delegates here, so per-vessel and
+        pooled fleet-wide forecasts are bitwise identical.
+        """
+        del windows
+        for anchor in anchors:
+            if anchor.sog is None or anchor.cog is None:
+                raise ValueError("last fix must carry SOG and COG")
+        lat0 = np.array([a.lat for a in anchors])
+        lon0 = np.array([a.lon for a in anchors])
+        cog = np.array([a.cog for a in anchors])
+        speed_mps = np.array([a.sog for a in anchors]) * KNOTS_TO_MPS
+        lats = np.empty((len(anchors), OUTPUT_STEPS))
+        lons = np.empty_like(lats)
+        for k in range(1, OUTPUT_STEPS + 1):
+            lat_k, lon_k = destination_point(
+                lat0, lon0, cog, speed_mps * OUTPUT_INTERVAL_S * k)
+            lats[:, k - 1] = lat_k
+            lons[:, k - 1] = lon_k
+        out = []
+        for i, (mmsi, anchor) in enumerate(zip(mmsis, anchors)):
+            positions = [anchor]
+            for k, t in enumerate(forecast_mark_times(anchor.t)):
+                positions.append(Position(t=t, lat=lats[i, k],
+                                          lon=lons[i, k],
+                                          sog=anchor.sog, cog=anchor.cog))
+            out.append(RouteForecast(mmsi=mmsi, positions=tuple(positions)))
+        return out
 
     def predict_positions(self, anchor: np.ndarray, x: np.ndarray
                           ) -> tuple[np.ndarray, np.ndarray]:

@@ -144,6 +144,50 @@ class SVRFModel:
 
     # -- actor-level single-vessel forecast -----------------------------------------
 
+    def make_window(self, ts: np.ndarray, lats: np.ndarray,
+                    lons: np.ndarray, pad: bool = False) -> np.ndarray:
+        """The ``(input_steps, 3)`` displacement window for one vessel.
+
+        Takes the vessel's recent fixes as parallel arrays (oldest first;
+        only the last ``input_steps + 1`` are used). With ``pad=True``
+        shorter histories (two fixes upward) are accepted and the missing
+        leading displacements stay zero — the "variable filling" of the
+        original variable-length formulation [4].
+        """
+        steps = self.config.input_steps
+        min_needed = 2 if pad else steps + 1
+        if len(ts) < min_needed:
+            raise ValueError(
+                f"S-VRF needs {min_needed} fixes, got {len(ts)}")
+        keep = min(len(ts), steps + 1)
+        ts, lats, lons = ts[-keep:], lats[-keep:], lons[-keep:]
+        window = np.zeros((steps, N_FEATURES))
+        window[steps - (keep - 1):, 0] = lats[1:] - lats[:-1]
+        window[steps - (keep - 1):, 1] = lons[1:] - lons[:-1]
+        window[steps - (keep - 1):, 2] = ts[1:] - ts[:-1]
+        return window
+
+    def forecast_batch(self, mmsis: Sequence[int], windows: np.ndarray,
+                       anchors: Sequence[Position]) -> list[RouteForecast]:
+        """Forecasts for many vessels from one pooled forward pass.
+
+        ``windows`` is the stacked ``(n, input_steps, 3)`` tensor of
+        :meth:`make_window` rows and ``anchors`` each vessel's latest fix.
+        One batched matmul serves the whole fleet; per-row results are
+        bitwise identical to :meth:`forecast` (see ``Model.predict``).
+        """
+        transitions = self.predict_transitions(windows)
+        out = []
+        for i, (mmsi, anchor) in enumerate(zip(mmsis, anchors)):
+            positions = [anchor]
+            lat, lon = anchor.lat, anchor.lon
+            for k, t in enumerate(forecast_mark_times(anchor.t)):
+                lat = lat + transitions[i, k, 0]
+                lon = lon + transitions[i, k, 1]
+                positions.append(Position(t=t, lat=lat, lon=lon))
+            out.append(RouteForecast(mmsi=mmsi, positions=tuple(positions)))
+        return out
+
     def forecast(self, mmsi: int, history: Sequence[Position],
                  pad: bool = False) -> RouteForecast:
         """Forecast for one vessel from its recent downsampled fixes.
@@ -151,40 +195,31 @@ class SVRFModel:
         Needs ``input_steps + 1`` fixes (20 displacements); this is the call
         each vessel actor makes per ingested AIS message. With ``pad=True``
         shorter histories (two fixes upward) are accepted and the missing
-        leading displacements are zero-filled — the "variable filling" of
-        the original variable-length formulation [4], used by the platform
-        so newly appeared vessels forecast before their window fills
-        (prediction quality degrades gracefully until it does).
+        leading displacements are zero-filled, so newly appeared vessels
+        forecast before their window fills (prediction quality degrades
+        gracefully until it does). Delegates to :meth:`forecast_batch` with
+        a single-row batch, so per-vessel and pooled fleet-wide inference
+        produce bitwise-identical forecasts.
         """
         need = self.config.input_steps + 1
-        min_needed = 2 if pad else need
-        if len(history) < min_needed:
-            raise ValueError(
-                f"S-VRF needs {min_needed} fixes, got {len(history)}")
         recent = list(history[-need:])
         lats = np.array([p.lat for p in recent])
         lons = np.array([p.lon for p in recent])
         ts = np.array([p.t for p in recent])
-        steps = np.stack([np.diff(lats), np.diff(lons), np.diff(ts)], axis=1)
-        if steps.shape[0] < self.config.input_steps:
-            filler = np.zeros((self.config.input_steps - steps.shape[0], 3))
-            steps = np.concatenate([filler, steps], axis=0)
-        x = steps[np.newaxis, :, :]
-        transitions = self.predict_transitions(x)[0]
-
-        last = recent[-1]
-        positions = [last]
-        lat, lon = last.lat, last.lon
-        for k, t in enumerate(forecast_mark_times(last.t)):
-            lat += transitions[k, 0]
-            lon += transitions[k, 1]
-            positions.append(Position(t=t, lat=lat, lon=lon))
-        return RouteForecast(mmsi=mmsi, positions=tuple(positions))
+        window = self.make_window(ts, lats, lons, pad=pad)
+        return self.forecast_batch(
+            [mmsi], window[np.newaxis, :, :], [recent[-1]])[0]
 
     @property
     def min_history(self) -> int:
         """Minimum fixes :meth:`forecast` requires."""
         return self.config.input_steps + 1
+
+    @property
+    def window_size(self) -> int:
+        """Displacement steps per :meth:`make_window` row (pooled
+        inference preallocates its batch buffer from this)."""
+        return self.config.input_steps
 
     # -- persistence --------------------------------------------------------------
 

@@ -10,9 +10,11 @@ back to the respective affected subset of vessel actors." (Section 3)
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import threading
+from typing import TYPE_CHECKING, Any
 
 from repro.actors import Actor, ActorContext
+from repro.actors.router import KeyRouter
 from repro.events.collision import trajectories_intersect
 from repro.events.proximity import ProximityDetector
 from repro.events.vtff import IndirectVTFF
@@ -69,6 +71,108 @@ class ProximityCellActor(Actor):
         if self.detector._last_seen:
             return
         self.detector.restore_state(state["detector"])
+
+
+class CollisionCellRouter(KeyRouter):
+    """Collision-cell routing with a single-occupant fast path.
+
+    A fleet workload fans every forecast out to ~50 dilated cells, yet the
+    vast majority of those cells only ever hold **one** vessel's forecast —
+    no pairing can happen there, and the plain router would still spawn an
+    actor per cell and pay a scheduled envelope per delivery. This router
+    keeps the sole occupant's latest ``ForecastShared`` in a dict (exactly
+    the state the cell actor would hold: ``forecasts`` maps each MMSI to
+    its latest forecast, so re-shares overwrite) and only materialises the
+    real cell actor — replaying the stashed forecast first, preserving
+    arrival order — when a *second* vessel touches the cell. Observable
+    behaviour is identical; envelope and spawn counts drop by roughly the
+    dilation factor.
+    """
+
+    def __init__(self, system, prefix: str, factory,
+                 wiring: "PlatformWiring", strategy=None) -> None:
+        super().__init__(system, prefix, factory, strategy=strategy)
+        self._wiring = wiring
+        #: cell -> the sole occupant's latest ForecastShared.
+        self._solo: dict[Any, ForecastShared] = {}
+        #: Stash mutations may race in threaded systems (vessel actors on
+        #: worker threads share concurrently).
+        self._solo_lock = threading.Lock()
+        self.stashed_tells = 0
+
+    def route(self, key: Any):
+        """Materialise the cell actor, replaying any stashed forecast so
+        external ref access (handoff, tests, checkpoints) sees it."""
+        with self._solo_lock:
+            held = self._solo.pop(key, None)
+            ref = super().route(key)
+            if held is not None:
+                ref.tell(held)
+        return ref
+
+    def tell(self, key: Any, message: Any, sender=None) -> None:
+        if key not in self._refs:
+            if type(message) is ForecastShared:
+                with self._solo_lock:
+                    if key in self._refs:  # raced with a materialise
+                        pass
+                    else:
+                        held = self._solo.get(key)
+                        if (held is None or held.forecast.mmsi
+                                == message.forecast.mmsi):
+                            self._solo[key] = message
+                            self.stashed_tells += 1
+                            return
+                # Second vessel: spawn the real actor; route() replays the
+                # stashed forecast first, keeping arrival order.
+                self.route(key).tell(message, sender=sender)
+                return
+            if isinstance(message, PruneTick):
+                with self._solo_lock:
+                    held = self._solo.get(key)
+                    if held is not None:
+                        if (message.now - held.forecast.anchor.t
+                                > self._wiring.config.event_debounce_s):
+                            del self._solo[key]
+                        return
+            elif isinstance(message, RestoreState):
+                with self._solo_lock:
+                    if key in self._solo:
+                        return  # live (replayed) forecast is newer; keep it
+                    state = message.state
+                    forecasts = state.get("forecasts", {})
+                    if not state.get("last_pair_alert") \
+                            and len(forecasts) <= 1:
+                        for mmsi, fc in forecasts.items():
+                            self._solo[key] = ForecastShared(cell=key,
+                                                             forecast=fc)
+                        return
+                # Multi-occupant checkpoint state: a real actor holds it.
+        super().tell(key, message, sender=sender)
+
+    def forget(self, key: Any) -> bool:
+        with self._solo_lock:
+            stashed = self._solo.pop(key, None) is not None
+        return super().forget(key) or stashed
+
+    def stashed_state(self, key: Any) -> dict | None:
+        """Checkpoint view of a stashed cell (same shape as
+        :meth:`CollisionCellActor.export_state`)."""
+        held = self._solo.get(key)
+        if held is None:
+            return None
+        return {"forecasts": {held.forecast.mmsi: held.forecast},
+                "last_pair_alert": {}}
+
+    def known_keys(self) -> list[Any]:
+        return list(self._refs) + [k for k in self._solo
+                                   if k not in self._refs]
+
+    def __len__(self) -> int:
+        return len(self.known_keys())
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._refs or key in self._solo
 
 
 class CollisionCellActor(Actor):

@@ -78,9 +78,16 @@ def capture_node(platform: "DistributedPlatform") -> NodeCheckpoint:
                "collision": wiring.collision_router}
     cells = platform.system._cells
     for entity in CHECKPOINTED_ENTITIES:
-        for key in routers[entity].known_keys():
+        router = routers[entity]
+        stashed_state = getattr(router, "stashed_state", None)
+        for key in router.known_keys():
             cell = cells.get(f"{entity}-{key}")
             if cell is None or cell.stopped:
+                # Single-occupant collision cells live in the router's
+                # stash, not in a spawned actor; capture them all the same.
+                state = stashed_state(key) if stashed_state else None
+                if state is not None:
+                    checkpoint.entities.append((entity, key, state))
                 continue
             checkpoint.entities.append(
                 (entity, key, cell.actor.export_state()))

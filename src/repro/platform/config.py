@@ -43,6 +43,17 @@ class PlatformConfig:
     #: filling" [4]). Requires at least ``min_forecast_fixes`` fixes.
     pad_short_histories: bool = True
     min_forecast_fixes: int = 2
+    #: Pool per-vessel forecast requests into fleet-wide batched model
+    #: passes through the node's :class:`ForecastService` (used whenever
+    #: the mounted forecaster implements ``forecast_batch``; per-vessel
+    #: results are bitwise identical to unbatched inference).
+    forecast_batching: bool = True
+    #: Execute the pending pooled batch once it holds this many vessels
+    #: (mirrors ``writer_batch_max_ops``).
+    forecast_batch_max: int = 256
+    #: Execute a partial pooled batch after this much virtual time
+    #: (mirrors ``writer_batch_linger_s``). 0 disables the timer.
+    forecast_linger_s: float = 0.5
     #: Silence watchdog settings (switch-off detection).
     switchoff_gap_factor: float = 20.0
     switchoff_min_gap_s: float = 900.0
@@ -97,6 +108,10 @@ class PlatformConfig:
             raise ValueError("trace_sample_every must be >= 1")
         if not 0 <= self.collision_neighbor_rings <= 3:
             raise ValueError("collision_neighbor_rings must be in [0, 3]")
+        if self.forecast_batch_max < 1:
+            raise ValueError("forecast_batch_max must be >= 1")
+        if self.forecast_linger_s < 0:
+            raise ValueError("forecast_linger_s must be non-negative")
         if self.writer_pool_size < 1:
             raise ValueError("writer_pool_size must be >= 1")
         if self.writer_batch_max_ops < 1:

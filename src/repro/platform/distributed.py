@@ -49,6 +49,7 @@ from repro.platform.checkpoint import (
 )
 from repro.platform.cell_actor import (
     CollisionCellActor,
+    CollisionCellRouter,
     FlowActor,
     ProximityCellActor,
 )
@@ -59,10 +60,16 @@ from repro.platform.messages import (
     PruneTick,
     RestoreState,
 )
-from repro.platform.pipeline import PlatformWiring
+from repro.platform.pipeline import PlatformWiring, build_forecast_service
 from repro.platform.vessel_actor import VesselActor
 from repro.platform.writer_actor import WriterPool
-from repro.streams import Broker, ConsumerGroup, Producer, TopicConfig
+from repro.streams import (
+    Broker,
+    ConsumerGroup,
+    PositionBlock,
+    Producer,
+    TopicConfig,
+)
 from repro.telemetry import Telemetry, complete_traces, merge_traces
 
 
@@ -116,10 +123,14 @@ class DistributedPlatform:
         wiring.cell_router = node.register_entity(
             "cell", lambda cell: ProximityCellActor(cell, wiring))
         wiring.collision_router = node.register_entity(
-            "collision", lambda cell: CollisionCellActor(cell, wiring))
+            "collision", lambda cell: CollisionCellActor(cell, wiring),
+            local_router=CollisionCellRouter(
+                node.system, "collision",
+                lambda cell: CollisionCellActor(cell, wiring), wiring))
         wiring.writer_ref = WriterPool(wiring, self.config.writer_pool_size)
         wiring.flow_ref = self.system.spawn(
             lambda: FlowActor(wiring), "vtff")
+        wiring.forecast_service = build_forecast_service(wiring)
 
         self.ingestion: IngestionService | None = None
         if is_seed:
@@ -150,6 +161,8 @@ class DistributedPlatform:
                               lambda params: self.sync_clock(params["now"]))
         node.register_control("flush_writers",
                               lambda params: self.flush_writers())
+        node.register_control("flush_forecasts",
+                              lambda params: self.flush_forecasts())
 
     # -- publishing (seed only) ------------------------------------------------------
 
@@ -167,12 +180,9 @@ class DistributedPlatform:
 
     def publish_batch(self, batch: MessageBatch) -> int:
         self._require_seed()
-        for i in range(len(batch)):
-            msg = AISMessage(mmsi=int(batch.mmsi[i]), t=float(batch.t[i]),
-                             lat=float(batch.lat[i]), lon=float(batch.lon[i]),
-                             sog=float(batch.sog[i]), cog=float(batch.cog[i]))
-            self.producer.send(self.config.ais_topic, msg.mmsi, msg, msg.t)
-        return len(batch)
+        block = PositionBlock(mmsi=batch.mmsi, t=batch.t, lat=batch.lat,
+                              lon=batch.lon, sog=batch.sog, cog=batch.cog)
+        return self.producer.send_block(self.config.ais_topic, block)
 
     # -- ingestion & replay ----------------------------------------------------------
 
@@ -271,6 +281,16 @@ class DistributedPlatform:
                     self.wiring.vessel_router.tell(
                         record.value.mmsi, PositionIngested(record.value))
                     replayed += 1
+                elif isinstance(record.value, PositionBlock):
+                    block = record.value
+                    for i in range(len(block)):
+                        msg = AISMessage(
+                            mmsi=int(block.mmsi[i]), t=float(block.t[i]),
+                            lat=float(block.lat[i]), lon=float(block.lon[i]),
+                            sog=float(block.sog[i]), cog=float(block.cog[i]))
+                        self.wiring.vessel_router.tell(
+                            msg.mmsi, PositionIngested(msg))
+                        replayed += 1
         consumer.close()
         return replayed
 
@@ -309,6 +329,15 @@ class DistributedPlatform:
         counts."""
         self.wiring.writer_ref.flush()
         return {"shards": self.wiring.writer_ref.size}
+
+    def flush_forecasts(self) -> dict:
+        """Execute this node's pending pooled forecast batch (the
+        ``flush_forecasts`` control op). Drivers flush forecasts on every
+        node and settle *before* flushing writers, so the deferred state
+        updates the ForecastReady fan-out emits still make the same
+        writer-flush barrier."""
+        service = self.wiring.forecast_service
+        return {"flushed": service.flush() if service is not None else 0}
 
     def stats(self) -> dict:
         writer_pool = self.wiring.writer_ref
@@ -435,8 +464,13 @@ class LoopbackCluster:
         return total
 
     def flush_writers(self) -> None:
-        """Flush every node's writer micro-batches and settle, so KV reads
-        observe everything processed so far."""
+        """Flush every node's pooled forecast batches, then the writer
+        micro-batches, settling between the phases — so KV reads observe
+        everything processed so far, including the deferred state updates
+        that ride on the forecast replies."""
+        for platform in self.platforms:
+            platform.flush_forecasts()
+        self.settle()
         for platform in self.platforms:
             platform.flush_writers()
         self.settle()

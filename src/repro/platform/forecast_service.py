@@ -1,0 +1,208 @@
+"""Pooled fleet-wide forecast inference.
+
+The paper mounts the S-VRF model "only once in memory" per node — but the
+seed reproduction still *executed* it once per vessel per kept fix, a
+batch-size-1 forward pass whose BLAS calls dominate the single-node hot
+path. :class:`ForecastService` turns those per-vessel calls into fleet-wide
+micro-batches, exactly the way the writer pool batches KV operations:
+
+* vessel actors :meth:`submit` their displacement window + anchor instead
+  of invoking the model synchronously,
+* requests pool per node, every request keeping its own batch row (a
+  vessel with two kept fixes in one linger window gets both forecasts, in
+  order — the fan-out set stays identical to unbatched inference, which
+  the event-parity gate relies on),
+* the batch executes after ``forecast_batch_max`` pending vessels or a
+  ``forecast_linger_s`` virtual-time linger — **one**
+  ``predict_transitions((n, INPUT_STEPS, 3))`` pass over the whole fleet,
+* the flush shares each produced forecast with its collision cells / the
+  flow actor *in row order* (per-vessel mailboxes could not guarantee the
+  cross-vessel ordering collision pairing is sensitive to), then notifies
+  each requesting vessel with a
+  :class:`~repro.platform.messages.ForecastReady` message, preserving the
+  actor model's one-writer-per-state discipline for the twin's own state.
+
+Per-vessel results are bitwise identical to the unbatched path (see
+``Model.predict``), which the batched-vs-unbatched parity leg of the bench
+gate and the property tests assert.
+
+The service is a plain shared object (like the forecaster itself), not an
+actor: submission is a method call from inside the vessel actor's receive,
+so pooling adds no extra envelope per request. Only the linger timer runs
+through an actor (:class:`ForecastFlushActor`) because timers are actor-
+system scheduled messages.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.actors import Actor, ActorContext
+from repro.geo.track import Position
+from repro.platform.messages import ForecastFlush, ForecastReady
+
+if TYPE_CHECKING:
+    from repro.platform.pipeline import PlatformWiring
+
+
+class ForecastService:
+    """Per-node pooling of vessel forecast requests into batched passes."""
+
+    def __init__(self, wiring: "PlatformWiring") -> None:
+        self.wiring = wiring
+        config = wiring.config
+        self.batch_max = config.forecast_batch_max
+        self.linger_s = config.forecast_linger_s
+        #: Displacement steps per window row (0: anchors-only forecaster).
+        self.window_size = getattr(wiring.forecaster, "window_size", 0)
+        self._windows = (np.empty((self.batch_max, self.window_size, 3))
+                         if self.window_size else None)
+        self._mmsis: list[int] = []
+        self._anchors: list[Position] = []
+        self._submit_ts: list[float] = []
+        self._lock = threading.RLock()
+        #: Flush generation; linger timers armed before an earlier flush
+        #: are stale (same scheme as the writer shards).
+        self._seq = 0
+        self._timer_armed = False
+        #: Spawned by the platform wiring (timers need an actor address).
+        self.flush_ref = None
+        self.batches_executed = 0
+        self.requests_pooled = 0
+        self.forecasts_failed = 0
+        self._tel_instruments: tuple | None = None
+
+    # -- submission -----------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._mmsis)
+
+    def submit(self, mmsi: int, window: np.ndarray | None,
+               anchor: Position, ctx: ActorContext) -> None:
+        """Queue one vessel's forecast request.
+
+        Called from inside the vessel actor's receive; the result comes
+        back to the vessel as a :class:`ForecastReady` message after the
+        pooled batch executes. Per-vessel replies preserve submission
+        order (the flush fans out in row order, mailboxes are FIFO).
+        """
+        with self._lock:
+            slot = len(self._mmsis)
+            self._mmsis.append(mmsi)
+            self._anchors.append(anchor)
+            self._submit_ts.append(self.wiring.system.now)
+            if self._windows is not None and window is not None:
+                self._windows[slot] = window
+            self.requests_pooled += 1
+            full = len(self._mmsis) >= self.batch_max
+            if not full and not self._timer_armed and self.linger_s > 0:
+                self._timer_armed = True
+                ctx.schedule(self.linger_s, self.flush_ref,
+                             ForecastFlush(reason="linger", seq=self._seq))
+        if full:
+            self.flush("max_batch")
+
+    # -- flushing -------------------------------------------------------------------
+
+    def on_flush_message(self, message: ForecastFlush,
+                         ctx: ActorContext) -> None:
+        """Linger-timer delivery (via :class:`ForecastFlushActor`)."""
+        with self._lock:
+            self._timer_armed = False
+            stale = message.seq is not None and message.seq != self._seq
+            if stale and self._mmsis and self.linger_s > 0:
+                # A max-batch flush beat this timer but new requests queued
+                # behind it: re-arm so the tail still executes.
+                self._timer_armed = True
+                ctx.schedule(self.linger_s, self.flush_ref,
+                             ForecastFlush(reason="linger", seq=self._seq))
+                return
+        if not stale:
+            self.flush(message.reason)
+
+    def flush(self, reason: str = "explicit") -> int:
+        """Execute the pending pooled batch; returns how many forecasts
+        were produced (0 for an empty flush)."""
+        with self._lock:
+            self._seq += 1
+            n = len(self._mmsis)
+            if n == 0:
+                return 0
+            mmsis, anchors = self._mmsis, self._anchors
+            submit_ts = self._submit_ts
+            windows = self._windows[:n] if self._windows is not None else None
+            forecasts = self._run_batch(mmsis, windows, anchors)
+            self._mmsis, self._anchors, self._submit_ts = [], [], []
+            self.batches_executed += 1
+            from repro.platform.vessel_actor import share_forecast
+            wiring = self.wiring
+            router = wiring.vessel_router
+            for mmsi, forecast, t0 in zip(mmsis, forecasts, submit_ts):
+                if forecast is not None:
+                    share_forecast(wiring, forecast)
+                router.tell(mmsi, ForecastReady(forecast=forecast,
+                                                t_submitted=t0))
+            self._record_telemetry(reason, n, submit_ts)
+        return n
+
+    def _run_batch(self, mmsis, windows, anchors) -> list:
+        forecaster = self.wiring.forecaster
+        try:
+            return forecaster.forecast_batch(mmsis, windows, anchors)
+        except Exception:
+            # One bad request must not sink the fleet's batch: retry each
+            # row alone; rows that still fail resolve to None (the vessel
+            # keeps its previous forecast and unblocks its state update).
+            out = []
+            for i, (mmsi, anchor) in enumerate(zip(mmsis, anchors)):
+                row = windows[i:i + 1] if windows is not None else None
+                try:
+                    out.append(forecaster.forecast_batch(
+                        [mmsi], row, [anchor])[0])
+                except Exception:
+                    self.forecasts_failed += 1
+                    out.append(None)
+            return out
+
+    # -- telemetry ------------------------------------------------------------------
+
+    def _record_telemetry(self, reason: str, size: int,
+                          submit_ts: list[float]) -> None:
+        telemetry = self.wiring.system.telemetry
+        if telemetry is None:
+            return
+        if self._tel_instruments is None:
+            self._tel_instruments = (
+                telemetry.registry.histogram("forecast_batch_size"),
+                telemetry.registry.histogram("forecast_latency_s"),
+                {r: telemetry.registry.counter(
+                    "forecast_flushes_total", {"reason": r})
+                 for r in ("max_batch", "linger", "explicit")},
+            )
+        batch_hist, latency_hist, flush_counters = self._tel_instruments
+        batch_hist.observe(size)
+        now = self.wiring.system.now
+        if submit_ts:
+            # Pooling delay of the batch's oldest request, in virtual time.
+            latency_hist.observe(now - min(submit_ts))
+        counter = flush_counters.get(reason)
+        if counter is None:
+            counter = flush_counters[reason] = telemetry.registry.counter(
+                "forecast_flushes_total", {"reason": reason})
+        counter.inc()
+
+
+class ForecastFlushActor(Actor):
+    """Address for the service's linger timers (scheduled messages need an
+    actor mailbox; everything else about the service is a direct call)."""
+
+    def __init__(self, service: ForecastService) -> None:
+        self.service = service
+
+    def receive(self, message, ctx: ActorContext) -> None:
+        if isinstance(message, ForecastFlush):
+            self.service.on_flush_message(message, ctx)

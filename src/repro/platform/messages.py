@@ -43,6 +43,45 @@ class ForecastShared:
 
 
 @dataclass(frozen=True)
+class ForecastSharedBatch:
+    """Vessel actor -> remote node: one forecast touching many cells.
+
+    The fan-out of one forecast routinely hits a dozen-plus collision
+    cells; cells owned by the same remote node travel in a single wire
+    envelope and are expanded back into per-cell :class:`ForecastShared`
+    messages by the receiving node's router (re-routing individually if
+    the shard table drifted in flight).
+    """
+
+    cells: tuple[int, ...]
+    forecast: RouteForecast
+
+
+@dataclass(frozen=True)
+class ForecastReady:
+    """Forecast service -> vessel actor: the pooled batch containing this
+    vessel's request was executed; share and persist the result."""
+
+    forecast: RouteForecast
+    #: Virtual time at which the request entered the pending batch
+    #: (drives the ``forecast_latency_s`` telemetry histogram).
+    t_submitted: float = 0.0
+
+
+@dataclass(frozen=True)
+class ForecastFlush:
+    """Linger timer -> forecast flush actor: execute the pending batch.
+
+    Mirrors :class:`WriterFlush`: ``seq`` carries the service's flush
+    generation so a timer armed before an earlier flush is stale and
+    ignored; ``None`` flushes unconditionally.
+    """
+
+    reason: str = "explicit"   #: "linger" | "max_batch" | "explicit"
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
 class ProximityAlert:
     """Cell actor -> vessel actors & writer: proximity event detected."""
 

@@ -25,6 +25,7 @@ from repro.models.kinematic import LinearKinematicModel
 from repro.platform.api import MiddlewareAPI
 from repro.platform.cell_actor import (
     CollisionCellActor,
+    CollisionCellRouter,
     FlowActor,
     ProximityCellActor,
 )
@@ -33,7 +34,7 @@ from repro.platform.ingestion import IngestionService
 from repro.platform.messages import PruneTick
 from repro.platform.vessel_actor import VesselActor
 from repro.platform.writer_actor import WriterPool
-from repro.streams import Broker, Producer, TopicConfig
+from repro.streams import Broker, PositionBlock, Producer, TopicConfig
 
 
 @dataclass
@@ -58,6 +59,29 @@ class PlatformWiring:
     collision_router: KeyRouter | None = field(init=False, default=None)
     writer_ref: object = field(init=False, default=None)
     flow_ref: object = field(init=False, default=None)
+    #: Pooled batched-inference service (None: synchronous per-vessel
+    #: forecasts, either by configuration or a batch-less forecaster).
+    forecast_service: object = field(init=False, default=None)
+
+
+def build_forecast_service(wiring: PlatformWiring):
+    """Wire the pooled inference service when enabled and supported.
+
+    Spawns the linger-timer flush actor alongside; returns the service or
+    None (callers fall back to synchronous per-vessel forecasts).
+    """
+    if not wiring.config.forecast_batching:
+        return None
+    if not hasattr(wiring.forecaster, "forecast_batch"):
+        return None
+    from repro.platform.forecast_service import (
+        ForecastFlushActor,
+        ForecastService,
+    )
+    service = ForecastService(wiring)
+    service.flush_ref = wiring.system.spawn(
+        lambda: ForecastFlushActor(service), "forecast-flush")
+    return service
 
 
 class Platform:
@@ -105,12 +129,13 @@ class Platform:
         wiring.cell_router = KeyRouter(
             self.system, "cell",
             lambda cell: ProximityCellActor(cell, wiring))
-        wiring.collision_router = KeyRouter(
+        wiring.collision_router = CollisionCellRouter(
             self.system, "collision",
-            lambda cell: CollisionCellActor(cell, wiring))
+            lambda cell: CollisionCellActor(cell, wiring), wiring)
         wiring.writer_ref = WriterPool(wiring, self.config.writer_pool_size)
         wiring.flow_ref = self.system.spawn(
             lambda: FlowActor(wiring), "vtff")
+        wiring.forecast_service = build_forecast_service(wiring)
 
         self.ingestion = IngestionService(wiring)
         self.api = MiddlewareAPI(self.kvstore, self.pubsub, self)
@@ -126,13 +151,13 @@ class Platform:
         return count
 
     def publish_batch(self, batch: MessageBatch) -> int:
-        """Feed a struct-of-arrays batch (converted lazily per record)."""
-        for i in range(len(batch)):
-            msg = AISMessage(mmsi=int(batch.mmsi[i]), t=float(batch.t[i]),
-                             lat=float(batch.lat[i]), lon=float(batch.lon[i]),
-                             sog=float(batch.sog[i]), cog=float(batch.cog[i]))
-            self.producer.send(self.config.ais_topic, msg.mmsi, msg, msg.t)
-        return len(batch)
+        """Feed a struct-of-arrays batch through the columnar fast lane:
+        the rows travel the broker as one :class:`PositionBlock` record
+        per touched partition (no per-row message objects until the
+        ingestion service expands them)."""
+        block = PositionBlock(mmsi=batch.mmsi, t=batch.t, lat=batch.lat,
+                              lon=batch.lon, sog=batch.sog, cog=batch.cog)
+        return self.producer.send_block(self.config.ais_topic, block)
 
     def publish_nmea(self, sentences: Sequence[tuple[str, float]]) -> int:
         """Feed raw ``(sentence, receiver_time)`` pairs (the realistic
@@ -167,14 +192,23 @@ class Platform:
             total += dispatched
         if self.system.mode == "threaded":
             self.system.await_idle()
-        # Close out the writers' micro-batches so the API sees everything
-        # processed so far (callers treat process_available as a barrier).
+        # Two-phase barrier so the API sees everything processed so far:
+        # first close out the pooled forecast batch (its ForecastReady
+        # fan-out emits the deferred state updates), then the writers'
+        # micro-batches — in that order, or late updates would sit behind
+        # an already-consumed WriterFlush until the next linger fires.
+        if self.wiring.forecast_service is not None:
+            self.wiring.forecast_service.flush()
+            self._settle()
         self.wiring.writer_ref.flush()
+        self._settle()
+        return total
+
+    def _settle(self) -> None:
         if self.system.mode == "deterministic":
             self.system.run_until_idle()
         else:
             self.system.await_idle()
-        return total
 
     def housekeeping(self) -> None:
         """Broadcast a prune tick to all spatial actors (memory bound)."""

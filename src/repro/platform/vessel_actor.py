@@ -4,9 +4,11 @@
 one corresponding to a specific vessel as it is defined by its unique MMSI"
 (Section 3). Each vessel actor:
 
-* keeps the vessel's recent downsampled track (the S-VRF input window),
-* runs the *shared* short-term forecasting model on each kept fix —
-  the model instance is mounted once and passed to every actor's factory,
+* keeps the vessel's recent downsampled track (the S-VRF input window) in a
+  preallocated :class:`~repro.platform.history.HistoryRing`,
+* requests a forecast from the shared model on each kept fix — through the
+  node's pooled :class:`~repro.platform.forecast_service.ForecastService`
+  when batching is enabled, synchronously otherwise,
 * fans its position out to the proximity cell actor of its H3 cell,
 * fans its forecast trajectory out to the collision actors of every cell
   the trajectory (dilated by one neighbour ring) touches,
@@ -15,6 +17,13 @@ one corresponding to a specific vessel as it is defined by its unique MMSI"
 * records proximity/collision alerts communicated back by the spatial
   actors ("they communicate their state back to the respective affected
   subset of vessel actors").
+
+With pooled inference the state update of a forecast-triggering fix is
+deferred until the :class:`~repro.platform.messages.ForecastReady` reply,
+so the writer still observes every forecast exactly once; the in-flight
+marker travels through ``export_state``/``restore_state`` so a checkpoint
+taken mid-linger re-issues the request after recovery instead of dropping
+it.
 """
 
 from __future__ import annotations
@@ -23,11 +32,12 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.actors import Actor, ActorContext
-from repro.geo.track import Position
 from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.platform.history import HistoryRing
 from repro.platform.messages import (
     CellObservation,
     CollisionAlert,
+    ForecastReady,
     ForecastShared,
     PositionIngested,
     ProximityAlert,
@@ -38,6 +48,48 @@ from repro.platform.messages import (
 if TYPE_CHECKING:
     from repro.platform.pipeline import PlatformWiring
 
+#: (base cell, rings) -> dilated neighbourhood. ``grid_disk`` is a pure
+#: function and vessels revisit the same cells constantly; memoising the
+#: disk removes it from the forecast fan-out hot path.
+_DISK_CACHE: dict[tuple[int, int], tuple[int, ...]] = {}
+_DISK_CACHE_MAX = 1 << 20
+
+
+def _disk(base: int, rings: int) -> tuple[int, ...]:
+    key = (base, rings)
+    cells = _DISK_CACHE.get(key)
+    if cells is None:
+        if len(_DISK_CACHE) >= _DISK_CACHE_MAX:
+            _DISK_CACHE.clear()
+        cells = _DISK_CACHE[key] = tuple(grid_disk(base, rings))
+    return cells
+
+
+def share_forecast(wiring: "PlatformWiring", forecast, sender=None) -> None:
+    """Fan one forecast out to the collision cells its trajectory (dilated
+    by the neighbour rings) touches, and to the traffic-flow actor.
+
+    Module-level because two callers need it with identical semantics: the
+    vessel actor on the synchronous path, and the pooled
+    :class:`~repro.platform.forecast_service.ForecastService` at flush time
+    — the service shares in row (submission) order so collision cells
+    observe forecasts in the same sequence as unbatched inference."""
+    resolution = wiring.config.collision_resolution
+    rings = wiring.config.collision_neighbor_rings
+    cells: set[int] = set()
+    for pos in forecast.positions:
+        cells.update(_disk(latlng_to_cell(pos.lat, pos.lon, resolution),
+                           rings))
+    router = wiring.collision_router
+    share_batch = getattr(router, "share_forecast", None)
+    if share_batch is not None:
+        share_batch(cells, forecast, sender=sender)
+    else:
+        for cell in cells:
+            router.tell(cell, ForecastShared(cell=cell, forecast=forecast),
+                        sender=sender)
+    wiring.flow_ref.tell(forecast, sender=sender)
+
 
 class VesselActor(Actor):
     """Digital twin of one vessel."""
@@ -45,53 +97,66 @@ class VesselActor(Actor):
     def __init__(self, mmsi: int, wiring: "PlatformWiring") -> None:
         self.mmsi = mmsi
         self.wiring = wiring
-        self.history: deque[Position] = deque(
-            maxlen=wiring.forecaster_min_history)
+        self.history = HistoryRing(max(wiring.forecaster_min_history, 1))
         self.kept_fixes = 0
         self.last_kept_t = float("-inf")
         self.last_message = None
         self.latest_forecast = None
+        #: A forecast request is pooled in the forecast service and its
+        #: state update deferred until the ForecastReady reply.
+        self.pending_forecast = False
         self.event_flags: deque[str] = deque(maxlen=8)
 
     def receive(self, message, ctx: ActorContext) -> None:
         if isinstance(message, PositionIngested):
             self._on_position(message, ctx)
+        elif isinstance(message, ForecastReady):
+            self._on_forecast_ready(message, ctx)
         elif isinstance(message, ProximityAlert):
             self.event_flags.append(f"proximity@{message.event.t:.0f}")
         elif isinstance(message, CollisionAlert):
             self.event_flags.append(
                 f"collision@{message.event.t_expected:.0f}")
         elif isinstance(message, RestoreState):
-            self.restore_state(message.state)
+            self.restore_state(message.state, ctx)
         # Unknown messages are ignored (actors are liberal receivers).
 
     # -- checkpointing -------------------------------------------------------------
 
     def export_state(self) -> dict:
         """Everything a freshly spawned twin needs to continue this
-        vessel: the history window, downsampling cursor and event flags."""
+        vessel: the history window, downsampling cursor, event flags and
+        the in-flight pending-forecast marker (a checkpoint taken
+        mid-linger must re-issue the pooled request on recovery)."""
         return {
-            "history": list(self.history),
+            "history": self.history.positions(),
             "kept_fixes": self.kept_fixes,
             "last_kept_t": self.last_kept_t,
             "last_message": self.last_message,
             "latest_forecast": self.latest_forecast,
+            "pending_forecast": self.pending_forecast,
             "event_flags": list(self.event_flags),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict,
+                      ctx: ActorContext | None = None) -> None:
         """Adopt checkpointed state iff it is *newer* than what this actor
         holds — a replayed stream suffix may already have rebuilt fresher
         state, which must win."""
         if state["last_kept_t"] <= self.last_kept_t:
             return
-        self.history = deque(state["history"],
-                             maxlen=self.wiring.forecaster_min_history)
+        self.history = HistoryRing.from_positions(
+            state["history"], max(self.wiring.forecaster_min_history, 1))
         self.kept_fixes = state["kept_fixes"]
         self.last_kept_t = state["last_kept_t"]
         self.last_message = state["last_message"]
         self.latest_forecast = state["latest_forecast"]
         self.event_flags = deque(state["event_flags"], maxlen=8)
+        self.pending_forecast = False
+        if state.get("pending_forecast") and ctx is not None:
+            # The snapshot caught a request in flight inside the (now gone)
+            # node's forecast service: re-pool it from the restored window.
+            self._request_forecast(ctx)
 
     # -- handlers -----------------------------------------------------------------
 
@@ -100,13 +165,12 @@ class VesselActor(Actor):
         report = msg.message
         if report.t - self.last_kept_t < wiring.config.downsample_s:
             return  # aggregated away by the 30-second downsampling rule
-        if self.history and report.t <= self.history[-1].t:
+        if len(self.history) and report.t <= self.history.last_t:
             return  # stale duplicate from overlapping receivers
         self.last_kept_t = report.t
         self.last_message = report
-        self.history.append(Position(t=report.t, lat=report.lat,
-                                     lon=report.lon, sog=report.sog,
-                                     cog=report.cog))
+        self.history.append(report.t, report.lat, report.lon,
+                            report.sog, report.cog)
         self.kept_fixes += 1
 
         # Proximity: this position goes to its cell actor.
@@ -125,16 +189,53 @@ class VesselActor(Actor):
                      else wiring.forecaster_min_history)
         if (len(self.history) >= threshold
                 and self.kept_fixes % wiring.config.forecast_every_n == 0):
-            self._forecast_and_share(ctx)
+            if wiring.forecast_service is not None:
+                self._request_forecast(ctx)
+            else:
+                self._forecast_and_share(ctx)
+        if self.pending_forecast:
+            return  # the state update rides on the ForecastReady reply
+        self._push_state_update(report.t, ctx)
 
-        wiring.writer_ref.tell(VesselStateUpdate(
-            mmsi=self.mmsi, t=report.t, lat=report.lat, lon=report.lon,
+    def _on_forecast_ready(self, msg: ForecastReady,
+                           ctx: ActorContext) -> None:
+        # The service already fanned the forecast out to the collision
+        # cells (in submission order, which per-vessel mailboxes could not
+        # guarantee); here only the twin's own state catches up.
+        self.pending_forecast = False
+        if msg.forecast is not None:
+            self.latest_forecast = msg.forecast
+        if self.last_message is not None:
+            self._push_state_update(self.last_message.t, ctx)
+
+    def _push_state_update(self, t: float, ctx: ActorContext) -> None:
+        report = self.last_message
+        self.wiring.writer_ref.tell(VesselStateUpdate(
+            mmsi=self.mmsi, t=t, lat=report.lat, lon=report.lon,
             sog=report.sog, cog=report.cog, forecast=self.latest_forecast,
             event_flags=tuple(self.event_flags)), sender=ctx.self_ref)
 
+    # -- forecasting ---------------------------------------------------------------
+
+    def _window_row(self):
+        """The forecaster's displacement window from the ring's contiguous
+        column views (``None`` for anchors-only forecasters)."""
+        wiring = self.wiring
+        if getattr(wiring.forecaster, "window_size", 0) == 0:
+            return None
+        ts, lats, lons = self.history.columns()
+        pad = (wiring.supports_padding
+               and len(self.history) < wiring.forecaster_min_history)
+        return wiring.forecaster.make_window(ts, lats, lons, pad=pad)
+
+    def _request_forecast(self, ctx: ActorContext) -> None:
+        self.pending_forecast = True
+        self.wiring.forecast_service.submit(
+            self.mmsi, self._window_row(), self.history.last_position(), ctx)
+
     def _forecast_and_share(self, ctx: ActorContext) -> None:
         wiring = self.wiring
-        history = list(self.history)
+        history = self.history.positions()
         if (wiring.supports_padding
                 and len(history) < wiring.forecaster_min_history):
             forecast = wiring.forecaster.forecast(self.mmsi, history,
@@ -142,16 +243,4 @@ class VesselActor(Actor):
         else:
             forecast = wiring.forecaster.forecast(self.mmsi, history)
         self.latest_forecast = forecast
-
-        cells: set[int] = set()
-        for pos in forecast.positions:
-            base = latlng_to_cell(pos.lat, pos.lon,
-                                  wiring.config.collision_resolution)
-            cells.update(grid_disk(base,
-                                   wiring.config.collision_neighbor_rings))
-        for cell in cells:
-            wiring.collision_router.tell(
-                cell, ForecastShared(cell=cell, forecast=forecast),
-                sender=ctx.self_ref)
-
-        wiring.flow_ref.tell(forecast, sender=ctx.self_ref)
+        share_forecast(wiring, forecast, sender=ctx.self_ref)

@@ -81,8 +81,14 @@ class WriterActor(Actor):
         if wiring.config.output_topics:
             from repro.streams import Producer
             self._producer = Producer(wiring.broker)
-        #: (kind, pair) -> last event time, for cross-cell deduplication
-        #: (the same encounter can be detected by several cell actors).
+        #: (kind, pair, debounce bucket) -> event time, for cross-cell
+        #: deduplication (the same encounter can be detected by several
+        #: cell actors). Keyed by the *bucket* of the event time rather
+        #: than a sliding last-accepted window so the accepted count is a
+        #: pure function of the event multiset — several cells race the
+        #: same pair's records to this shard, and their arrival order
+        #: depends on scheduler interleaving (the batched-vs-unbatched
+        #: event-parity gate relies on this being order-insensitive).
         #: Bounded: entries older than the debounce window are pruned
         #: whenever the map exceeds ``event_dedup_max``, then oldest-first
         #: eviction enforces the hard cap (see :meth:`_bound_dedup`).
@@ -134,11 +140,10 @@ class WriterActor(Actor):
     def _enqueue_event(self, record: EventRecord, ctx: ActorContext) -> None:
         payload = record.payload
         pair = getattr(payload, "pair", None)
-        if pair is not None:
-            key = (record.kind, pair)
-            last = self._event_dedup.get(key)
-            if (last is not None
-                    and record.t - last < self.wiring.config.event_debounce_s):
+        debounce = self.wiring.config.event_debounce_s
+        if pair is not None and debounce > 0:
+            key = (record.kind, pair, int(record.t // debounce))
+            if key in self._event_dedup:
                 return
             self._event_dedup[key] = record.t
             self._bound_dedup(record.t)
@@ -268,6 +273,10 @@ class WriterPool:
             raise ValueError("writer pool needs at least one shard")
         self.size = size
         self._system = wiring.system
+        #: route_key -> shard memo (stable_hash is pure; vessel states
+        #: re-route by the same MMSI on every kept fix). Bounded: event
+        #: pair keys are unbounded over a long run.
+        self._shard_cache: dict = {}
         self.refs: list["ActorRef"] = [
             wiring.system.spawn(
                 lambda shard=shard: WriterActor(wiring, shard=shard),
@@ -291,7 +300,14 @@ class WriterPool:
         return 0
 
     def shard_of(self, message) -> int:
-        return stable_hash(self.route_key(message)) % self.size
+        key = self.route_key(message)
+        shard = self._shard_cache.get(key)
+        if shard is None:
+            if len(self._shard_cache) >= (1 << 20):
+                self._shard_cache.clear()
+            shard = self._shard_cache[key] = \
+                stable_hash(key) % self.size
+        return shard
 
     def tell(self, message, sender=None) -> None:
         self.refs[self.shard_of(message)].tell(message, sender=sender)

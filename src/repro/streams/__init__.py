@@ -14,6 +14,7 @@ at-least-once delivery semantics on explicit commit.
 """
 
 from repro.streams.broker import Broker, Record, TopicConfig
+from repro.streams.columnar import PositionBlock, split_by_partition
 from repro.streams.producer import Producer
 from repro.streams.consumer import Consumer, ConsumerGroup
 
@@ -21,7 +22,9 @@ __all__ = [
     "Broker",
     "Consumer",
     "ConsumerGroup",
+    "PositionBlock",
     "Producer",
     "Record",
     "TopicConfig",
+    "split_by_partition",
 ]

@@ -66,8 +66,37 @@ class _Partition:
             return []
         return self._records[start:start + max_records]
 
+    def read_into(self, from_offset: int, max_records: int,
+                  out: list[Record]) -> int:
+        """Append up to ``max_records`` records to ``out``; returns how
+        many were appended. The reusable-buffer twin of :meth:`read` for
+        poll-per-tick consumers: no fresh result list is allocated under
+        the coarse broker lock on every fetch."""
+        start = max(from_offset, self.log_start_offset) - self.log_start_offset
+        if start >= len(self._records):
+            return 0
+        stop = min(start + max_records, len(self._records))
+        if start == 0 and stop == len(self._records):
+            out.extend(self._records)   # catch-up case: no slice temp
+        else:
+            out.extend(self._records[start:stop])
+        return stop - start
+
     def __len__(self) -> int:
         return len(self._records)
+
+
+#: Bound lazily so importing the streams layer never pulls the cluster
+#: package in at module load (the dependency is one pure hash function).
+_stable_hash = None
+
+
+def _key_hash(key: Any) -> int:
+    global _stable_hash
+    if _stable_hash is None:
+        from repro.cluster.sharding import stable_hash
+        _stable_hash = stable_hash
+    return _stable_hash(key)
 
 
 class Broker:
@@ -78,12 +107,18 @@ class Broker:
     platform's hot path batches reads.
     """
 
+    #: Clear the key -> partition memo past this many distinct keys.
+    _PARTITION_CACHE_MAX = 1 << 20
+
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._topics: dict[str, list[_Partition]] = {}
         self._configs: dict[str, TopicConfig] = {}
         #: (group, topic, partition) -> committed offset (next to consume).
         self._commits: dict[tuple[str, str, int], int] = {}
+        #: (topic, key) -> partition memo (stable_hash is pure, keys — MMSIs
+        #: mostly — recur every tick; bounded, cleared when it overflows).
+        self._partition_cache: dict[tuple[str, Any], int] = {}
 
     # -- topic management ----------------------------------------------------
 
@@ -117,12 +152,31 @@ class Broker:
     # -- produce / fetch -------------------------------------------------------
 
     def partition_for_key(self, topic: str, key: Any) -> int:
-        """Deterministic key -> partition mapping (hash partitioner)."""
-        with self._lock:
-            n = len(self._partitions(topic))
+        """Deterministic key -> partition mapping (hash partitioner).
+
+        Routes through the cluster's process-independent ``stable_hash``:
+        the builtin ``hash`` is randomised per process for strings
+        (``PYTHONHASHSEED``), which would scatter a replayed NMEA topic
+        across different partitions on every run.
+        """
         if key is None:
             raise ValueError("records need a key for partition routing")
-        return hash(key) % n
+        cache_key = (topic, key)
+        try:
+            return self._partition_cache[cache_key]
+        except KeyError:
+            pass
+        except TypeError:       # unhashable key: no memoisation
+            with self._lock:
+                n = len(self._partitions(topic))
+            return _key_hash(key) % n
+        with self._lock:
+            n = len(self._partitions(topic))
+        partition = _key_hash(key) % n
+        if len(self._partition_cache) >= self._PARTITION_CACHE_MAX:
+            self._partition_cache.clear()
+        self._partition_cache[cache_key] = partition
+        return partition
 
     def append(self, topic: str, key: Any, value: Any, timestamp: float,
                partition: int | None = None) -> tuple[int, int]:
@@ -142,6 +196,15 @@ class Broker:
         with self._lock:
             parts = self._partitions(topic)
             return parts[partition].read(from_offset, max_records)
+
+    def fetch_into(self, topic: str, partition: int, from_offset: int,
+                   max_records: int, out: list[Record]) -> int:
+        """Append up to ``max_records`` records to the caller's reusable
+        ``out`` buffer; returns the count appended (see
+        :meth:`_Partition.read_into`)."""
+        with self._lock:
+            parts = self._partitions(topic)
+            return parts[partition].read_into(from_offset, max_records, out)
 
     def end_offset(self, topic: str, partition: int) -> int:
         """Offset one past the last record (the produce position)."""

@@ -1,0 +1,82 @@
+"""Columnar struct-array records for the AIS ingest hot path.
+
+Per-record publishing pays one broker lock acquisition, one ``Record``
+dataclass and one ``AISMessage`` per position report. At fleet-engine scale
+(thousands of reports per tick) that Python-object churn dominates the
+producer side, and DIPAAL's columnar layout (PAPERS.md) motivates the fix:
+a :class:`PositionBlock` carries a whole tick's worth of
+``PositionIngested``-shaped records as six contiguous numpy arrays
+(``mmsi, t, lat, lon, sog, cog``) and travels the broker as **one** record
+per partition.
+
+Partition routing still honours per-vessel ordering: rows split by the
+stable hash of their MMSI (the same :func:`~repro.cluster.sharding.
+stable_hash` the broker's scalar partitioner uses), with a memoised
+``mmsi -> partition`` map so the per-row cost is one dict lookup. Within a
+partition rows keep their input order, so a time-sorted batch stays
+time-sorted per vessel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PositionBlock:
+    """A contiguous batch of AIS position reports, struct-of-arrays."""
+
+    mmsi: np.ndarray   #: int64
+    t: np.ndarray      #: float64, seconds
+    lat: np.ndarray    #: float64, degrees
+    lon: np.ndarray    #: float64, degrees
+    sog: np.ndarray    #: float64, knots
+    cog: np.ndarray    #: float64, degrees
+
+    def __len__(self) -> int:
+        return len(self.mmsi)
+
+    @property
+    def max_t(self) -> float:
+        return float(self.t.max()) if len(self.t) else float("-inf")
+
+    def take(self, index: np.ndarray) -> "PositionBlock":
+        """A new block holding ``self``'s rows at ``index``, in order."""
+        return PositionBlock(
+            mmsi=self.mmsi[index], t=self.t[index], lat=self.lat[index],
+            lon=self.lon[index], sog=self.sog[index], cog=self.cog[index])
+
+
+def split_by_partition(block: PositionBlock, num_partitions: int,
+                       partition_of: dict[int, int] | None = None,
+                       ) -> list[tuple[int, PositionBlock]]:
+    """Split a block into per-partition sub-blocks by stable MMSI hash.
+
+    ``partition_of`` is an optional memo the caller keeps across calls
+    (fleet batches revisit the same MMSIs every tick, so steady state is
+    one dict hit per row instead of one BLAKE2b digest).
+    """
+    from repro.cluster.sharding import stable_hash
+    if num_partitions < 1:
+        raise ValueError("need at least one partition")
+    if partition_of is None:
+        partition_of = {}
+    n = len(block)
+    if n == 0:
+        return []
+    parts = np.empty(n, dtype=np.int64)
+    mmsis = block.mmsi
+    for i in range(n):
+        mmsi = int(mmsis[i])
+        p = partition_of.get(mmsi)
+        if p is None:
+            p = partition_of[mmsi] = stable_hash(mmsi) % num_partitions
+        parts[i] = p
+    out = []
+    for p in range(num_partitions):
+        index = np.nonzero(parts == p)[0]
+        if len(index):
+            out.append((p, block.take(index)))
+    return out

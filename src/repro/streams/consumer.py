@@ -100,12 +100,11 @@ class Consumer:
                 partition,
                 self._broker.committed(self._group.group_id,
                                        self._group.topic, partition))
-            records = self._broker.fetch(self._group.topic, partition,
-                                         position, budget)
-            if records:
-                self._positions[partition] = records[-1].offset + 1
-                out.extend(records)
-                budget -= len(records)
+            count = self._broker.fetch_into(self._group.topic, partition,
+                                            position, budget, out)
+            if count:
+                self._positions[partition] = out[-1].offset + 1
+                budget -= count
             else:
                 self._positions.setdefault(partition, position)
         return out

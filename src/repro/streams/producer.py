@@ -19,6 +19,8 @@ class Producer:
     def __init__(self, broker: Broker) -> None:
         self._broker = broker
         self._sent = 0
+        #: topic -> (mmsi -> partition) memo for columnar block sends.
+        self._block_partition_memo: dict[str, dict[int, int]] = {}
 
     @property
     def records_sent(self) -> int:
@@ -38,3 +40,23 @@ class Producer:
         for key, value, timestamp in records:
             self.send(topic, key, value, timestamp)
         return len(records)
+
+    def send_block(self, topic: str, block) -> int:
+        """Columnar fast lane: append a :class:`~repro.streams.columnar.
+        PositionBlock` as one record per touched partition.
+
+        Rows split by the stable hash of their MMSI — the same routing a
+        per-row :meth:`send` would produce — so per-vessel ordering holds.
+        Returns the number of position rows published (which is what
+        ``records_sent`` counts too: a block is a batch of logical
+        records, not one).
+        """
+        from repro.streams.columnar import split_by_partition
+        memo = self._block_partition_memo.setdefault(topic, {})
+        num_partitions = self._broker.num_partitions(topic)
+        for partition, sub in split_by_partition(block, num_partitions,
+                                                 memo):
+            self._broker.append(topic, None, sub, sub.max_t,
+                                partition=partition)
+        self._sent += len(block)
+        return len(block)

@@ -25,6 +25,7 @@ from repro.models.base import RouteForecast
 from repro.platform.messages import (
     CellObservation,
     ForecastShared,
+    ForecastSharedBatch,
     PositionIngested,
 )
 
@@ -48,16 +49,18 @@ ais_messages = st.builds(
 positions = st.builds(Position, t=finite, lat=finite, lon=finite,
                       sog=st.none() | finite, cog=st.none() | finite)
 
+forecasts = st.builds(RouteForecast, mmsi=uint64,
+                      positions=st.lists(positions, max_size=8).map(tuple))
+
 hot_payloads = st.one_of(
     st.none(),                                      # empty payload
     st.builds(PositionIngested, message=ais_messages),
     st.builds(CellObservation, cell=big_cells, mmsi=uint64,
               t=finite, lat=finite, lon=finite),
-    st.builds(ForecastShared, cell=big_cells,
-              forecast=st.builds(
-                  RouteForecast, mmsi=uint64,
-                  positions=st.lists(positions, max_size=8)
-                  .map(tuple))),
+    st.builds(ForecastShared, cell=big_cells, forecast=forecasts),
+    st.builds(ForecastSharedBatch,
+              cells=st.lists(uint64, min_size=1, max_size=12).map(tuple),
+              forecast=forecasts),
     st.builds(Heartbeat, node_id=wire_str))
 
 envelopes = st.builds(

@@ -18,6 +18,7 @@ import pytest
 import repro.cluster.membership as membership_mod
 import repro.cluster.node as node_mod
 import repro.cluster.transport as transport_mod
+import repro.platform.forecast_service as forecast_service_mod
 import repro.serving.bridge as serving_bridge_mod
 import repro.serving.fanout as serving_fanout_mod
 import repro.serving.protocol as serving_protocol_mod
@@ -38,8 +39,12 @@ from repro.cluster.transport import BatchingTransport
 # The telemetry layer timestamps every histogram and trace hop, so it is
 # held to the same injectable-clock contract as the cluster modules. The
 # serving tier stamps push latency the same way (its server and feed pump
-# take ``clock=time.monotonic`` defaults), so it is audited too.
+# take ``clock=time.monotonic`` defaults), so it is audited too. The
+# pooled forecast service lingers and stamps submissions on the actor
+# system's virtual clock — a wall-clock read there would detach batch
+# timing from deterministic replay.
 AUDITED_MODULES = [membership_mod, transport_mod, node_mod,
+                   forecast_service_mod,
                    telemetry_mod, tel_registry_mod, tel_trace_mod,
                    serving_bridge_mod, serving_fanout_mod,
                    serving_protocol_mod, serving_replica_mod,
