@@ -40,6 +40,14 @@ simulated minutes) the batched leg must reach at least
 throughput recorded before pooled inference landed. The leg's numbers
 are written into ``BENCH_cluster.json`` under ``forecast_gate``.
 
+A sixth leg — ``scaling_gate`` — gates the sharded platform's scaling
+curve behind the live-rebalancing work: the same S-VRF-loaded workload
+runs on 1/2/4-node deterministic loopback clusters with per-node
+busy-time attribution, and the 4-node critical-path throughput must
+reach at least ``--scaling-min-speedup`` (default 1.7x) times the
+2-node figure. Its numbers land in ``BENCH_cluster.json`` under
+``scaling_gate``.
+
 Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
 runs the two legs back-to-back (order alternating), each pair therefore
 shares the box's momentary mood, and the gate takes the minimum on/off
@@ -168,6 +176,41 @@ def run_forecast_leg(args) -> tuple[dict, list[str]]:
         print(f"      (speedup floor not enforced: workload differs from "
               f"the recorded {PRE_BATCH_WORKLOAD[0]} vessels / "
               f"{PRE_BATCH_WORKLOAD[1]:.0f} min baseline)")
+    return leg, failures
+
+
+def run_scaling_leg(args) -> tuple[dict, list[str]]:
+    """The live-rebalancing scaling gate: the N-node curve through the
+    deterministic loopback cluster with per-node busy-time attribution
+    (:func:`repro.evaluation.run_scaling_curve`), so the ratio measures
+    the sharding, not the box. Doubling 2 -> 4 nodes must keep paying:
+    the 4-node critical-path throughput has to reach at least
+    ``--scaling-min-speedup`` (default 1.7x) times the 2-node figure."""
+    from repro.evaluation import run_scaling_curve
+
+    gc.collect()
+    curve = run_scaling_curve(node_counts=(1, 2, 4),
+                              n_vessels=args.scaling_vessels,
+                              duration_s=args.scaling_minutes * 60.0,
+                              seed=args.seed)
+    speedup = curve.speedup(2, 4)
+    leg = curve.as_report()
+    leg["speedup_4_over_2"] = speedup
+    leg["workload"] = {"vessels": args.scaling_vessels,
+                       "sim_minutes": args.scaling_minutes,
+                       "seed": args.seed}
+    for point in curve.points:
+        print(f"      scaling {point.num_nodes} node(s): "
+              f"{point.throughput_msgs_per_s:.0f} msg/s critical-path "
+              f"(busiest node {point.critical_path_s:.2f}s)")
+    print(f"      scaling gate: 4-node over 2-node {speedup:.2f}x "
+          f"(floor {args.scaling_min_speedup:.2f}x)")
+
+    failures = []
+    if speedup < args.scaling_min_speedup:
+        failures.append(
+            f"4-node critical-path throughput is only {speedup:.2f}x the "
+            f"2-node figure (floor {args.scaling_min_speedup:.2f}x)")
     return leg, failures
 
 
@@ -335,6 +378,11 @@ def main() -> None:
                         help="batched single-node throughput floor, as a "
                              "multiple of the recorded pre-batching "
                              "867 msg/s baseline")
+    parser.add_argument("--scaling-vessels", type=int, default=96)
+    parser.add_argument("--scaling-minutes", type=float, default=60.0)
+    parser.add_argument("--scaling-min-speedup", type=float, default=1.7,
+                        help="4-node critical-path throughput floor, as a "
+                             "multiple of the 2-node figure")
     parser.add_argument("--serving-subscribers", type=int, default=2_000)
     parser.add_argument("--serving-workers", type=int, default=2)
     parser.add_argument("--serving-vessels", type=int, default=400)
@@ -423,9 +471,13 @@ def main() -> None:
 
     forecast_leg, forecast_failures = run_forecast_leg(args)
     failures.extend(forecast_failures)
-    # The forecast gate's numbers live next to the recorded one_node
-    # baseline they are measured against.
+
+    scaling_leg, scaling_failures = run_scaling_leg(args)
+    failures.extend(scaling_failures)
+    # The forecast and scaling gates' numbers live next to the recorded
+    # baselines they are measured against.
     recorded["forecast_gate"] = forecast_leg
+    recorded["scaling_gate"] = scaling_leg
     baseline_path.write_text(json.dumps(recorded, indent=2) + "\n")
 
     serving_summary = None
@@ -454,6 +506,7 @@ def main() -> None:
         "pair_cpu_ratios": pair_ratios,
         "writer_gate": writer,
         "forecast_gate": forecast_leg,
+        "scaling_gate": scaling_leg,
         "complete_traces": len(complete),
         "telemetry_snapshot": telemetry_snapshot,
         "failures": failures,

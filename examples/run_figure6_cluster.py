@@ -11,10 +11,18 @@ fast-path codec) — and writes the machine-readable comparison to
 
     {"one_node": {"msgs_per_s": ..., "p50_ms": ..., "p99_ms": ...},
      "two_node": {..., "vessel_distribution": {...}},
-     "two_node_batched": {..., "transport": {...}}}
+     "two_node_batched": {..., "transport": {...}},
+     "scaling": {"points": [...], "speedup_4_over_2": ...}}
+
+A fourth leg records the N-node scaling curve (1/2/4/8 nodes; 1/2/4
+under ``--smoke``) through the deterministic loopback cluster with
+per-node busy-time attribution — the evidence behind the live-shard-
+rebalancing scaling claim. ``--scaling-only`` refreshes just that
+section without re-running the TCP legs.
 
 Run:  python examples/run_figure6_cluster.py [--vessels N] [--minutes M]
       python examples/run_figure6_cluster.py --smoke --min-speedup 2.0
+      python examples/run_figure6_cluster.py --scaling-only
 
 The paper's deployment shards 170K vessel actors over an Akka cluster;
 this driver demonstrates the same topology end to end: remote transport,
@@ -42,6 +50,7 @@ from repro.ais.datasets import (  # noqa: E402
 )
 from repro.ais.fleet import FleetEngine  # noqa: E402
 from repro.cluster import ClusterConfig, ClusterNode, TcpTransport  # noqa: E402
+from repro.evaluation import run_scaling_curve  # noqa: E402
 from repro.platform import DistributedPlatform  # noqa: E402
 
 #: Generous timeouts — a loaded CI box must not trip the failure detector.
@@ -228,6 +237,33 @@ def run_event_parity(seed: int) -> dict:
     return counts
 
 
+def run_scaling_leg(smoke: bool) -> dict:
+    """The N-node scaling curve: the same S-VRF-loaded workload at every
+    cluster size, on the deterministic loopback cluster with per-node
+    busy-time attribution, so the numbers are scheduler-noise free (see
+    :func:`repro.evaluation.run_scaling_curve`). Throughput is messages
+    over the busiest single node's attributed time — what a
+    one-core-per-node deployment would wait for."""
+    node_counts = (1, 2, 4) if smoke else (1, 2, 4, 8)
+    vessels = 96
+    duration_s = 3_600.0
+    curve = run_scaling_curve(node_counts=node_counts, n_vessels=vessels,
+                              duration_s=duration_s)
+    report = curve.as_report()
+    report["workload"] = {"vessels": vessels, "sim_seconds": duration_s,
+                          "node_counts": list(node_counts)}
+    report["speedup_4_over_2"] = curve.speedup(2, 4)
+    for point in curve.points:
+        print(f"      {point.num_nodes} node(s): "
+              f"{point.throughput_msgs_per_s:.0f} msg/s critical-path "
+              f"({point.messages} msgs, busiest node "
+              f"{point.critical_path_s:.2f}s, "
+              f"{point.forecast_batches} forecast batches)")
+    print(f"      4-node over 2-node speedup: "
+          f"{report['speedup_4_over_2']:.2f}x")
+    return report
+
+
 def run_event_check(platform: DistributedPlatform, node: ClusterNode,
                     stats_fns, before: dict) -> dict:
     """Stream a small Aegean proximity scenario through the running
@@ -363,6 +399,9 @@ def main() -> None:
                              "batched p99 is under half the recorded "
                              "128 ms")
     parser.add_argument("--output", default="BENCH_cluster.json")
+    parser.add_argument("--scaling-only", action="store_true",
+                        help="run just the N-node scaling curve and merge "
+                             "it into the existing report file")
     parser.add_argument("--worker", action="store_true",
                         help=argparse.SUPPRESS)
     parser.add_argument("--batching", action="store_true",
@@ -381,14 +420,24 @@ def main() -> None:
     if args.smoke:
         args.vessels, args.minutes = 200, 10.0
 
+    if args.scaling_only:
+        print("N-node scaling curve (loopback, busy-time attribution)...")
+        scaling = run_scaling_leg(args.smoke)
+        path = Path(args.output)
+        recorded = json.loads(path.read_text()) if path.exists() else {}
+        recorded["scaling"] = scaling
+        path.write_text(json.dumps(recorded, indent=2) + "\n")
+        print(f"wrote {args.output} (scaling section)")
+        return
+
     print(f"Figure 6 (distributed): {args.vessels} vessels, "
           f"{args.minutes:.0f} simulated minutes, TCP transport")
-    print("[1/3] single-node baseline...")
+    print("[1/4] single-node baseline...")
     one = run_benchmark(1, args.vessels, args.minutes, args.seed)
     print(f"      {one['messages']} msgs in {one['wall_s']:.1f}s "
           f"({one['msgs_per_s']:.0f} msg/s, p50 {one['p50_ms']:.2f} ms, "
           f"p99 {one['p99_ms']:.2f} ms)")
-    print("[2/3] two-node sharded cluster, pre-optimisation wire path "
+    print("[2/4] two-node sharded cluster, pre-optimisation wire path "
           "(frame-per-message sends, pickle codec)...")
     two = run_benchmark(2, args.vessels, args.minutes, args.seed,
                         legacy=True)
@@ -401,7 +450,7 @@ def main() -> None:
     print(f"      event check (Aegean scenario through the cluster): "
           f"{check['proximity']} proximity / {check['collision']} collision "
           f"events resolved ({check['ground_truth_events']} in ground truth)")
-    print("[3/3] two-node sharded cluster, batched transport + fast codec...")
+    print("[3/4] two-node sharded cluster, batched transport + fast codec...")
     batched = run_benchmark(2, args.vessels, args.minutes, args.seed,
                             batching=True)
     print(f"      {batched['messages']} msgs in {batched['wall_s']:.1f}s "
@@ -426,6 +475,8 @@ def main() -> None:
           f"batched {parity['batched']['proximity']} / "
           f"{parity['batched']['collision']} — "
           f"{'identical' if parity['identical'] else 'MISMATCH'}")
+    print("[4/4] N-node scaling curve (loopback, busy-time attribution)...")
+    scaling = run_scaling_leg(args.smoke)
 
     report = {
         "workload": {"vessels": args.vessels,
@@ -436,8 +487,15 @@ def main() -> None:
         "batched_speedup": speedup,
         "batched_speedup_vs_recorded_baseline": speedup_vs_recorded,
         "event_parity": parity,
+        "scaling": scaling,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    # Merge rather than overwrite: the bench gate records its own
+    # sections (loopback_gate, forecast_gate, scaling_gate anchors) in
+    # the same file and they must survive a Figure 6 refresh.
+    path = Path(args.output)
+    recorded = json.loads(path.read_text()) if path.exists() else {}
+    recorded.update(report)
+    path.write_text(json.dumps(recorded, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     failed = False

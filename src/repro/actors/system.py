@@ -168,6 +168,13 @@ class ActorSystem:
     def active_count(self) -> int:
         return self._active_count
 
+    def total_mailbox_depth(self) -> int:
+        """Messages queued across all live mailboxes right now (the
+        cluster load reports' backlog gauge)."""
+        with self._lock:
+            return sum(len(cell.mailbox) for cell in self._cells.values()
+                       if not cell.stopped)
+
     def stop(self, ref: ActorRef) -> None:
         with self._lock:
             cell = self._cells.get(ref.name)

@@ -18,6 +18,12 @@ reproduction:
   tying one local :class:`~repro.actors.system.ActorSystem` to the wire,
   plus the leader-side :class:`~repro.cluster.node.ShardCoordinator`
   handling graceful handoff and buffered redelivery,
+* :mod:`~repro.cluster.rebalance` — the telemetry-driven control loop:
+  per-node load reports feed the leader's
+  :class:`~repro.cluster.rebalance.Rebalancer`, whose minimal-move plans
+  migrate hot shards (with live state transfer) and whose
+  :class:`~repro.cluster.rebalance.Autoscaler` recommends adding or
+  draining nodes under sustained load,
 * :mod:`~repro.cluster.remote` — :class:`RemoteActorRef` so ``tell`` /
   ``ask`` work identically for local and remote actors,
 * :mod:`~repro.cluster.codec` — restricted-pickle wire serialization of
@@ -41,6 +47,12 @@ from repro.cluster.node import (
     run_cluster_until_idle,
 )
 from repro.cluster.protocol import WireEnvelope
+from repro.cluster.rebalance import (
+    Autoscaler,
+    Rebalancer,
+    ShardMove,
+    plan_rebalance,
+)
 from repro.cluster.remote import RemoteActorRef
 from repro.cluster.sharding import (
     HashRing,
@@ -59,6 +71,7 @@ from repro.cluster.transport import (
 )
 
 __all__ = [
+    "Autoscaler",
     "BatchingTransport",
     "ClusterConfig",
     "ClusterNode",
@@ -69,8 +82,10 @@ __all__ = [
     "MemberState",
     "Membership",
     "MembershipEvent",
+    "Rebalancer",
     "RemoteActorRef",
     "ShardCoordinator",
+    "ShardMove",
     "ShardRouter",
     "ShardTable",
     "TcpTransport",
@@ -78,6 +93,7 @@ __all__ = [
     "TransportError",
     "VirtualClock",
     "WireEnvelope",
+    "plan_rebalance",
     "run_cluster_until_idle",
     "shard_for_key",
     "stable_hash",

@@ -144,6 +144,7 @@ _P_CELLOBS = 0x11         #: platform.messages.CellObservation
 _P_FORECAST = 0x12        #: platform.messages.ForecastShared
 _P_HEARTBEAT = 0x13       #: cluster.protocol.Heartbeat
 _P_FORECAST_BATCH = 0x14  #: platform.messages.ForecastSharedBatch
+_P_LOAD_REPORT = 0x15     #: cluster.protocol.LoadReport
 
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
@@ -162,6 +163,11 @@ _FORECAST_HEAD = struct.Struct(">QQH")       # cell, mmsi, n_positions
 _FORECAST_BATCH_HEAD = struct.Struct(">QHH")  # mmsi, n_cells, n_positions
 _POS_FIXED = struct.Struct(">Bddd")          # flags, t, lat, lon
 _DOUBLE = struct.Struct(">d")
+#: mailbox_depth, consumer_lag, busy_ms, entities, n_shard_pairs — the
+#: per-heartbeat load report (sent once per ``load_report_interval_s`` by
+#: every node, so it must not pay a pickle header).
+_LOAD_HEAD = struct.Struct(">QQdQH")
+_LOAD_PAIR = struct.Struct(">IQ")            # shard, message count
 
 _NO_STR = 0xFFFF    #: length marker for a None string field
 _INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
@@ -176,7 +182,11 @@ def _hot() -> dict:
     global _HOT
     if _HOT is None:
         from repro.ais.message import AISMessage, NavigationStatus
-        from repro.cluster.protocol import Heartbeat, WireEnvelope
+        from repro.cluster.protocol import (
+            Heartbeat,
+            LoadReport,
+            WireEnvelope,
+        )
         from repro.geo.track import Position
         from repro.models.base import RouteForecast
         from repro.platform.messages import (
@@ -189,6 +199,7 @@ def _hot() -> dict:
             "AISMessage": AISMessage,
             "NavigationStatus": NavigationStatus,
             "Heartbeat": Heartbeat,
+            "LoadReport": LoadReport,
             "WireEnvelope": WireEnvelope,
             "Position": Position,
             "RouteForecast": RouteForecast,
@@ -298,7 +309,35 @@ def _try_put_payload(out: bytearray, message: Any) -> bool:
         out.append(_P_HEARTBEAT)
         _put_str(out, message.node_id)
         return True
+    if t is hot["LoadReport"]:
+        return _try_put_load_report(out, message)
     return False
+
+
+def _try_put_load_report(out: bytearray, message: Any) -> bool:
+    pairs = message.shard_messages
+    if (type(message.node_id) is not str
+            or type(pairs) is not tuple or len(pairs) > 0xFFFF
+            or type(message.busy_ms) not in (int, float)):
+        return False
+    for gauge in (message.mailbox_depth, message.consumer_lag,
+                  message.entities):
+        if type(gauge) is not int or not 0 <= gauge < (1 << 64):
+            return False
+    for pair in pairs:
+        if (type(pair) is not tuple or len(pair) != 2
+                or type(pair[0]) is not int or type(pair[1]) is not int
+                or not 0 <= pair[0] < (1 << 32)
+                or not 0 <= pair[1] < (1 << 64)):
+            return False
+    out.append(_P_LOAD_REPORT)
+    _put_str(out, message.node_id)
+    out += _LOAD_HEAD.pack(message.mailbox_depth, message.consumer_lag,
+                           float(message.busy_ms), message.entities,
+                           len(pairs))
+    for shard, count in pairs:
+        out += _LOAD_PAIR.pack(shard, count)
+    return True
 
 
 def _try_put_position(out: bytearray, msg: Any) -> bool:
@@ -478,6 +517,20 @@ def _get_payload(data: bytes, pos: int) -> tuple[Any, int]:
     if tag == _P_HEARTBEAT:
         node_id, pos = _get_str(data, pos)
         return hot["Heartbeat"](node_id), pos
+    if tag == _P_LOAD_REPORT:
+        node_id, pos = _get_str(data, pos)
+        (depth, lag, busy_ms, entities,
+         n_pairs) = _LOAD_HEAD.unpack_from(data, pos)
+        pos += _LOAD_HEAD.size
+        pairs = []
+        for _ in range(n_pairs):
+            shard, count = _LOAD_PAIR.unpack_from(data, pos)
+            pos += _LOAD_PAIR.size
+            pairs.append((shard, count))
+        return hot["LoadReport"](
+            node_id=node_id, mailbox_depth=depth, consumer_lag=lag,
+            busy_ms=busy_ms, entities=entities,
+            shard_messages=tuple(pairs)), pos
     if tag == _P_PICKLE:
         (length,) = _U32.unpack_from(data, pos)
         pos += _U32.size

@@ -95,6 +95,39 @@ class ClusterConfig:
     #: until the ``Welcome`` arrives (the handshake itself may be lost on
     #: a lossy network). <= 0 disables.
     join_retry_interval_s: float = 1.0
+    #: How often each node sends a :class:`~repro.cluster.protocol.LoadReport`
+    #: window to the leader. <= 0 disables load reporting (and with it the
+    #: rebalancer, which cannot plan blind).
+    load_report_interval_s: float = 1.0
+    #: Leader-side rebalance evaluation period. <= 0 disables live
+    #: rebalancing entirely — the default, so the control loop is opt-in
+    #: and a static cluster behaves exactly as before.
+    rebalance_interval_s: float = 0.0
+    #: Plan only when the busiest node carries at least this multiple of
+    #: the least-busy node's load.
+    rebalance_imbalance_ratio: float = 1.5
+    #: Most shards one plan may move (small plans keep each migration's
+    #: transfer + replay window short).
+    rebalance_max_moves: int = 8
+    #: Skip planning when the whole window saw fewer messages than this
+    #: (idle-cluster noise must not cause migrations).
+    rebalance_min_messages: int = 32
+    #: During handoff, export actor state and transfer it to the new
+    #: owner (live migration). Off falls back to pre-rebalance behaviour:
+    #: new owners start empty and rebuild from stream replay.
+    handoff_transfer_state: bool = True
+    #: Autoscaler high watermark: sustained per-node messages *per second*
+    #: above this recommends adding a node. <= 0 disables autoscaling.
+    autoscale_high_msgs_per_s: float = 0.0
+    #: Low watermark: sustained per-node msgs/s below this recommends
+    #: draining the highest-id non-leader node.
+    autoscale_low_msgs_per_s: float = 0.0
+    #: Consecutive rebalance evaluations a watermark must hold before the
+    #: autoscaler emits a decision (debounce).
+    autoscale_sustain: int = 3
+    #: Fleet size bounds the autoscaler must respect.
+    autoscale_min_nodes: int = 1
+    autoscale_max_nodes: int = 8
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -106,6 +139,15 @@ class ClusterConfig:
             raise ValueError("max_batch_msgs must be >= 1")
         if self.outbound_queue_frames < 1:
             raise ValueError("outbound_queue_frames must be >= 1")
+        if self.rebalance_imbalance_ratio < 1.0:
+            raise ValueError("rebalance_imbalance_ratio must be >= 1.0")
+        if self.rebalance_max_moves < 1:
+            raise ValueError("rebalance_max_moves must be >= 1")
+        if self.autoscale_sustain < 1:
+            raise ValueError("autoscale_sustain must be >= 1")
+        if not (1 <= self.autoscale_min_nodes <= self.autoscale_max_nodes):
+            raise ValueError(
+                "need 1 <= autoscale_min_nodes <= autoscale_max_nodes")
 
 
 @dataclass(frozen=True)
@@ -129,6 +171,10 @@ class Membership:
         self._members: dict[str, Member] = {
             node_id: Member(node_id, address, MemberState.UP, clock()),
         }
+        #: Members evacuating their shards: still alive (they heartbeat
+        #: and route) but excluded from shard assignment. Cleared when the
+        #: member goes DOWN or re-joins.
+        self._draining: set[str] = set()
 
     # -- views ---------------------------------------------------------------------
     #
@@ -169,6 +215,19 @@ class Membership:
             return sorted(m.node_id for m in self._members.values()
                           if m.state in (MemberState.UP, MemberState.SUSPECT))
 
+    def draining_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._draining)
+
+    def assignable_ids(self) -> list[str]:
+        """Alive members eligible to own shards: :meth:`alive_ids` minus
+        the draining set. Falls back to the full alive set if draining
+        would leave nobody to own shards (the last node cannot drain)."""
+        draining = self.draining_ids()
+        alive = self.alive_ids()
+        assignable = [n for n in alive if n not in draining]
+        return assignable or alive
+
     def peer_ids(self) -> list[str]:
         """Every non-self member that is not DOWN (heartbeat targets)."""
         with self._lock:
@@ -207,6 +266,7 @@ class Membership:
                                                 MemberState.UP, now)
                 return True
             member.address = address
+            self._draining.discard(node_id)
             if member.state is not MemberState.UP:
                 # Only a state change stamps the heartbeat timer: an ``add``
                 # of an already-UP member (leader anti-entropy re-broadcasts)
@@ -234,16 +294,31 @@ class Membership:
 
     def mark_down(self, node_id: str) -> bool:
         with self._lock:
+            self._draining.discard(node_id)
             member = self._members.get(node_id)
             if member is None or member.state is MemberState.DOWN:
                 return False
             member.state = MemberState.DOWN
             return True
 
+    def mark_draining(self, node_id: str) -> bool:
+        """Flag a member as evacuating; returns True if this is news.
+        Draining is not a :class:`MemberState` — the member stays UP for
+        failure detection and message routing; only shard assignment
+        (:meth:`assignable_ids`) treats it as gone."""
+        with self._lock:
+            member = self._members.get(node_id)
+            if (member is None or member.state is MemberState.DOWN
+                    or node_id in self._draining):
+                return False
+            self._draining.add(node_id)
+            return True
+
     def remove(self, node_id: str) -> None:
         if node_id != self.node_id:
             with self._lock:
                 self._members.pop(node_id, None)
+                self._draining.discard(node_id)
 
     def check(self) -> list[MembershipEvent]:
         """Run the failure detector; returns the transitions it performed."""
@@ -262,6 +337,7 @@ class Membership:
                 if (member.state is MemberState.SUSPECT
                         and silence >= self.config.down_after_s):
                     member.state = MemberState.DOWN
+                    self._draining.discard(member.node_id)
                     events.append(MembershipEvent(member.node_id,
                                                   MemberState.DOWN))
         return events

@@ -36,15 +36,20 @@ from repro.cluster.membership import (
 from repro.cluster.protocol import (
     MAX_HOPS,
     ControlRequest,
+    Draining,
     Heartbeat,
     Join,
     Leave,
+    LoadReport,
     MemberDown,
     MemberUp,
+    MigrationPlan,
+    ShardStateTransfer,
     ShardTableUpdate,
     Welcome,
     WireEnvelope,
 )
+from repro.cluster.rebalance import Rebalancer
 from repro.cluster.remote import RemoteActorRef, ReplyRelay
 from repro.cluster.sharding import ShardRouter, ShardTable, shard_for_key
 from repro.cluster.transport import (
@@ -58,6 +63,19 @@ from repro.telemetry.trace import (
     current_trace,
     set_current_trace,
 )
+
+
+#: Bound lazily — the cluster layer must stay importable without pulling
+#: :mod:`repro.platform` in (which imports this package right back).
+_RESTORE_STATE = None
+
+
+def _restore_state_message():
+    global _RESTORE_STATE
+    if _RESTORE_STATE is None:
+        from repro.platform.messages import RestoreState
+        _RESTORE_STATE = RestoreState
+    return _RESTORE_STATE
 
 
 class ShardCoordinator:
@@ -79,12 +97,22 @@ class ShardCoordinator:
         return self._node.membership.is_leader()
 
     def membership_changed(self) -> None:
-        """Recompute and broadcast the shard table (leader only)."""
+        """Recompute and broadcast the shard table (leader only).
+
+        The table is computed over the *assignable* set — alive members
+        minus draining ones — and carries forward the rebalancer's
+        overrides, dropping any whose target left that set (a shard must
+        never stay pinned to a draining or dead node).
+        """
         if not self.is_active:
             return
         node = self._node
-        alive = tuple(node.membership.alive_ids())
-        update = ShardTableUpdate(epoch=node.table.epoch + 1, nodes=alive)
+        assignable = tuple(node.membership.assignable_ids())
+        node_set = set(assignable)
+        overrides = tuple((shard, owner) for shard, owner
+                          in node.table.overrides if owner in node_set)
+        update = ShardTableUpdate(epoch=node.table.epoch + 1,
+                                  nodes=assignable, overrides=overrides)
         self.rebalances += 1
         node._install_table(update)
         node.broadcast_control(update)
@@ -132,7 +160,15 @@ class ClusterNode:
         self._last_anti_entropy = float("-inf")
         self._seed_contact: tuple[str, Any] | None = None
         self._last_join_sent = float("-inf")
+        self._last_load_report = float("-inf")
+        self._last_busy_ms = 0.0
         self._closed = False
+        #: Leader-side control loop (constructed everywhere so reports
+        #: always land; only the active coordinator plans).
+        self.rebalancer = Rebalancer(self)
+        #: Broker consumer lag provider, wired by the platform layer on
+        #: the seed node (others report 0).
+        self.consumer_lag_fn: Callable[[], int] | None = None
         #: Hooks fired after a new shard table is installed
         #: (``fn(old_table, new_table)``) — the platform uses this to
         #: trigger stream replay for reassigned shards.
@@ -147,6 +183,11 @@ class ClusterNode:
         self.redelivered = 0
         self.shards_moved = 0
         self.handoff_keys_released = 0
+        self.load_reports_sent = 0
+        self.migration_plans_seen = 0
+        self.state_transfers_sent = 0
+        self.state_transfers_received = 0
+        self.state_transfer_drops = 0
         self.telemetry: Telemetry | None = None
 
     # -- lifecycle ----------------------------------------------------------------
@@ -174,6 +215,14 @@ class ClusterNode:
                        fn=lambda: self.handoff_keys_released)
         registry.gauge("node_pending_shard_messages",
                        fn=lambda: self.pending_count)
+        registry.gauge("node_state_transfers_sent",
+                       fn=lambda: self.state_transfers_sent)
+        registry.gauge("node_state_transfers_received",
+                       fn=lambda: self.state_transfers_received)
+        registry.gauge("node_rebalance_plans",
+                       fn=lambda: self.rebalancer.plans_total)
+        registry.gauge("node_rebalance_moves",
+                       fn=lambda: self.rebalancer.moves_total)
 
     def start(self) -> None:
         self.transport.start(self._on_frame)
@@ -195,6 +244,16 @@ class ClusterNode:
     def leave(self) -> None:
         """Announce graceful departure so shards hand off immediately."""
         self.broadcast_control(Leave(self.node_id))
+
+    def drain(self) -> None:
+        """Start evacuating this node: announce draining so the
+        coordinator assigns it no shards, while the node stays UP — it
+        keeps heartbeating, routing, and transferring state until its
+        shards have migrated off. Call :meth:`leave` once local entity
+        routers are empty (the harness's scale-down sequence)."""
+        self.broadcast_control(Draining(self.node_id))
+        if self.membership.mark_draining(self.node_id):
+            self.coordinator.membership_changed()
 
     def shutdown(self) -> None:
         self._closed = True
@@ -415,7 +474,8 @@ class ClusterNode:
             # view periodically — receivers install idempotently.
             self._last_anti_entropy = now
             update = ShardTableUpdate(epoch=self.table.epoch,
-                                      nodes=self.table.nodes)
+                                      nodes=self.table.nodes,
+                                      overrides=self.table.overrides)
             roster = [m for m in self.membership.members()
                       if m.state in (MemberState.UP, MemberState.SUSPECT)
                       and m.node_id != self.node_id]
@@ -425,6 +485,18 @@ class ClusterNode:
                     if member.node_id != peer:
                         self.send_control(peer, MemberUp(member.node_id,
                                                          member.address))
+        if (self.config.load_report_interval_s > 0
+                and now - self._last_load_report
+                >= self.config.load_report_interval_s):
+            self._last_load_report = now
+            report = self._build_load_report()
+            leader = self.membership.leader()
+            if leader == self.node_id:
+                self.rebalancer.observe(report)
+            else:
+                self.send_control(leader, report)
+            self.load_reports_sent += 1
+        self.rebalancer.maybe_rebalance(now)
         events = self.membership.check()
         downs = [e for e in events if e.state is MemberState.DOWN]
         if downs:
@@ -434,6 +506,30 @@ class ClusterNode:
             for hook in self.on_member_event:
                 hook(event)
         return events
+
+    def _build_load_report(self) -> LoadReport:
+        """One load window: per-shard delivery deltas from every entity
+        router, the mailbox backlog gauge, the platform-provided consumer
+        lag, and the telemetry processing-time delta."""
+        shard_messages: dict[int, int] = {}
+        entities = 0
+        for router in self._routers.values():
+            entities += len(router)
+            for shard, count in router.take_shard_load().items():
+                shard_messages[shard] = shard_messages.get(shard, 0) + count
+        busy_ms = 0.0
+        if self.telemetry is not None:
+            total = self.telemetry.processing_ms_total()
+            busy_ms = max(0.0, total - self._last_busy_ms)
+            self._last_busy_ms = total
+        lag = self.consumer_lag_fn() if self.consumer_lag_fn else 0
+        return LoadReport(
+            node_id=self.node_id,
+            mailbox_depth=self.system.total_mailbox_depth(),
+            consumer_lag=int(lag),
+            busy_ms=busy_ms,
+            entities=entities,
+            shard_messages=tuple(sorted(shard_messages.items())))
 
     # -- inbound frames ------------------------------------------------------------
 
@@ -541,6 +637,15 @@ class ClusterNode:
                 self.coordinator.membership_changed()
         elif isinstance(message, ShardTableUpdate):
             self._install_table(message)
+        elif isinstance(message, LoadReport):
+            self.rebalancer.observe(message)
+        elif isinstance(message, Draining):
+            if self.membership.mark_draining(message.node_id):
+                self.coordinator.membership_changed()
+        elif isinstance(message, MigrationPlan):
+            self.migration_plans_seen += 1
+        elif isinstance(message, ShardStateTransfer):
+            self._on_state_transfer(message)
 
     def _on_join(self, join: Join) -> None:
         self.transport.add_peer(join.node_id, join.address)
@@ -553,7 +658,8 @@ class ClusterNode:
         # where the newcomer sends sharded messages before the update).
         self.send_control(join.node_id, Welcome(
             members=members, table_epoch=self.table.epoch,
-            table_nodes=self.table.nodes))
+            table_nodes=self.table.nodes,
+            table_overrides=self.table.overrides))
         for peer in self.membership.peer_ids():
             if peer != join.node_id:
                 self.send_control(peer, MemberUp(join.node_id, join.address))
@@ -565,22 +671,30 @@ class ClusterNode:
             if node_id != self.node_id:
                 self.transport.add_peer(node_id, address)
                 self.membership.add(node_id, address)
-        self._install_table(ShardTableUpdate(epoch=welcome.table_epoch,
-                                             nodes=welcome.table_nodes))
+        self._install_table(ShardTableUpdate(
+            epoch=welcome.table_epoch, nodes=welcome.table_nodes,
+            overrides=welcome.table_overrides))
         self.joined.set()
 
     # -- shard table install + handoff ----------------------------------------------
 
     def _install_table(self, update: ShardTableUpdate) -> None:
         with self._lock:
+            new = ShardTable(update.epoch, update.nodes,
+                             self.config.num_shards,
+                             self.config.ring_replicas,
+                             overrides=update.overrides)
+            # Idempotence guard compares the *routing outcome*, not just
+            # (epoch, nodes): two same-epoch tables may differ in their
+            # rebalance overrides (an anti-entropy echo racing a plan),
+            # and skipping one would leave ownership split.
             if (update.epoch < self.table.epoch
                     or (update.epoch == self.table.epoch
-                        and update.nodes == self.table.nodes)):
+                        and new.nodes == self.table.nodes
+                        and new.overrides == self.table.overrides)):
                 return
             old = self.table
-            self.table = ShardTable(update.epoch, update.nodes,
-                                    self.config.num_shards,
-                                    self.config.ring_replicas)
+            self.table = new
         self._handoff(old, self.table)
         self.flush_pending()
         for hook in self.on_table_change:
@@ -589,18 +703,62 @@ class ClusterNode:
     def _handoff(self, old: ShardTable, new: ShardTable) -> None:
         """Graceful release of local shards this node no longer owns.
 
-        Each departing entity actor is stopped; envelopes still queued in
-        its mailbox are re-routed through the shard router so they reach
-        the shard's new owner (buffered redelivery).
+        Each departing entity actor has its state exported and is stopped;
+        envelopes still queued in its mailbox are re-routed through the
+        shard router so they reach the shard's new owner (buffered
+        redelivery). Exported state travels to the new owner in
+        :class:`ShardStateTransfer` envelopes *before* the re-told
+        pending messages, so on an ordered link the new actor restores
+        first and then consumes the backlog; adopt-if-newer guards keep a
+        reversed or duplicated arrival safe.
         """
         self.shards_moved += len(old.moved_shards(new))
+        transfer_state = self.config.handoff_transfer_state
+        released: list[tuple[ShardRouter, Any, list]] = []
+        transfers: dict[tuple[str, int], list[tuple[str, Any, dict]]] = {}
         for router in self._routers.values():
             for key in router.handoff_keys():
+                state = router.export_state(key) if transfer_state else None
+                shard = router.shard_of(key)
                 pending = router.release(key)
                 self.handoff_keys_released += 1
-                for envelope in pending:
-                    router.tell(key, envelope.message,
-                                sender=envelope.sender)
+                released.append((router, key, pending))
+                if state is None:
+                    continue
+                owner = new.owner_of(shard)
+                if owner != self.node_id:
+                    transfers.setdefault((owner, shard), []).append(
+                        (router.entity, key, state))
+        for owner, shard in sorted(transfers):
+            entries = transfers[(owner, shard)]
+            sent = self.send_control(owner, ShardStateTransfer(
+                shard=shard, epoch=new.epoch, entries=tuple(entries)))
+            if sent:
+                self.state_transfers_sent += len(entries)
+            else:
+                # The owner is unreachable: its state is rebuilt by the
+                # platform's stream replay instead (the pre-rebalance
+                # recovery path, still correct — just slower).
+                self.state_transfer_drops += len(entries)
+        for router, key, pending in released:
+            for envelope in pending:
+                router.tell(key, envelope.message,
+                            sender=envelope.sender)
+
+    def _on_state_transfer(self, transfer: ShardStateTransfer) -> None:
+        """Apply a live-migration state transfer through the sharded
+        routers: routing (not direct local delivery) means entries whose
+        shard moved again while the transfer was in flight simply forward
+        to the current owner, and adopt-if-newer guards in each actor's
+        ``restore_state`` make duplicates and stale arrivals no-ops."""
+        RestoreState = _restore_state_message()
+        for entity, key, state in transfer.entries:
+            router = self._routers.get(entity)
+            if router is None:
+                continue
+            router.tell(key, RestoreState(entity=entity, key=key,
+                                          state=state))
+            self.state_transfers_received += 1
 
     # -- introspection ---------------------------------------------------------------
 
@@ -622,6 +780,13 @@ class ClusterNode:
             "redelivered": self.redelivered,
             "shards_moved": self.shards_moved,
             "handoff_keys_released": self.handoff_keys_released,
+            "load_reports_sent": self.load_reports_sent,
+            "migration_plans_seen": self.migration_plans_seen,
+            "state_transfers_sent": self.state_transfers_sent,
+            "state_transfers_received": self.state_transfers_received,
+            "state_transfer_drops": self.state_transfer_drops,
+            "draining": self.membership.draining_ids(),
+            "rebalancer": self.rebalancer.stats(),
             "pending": self.pending_count,
             "active_actors": self.system.active_count,
             "dead_letters": self.system.dead_letter_count,

@@ -71,6 +71,9 @@ class Welcome:
     members: tuple[tuple[str, Any], ...]   #: ``(node_id, address)`` pairs
     table_epoch: int
     table_nodes: tuple[str, ...]
+    #: Rebalance overrides of the current table (``(shard, owner)`` pairs).
+    #: Defaults keep pre-rebalance peers wire-compatible.
+    table_overrides: tuple[tuple[int, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -106,10 +109,75 @@ class Leave:
 class ShardTableUpdate:
     """Coordinator -> everyone: install shard table ``epoch`` computed over
     ``nodes`` (every node derives the identical assignment from the node
-    list via the shared consistent-hash ring)."""
+    list via the shared consistent-hash ring). ``overrides`` layers the
+    rebalancer's explicit ``shard -> owner`` moves on top of the derived
+    ring assignment; receivers apply them after deriving, so the update
+    stays a compact description rather than a 64-entry table dump."""
 
     epoch: int
     nodes: tuple[str, ...]
+    overrides: tuple[tuple[int, str], ...] = ()
+
+
+# -- load telemetry & rebalancing ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Node -> leader: one load-telemetry window, sent on the heartbeat
+    cadence (``load_report_interval_s``). Counters are *deltas* since the
+    node's previous report, so the leader can window them without clock
+    coordination; gauges (mailbox depth, consumer lag, entity count) are
+    instantaneous."""
+
+    node_id: str
+    #: Sum of queued messages across local actor mailboxes at report time.
+    mailbox_depth: int
+    #: Broker consumer lag (seed node only; 0 elsewhere).
+    consumer_lag: int
+    #: Actor processing time spent since the previous report, from the
+    #: telemetry dispatch recorder (milliseconds; 0.0 without telemetry).
+    busy_ms: float
+    #: Locally hosted entity actors at report time.
+    entities: int
+    #: ``(shard, messages delivered locally since the previous report)``.
+    shard_messages: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Leader -> everyone: the move list that shard table ``epoch``
+    executes, for observability and the sim harness's migration
+    accounting. The authoritative assignment travels separately in the
+    :class:`ShardTableUpdate` carrying the matching overrides."""
+
+    epoch: int
+    #: ``(shard, from_node, to_node)`` triples.
+    moves: tuple[tuple[int, str, str], ...]
+
+
+@dataclass(frozen=True)
+class Draining:
+    """Node -> everyone: this node is evacuating — assign it no shards.
+    Unlike :class:`Leave`, the node stays UP (and keeps heartbeating)
+    until its shards and their state have migrated off."""
+
+    node_id: str
+
+
+@dataclass(frozen=True)
+class ShardStateTransfer:
+    """Departing owner -> new owner: exported entity state of keys leaving
+    with a live handoff, so the new owner resumes from the old owner's
+    actor state instead of an empty actor plus history replay. Entries are
+    applied through the receiving node's sharded routers as
+    ``RestoreState`` messages; adopt-if-newer guards make late or
+    duplicated transfers safe."""
+
+    shard: int
+    epoch: int
+    #: ``(entity, key, exported state)`` triples.
+    entries: tuple[tuple[str, Any, dict], ...]
 
 
 @dataclass(frozen=True)

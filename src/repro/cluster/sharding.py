@@ -89,16 +89,40 @@ class HashRing:
 
 
 class ShardTable:
-    """An epoch-stamped shard -> node assignment."""
+    """An epoch-stamped shard -> node assignment.
+
+    The base assignment is derived from the node list via the consistent-
+    hash ring; ``overrides`` layers the rebalancer's explicit
+    ``shard -> owner`` moves on top. Overrides naming owners outside the
+    node list are dropped (a failed node's moves must not resurrect it),
+    and overrides equal to the derived owner are normalised away so two
+    tables compare equal iff they route identically.
+    """
 
     def __init__(self, epoch: int, nodes: tuple[str, ...], num_shards: int,
-                 replicas: int = 32) -> None:
+                 replicas: int = 32,
+                 overrides: dict[int, str] | tuple[tuple[int, str], ...]
+                 | None = None) -> None:
         self.epoch = epoch
         self.nodes = tuple(sorted(nodes))
         self.num_shards = num_shards
         ring = HashRing(self.nodes, replicas=replicas)
         self.assignment: dict[int, str] = {
             shard: ring.owner(shard) for shard in range(num_shards)}
+        kept: dict[int, str] = {}
+        if overrides:
+            pairs = overrides.items() if isinstance(overrides, dict) \
+                else overrides
+            node_set = set(self.nodes)
+            for shard, owner in pairs:
+                if (owner in node_set and 0 <= shard < num_shards
+                        and self.assignment[shard] != owner):
+                    kept[shard] = owner
+                    self.assignment[shard] = owner
+        #: The normalised override set (sorted pairs) — what the
+        #: coordinator re-broadcasts and the install guard compares.
+        self.overrides: tuple[tuple[int, str], ...] = tuple(
+            sorted(kept.items()))
 
     def owner_of(self, shard: int) -> str:
         return self.assignment[shard]
@@ -157,6 +181,9 @@ class ShardRouter:
                                                 strategy=strategy)
         #: Messages routed away from this node (remote deliveries).
         self.remote_told = 0
+        #: shard -> messages delivered locally since the last load report
+        #: (the rebalancer's per-shard weight signal; take-and-reset).
+        self._shard_load: dict[int, int] = {}
         #: key -> shard memo. ``shard_for_key`` is a pure function of
         #: (entity, key, num_shards) — only the shard -> *node* assignment
         #: moves with membership — so the memo survives table changes.
@@ -183,11 +210,19 @@ class ShardRouter:
         return self._local.route(key)
 
     def tell(self, key: Any, message: Any, sender=None) -> None:
-        if self.is_local(key):
+        shard = self.shard_of(key)
+        if self._node.shard_owner(shard) == self._node.node_id:
+            self._shard_load[shard] = self._shard_load.get(shard, 0) + 1
             self._local.tell(key, message, sender=sender)
         else:
             self.remote_told += 1
             self._node.send_sharded(self.entity, key, message, sender=sender)
+
+    def take_shard_load(self) -> dict[int, int]:
+        """Per-shard local delivery counts since the previous call
+        (feeds this node's :class:`~repro.cluster.protocol.LoadReport`)."""
+        load, self._shard_load = self._shard_load, {}
+        return load
 
     def share_forecast(self, cells, forecast, sender=None) -> None:
         """Fan one forecast out to many collision cells, batching the
@@ -198,8 +233,10 @@ class ShardRouter:
         node_id = self._node.node_id
         remote: dict[str, list[int]] = {}
         for cell in cells:
-            owner = self._node.shard_owner(self.shard_of(cell))
+            shard = self.shard_of(cell)
+            owner = self._node.shard_owner(shard)
             if owner == node_id:
+                self._shard_load[shard] = self._shard_load.get(shard, 0) + 1
                 self._local.tell(cell, ForecastShared(cell=cell,
                                                       forecast=forecast),
                                  sender=sender)
@@ -232,6 +269,8 @@ class ShardRouter:
                                                forecast=message.forecast),
                           sender=sender)
             return
+        shard = self.shard_of(key)
+        self._shard_load[shard] = self._shard_load.get(shard, 0) + 1
         self._local.tell(key, message, sender=sender)
 
     # -- local population (KeyRouter-compatible surface) -----------------------
@@ -254,6 +293,20 @@ class ShardRouter:
     @property
     def spawned(self) -> int:
         return self._local.spawned
+
+    def export_state(self, key: Any) -> dict | None:
+        """Exported actor state for a local key: the live actor's
+        ``export_state()`` when one is spawned, else the local router's
+        stash (single-occupant collision cells). ``None`` when the key
+        carries no recoverable state. Shared by checkpoint capture and
+        the live-migration state transfer."""
+        system = self._node.system
+        with system._lock:
+            cell = system._cells.get(f"{self.entity}-{key}")
+        if cell is None or cell.stopped:
+            return self.stashed_state(key)
+        export = getattr(cell.actor, "export_state", None)
+        return export() if export is not None else None
 
     # -- handoff ----------------------------------------------------------------
 

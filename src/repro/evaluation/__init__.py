@@ -22,14 +22,21 @@ from repro.evaluation.table2 import Table2Result, Table2Row, run_table2
 from repro.evaluation.figure6 import (
     Figure6ClusterResult,
     Figure6Result,
+    ScalingCurveResult,
+    ScalingPoint,
     run_figure6,
     run_figure6_cluster,
+    run_scaling_curve,
+    run_scaling_point,
+    seeded_svrf_forecaster,
 )
 
 __all__ = [
     "DetectionCounts",
     "Figure6ClusterResult",
     "Figure6Result",
+    "ScalingCurveResult",
+    "ScalingPoint",
     "Table1Result",
     "Table2Result",
     "Table2Row",
@@ -37,6 +44,9 @@ __all__ = [
     "displacement_errors_m",
     "run_figure6",
     "run_figure6_cluster",
+    "run_scaling_curve",
+    "run_scaling_point",
     "run_table1",
     "run_table2",
+    "seeded_svrf_forecaster",
 ]

@@ -176,6 +176,201 @@ class Figure6ClusterResult:
         return merged
 
 
+def seeded_svrf_forecaster():
+    """An S-VRF model with seeded weights and identity-ish scalers.
+
+    Matmul cost does not depend on the weight values, so this is the
+    same-architecture forward the trained platform runs — without CI
+    training a model to time one. Used as the compute-heavy workload of
+    the N-node scaling curve (~100-200 us of model compute per kept fix,
+    an order of magnitude over the seed's per-message routing cost, so
+    distributing vessel actors actually moves the critical path).
+    """
+    from repro.ml import StandardScaler
+    from repro.models.svrf import SVRFConfig, SVRFModel
+
+    model = SVRFModel(SVRFConfig(seed=0))
+    model.x_scaler = StandardScaler.from_state(
+        {"mean": np.zeros(3), "std": np.ones(3)})
+    out = model.config.output_steps * 2
+    model.y_scaler = StandardScaler.from_state(
+        {"mean": np.zeros(out), "std": np.full(out, 1e-3)})
+    model.trained = True
+    return model
+
+
+@dataclass
+class ScalingPoint:
+    """One cluster size on the scaling curve."""
+
+    num_nodes: int
+    messages: int
+    #: node_id -> seconds of attributed work (dispatch + ingest + flush).
+    busy_s: dict
+    vessel_distribution: dict
+    forecast_batches: int
+
+    @property
+    def critical_path_s(self) -> float:
+        """The longest single node's busy time — what wall time would be
+        if every node ran on its own core."""
+        return max(self.busy_s.values()) if self.busy_s else 0.0
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        critical = self.critical_path_s
+        return self.messages / critical if critical else 0.0
+
+
+@dataclass
+class ScalingCurveResult:
+    """Critical-path throughput at each cluster size (same workload)."""
+
+    points: list[ScalingPoint]
+
+    def point(self, num_nodes: int) -> ScalingPoint:
+        for point in self.points:
+            if point.num_nodes == num_nodes:
+                return point
+        raise KeyError(f"no scaling point for {num_nodes} nodes")
+
+    def speedup(self, base_nodes: int, scaled_nodes: int) -> float:
+        """Throughput ratio of ``scaled_nodes`` over ``base_nodes``."""
+        base = self.point(base_nodes).throughput_msgs_per_s
+        if not base:
+            return 0.0
+        return self.point(scaled_nodes).throughput_msgs_per_s / base
+
+    def as_report(self) -> dict:
+        """JSON-able summary for BENCH_cluster.json."""
+        return {
+            "points": [{
+                "num_nodes": p.num_nodes,
+                "messages": p.messages,
+                "critical_path_s": p.critical_path_s,
+                "msgs_per_s": p.throughput_msgs_per_s,
+                "busy_s": dict(sorted(p.busy_s.items())),
+                "vessel_distribution": dict(
+                    sorted(p.vessel_distribution.items())),
+                "forecast_batches": p.forecast_batches,
+            } for p in self.points],
+        }
+
+
+def _pump_attributed(cluster, busy: dict, max_rounds: int = 100_000) -> int:
+    """Pump the loopback cluster to quiescence, charging each node's
+    dispatcher time to ``busy[node_id]``. Rounds where a node processed
+    nothing are not charged (empty ``run_until_idle`` polls are harness
+    overhead, not node work)."""
+    import time
+
+    total = 0
+    for _ in range(max_rounds):
+        frames = cluster.hub.pump()
+        processed = 0
+        for node in cluster.nodes:
+            start = time.perf_counter()
+            n = node.system.run_until_idle()
+            if n:
+                busy[node.node_id] += time.perf_counter() - start
+            processed += n
+        total += processed
+        if frames == 0 and processed == 0 and cluster.hub.pending == 0:
+            return total
+    raise RuntimeError("cluster did not reach quiescence while measuring")
+
+
+def run_scaling_point(num_nodes: int, n_vessels: int, duration_s: float,
+                      seed: int = 3, forecaster_factory=None,
+                      cluster_config=None,
+                      platform_config: PlatformConfig | None = None
+                      ) -> ScalingPoint:
+    """Run the scaling workload on an ``num_nodes``-node loopback cluster
+    with per-node busy-time attribution.
+
+    The loopback cluster is single-threaded, so wall time cannot show
+    multi-node speedup on one core; instead every unit of work is timed
+    and charged to the node that performed it (the seed's ingest polls,
+    each node's dispatcher runs — which include the pooled S-VRF batch
+    forwards its vessel actors trigger — and each node's explicit flush).
+    Throughput is then messages over the *critical path*: the busiest
+    single node, i.e. what a one-core-per-node deployment would wait for.
+    Control-plane ticks (heartbeats, rebalancing) are deliberately not
+    run mid-measurement — the rebalance sim campaign covers that loop.
+    """
+    import time
+
+    from repro.ais.datasets import scalability_fleet_config
+    from repro.ais.fleet import FleetEngine
+    from repro.platform.distributed import LoopbackCluster
+
+    factory = forecaster_factory or seeded_svrf_forecaster
+    cluster = LoopbackCluster(num_nodes=num_nodes,
+                              forecaster_factory=factory,
+                              config=platform_config,
+                              cluster_config=cluster_config)
+    seed_platform = cluster.seed
+    seed_id = seed_platform.node.node_id
+    busy = {node.node_id: 0.0 for node in cluster.nodes}
+    engine = FleetEngine(scalability_fleet_config(
+        n_vessels=n_vessels, duration_s=duration_s, seed=seed))
+
+    total = 0
+    for tick in engine.stream():
+        if not len(tick):
+            continue
+        start = time.perf_counter()
+        seed_platform.publish_batch(tick)
+        dispatched = seed_platform.ingestion.poll_once()
+        busy[seed_id] += time.perf_counter() - start
+        total += dispatched
+        while dispatched or seed_platform.ingestion.lag:
+            _pump_attributed(cluster, busy)
+            start = time.perf_counter()
+            dispatched = seed_platform.ingestion.poll_once()
+            busy[seed_id] += time.perf_counter() - start
+            total += dispatched
+    _pump_attributed(cluster, busy)
+    # Final flush: pooled forecast batches (the S-VRF forwards), then the
+    # writer micro-batches — each charged to the node that executes it.
+    for platform in cluster.platforms:
+        start = time.perf_counter()
+        platform.flush_forecasts()
+        busy[platform.node.node_id] += time.perf_counter() - start
+    _pump_attributed(cluster, busy)
+    for platform in cluster.platforms:
+        start = time.perf_counter()
+        platform.flush_writers()
+        busy[platform.node.node_id] += time.perf_counter() - start
+    _pump_attributed(cluster, busy)
+
+    point = ScalingPoint(
+        num_nodes=num_nodes, messages=total, busy_s=busy,
+        vessel_distribution=cluster.vessel_distribution(),
+        forecast_batches=sum(
+            p.wiring.forecast_service.batches_executed
+            for p in cluster.platforms
+            if p.wiring.forecast_service is not None))
+    cluster.shutdown()
+    return point
+
+
+def run_scaling_curve(node_counts=(1, 2, 4, 8), n_vessels: int = 96,
+                      duration_s: float = 3_600.0, seed: int = 3,
+                      forecaster_factory=None, cluster_config=None,
+                      platform_config: PlatformConfig | None = None
+                      ) -> ScalingCurveResult:
+    """The N-node scaling curve: the same S-VRF-loaded workload at every
+    cluster size in ``node_counts``, measured as critical-path throughput
+    (see :func:`run_scaling_point`)."""
+    return ScalingCurveResult(points=[
+        run_scaling_point(n, n_vessels, duration_s, seed=seed,
+                          forecaster_factory=forecaster_factory,
+                          cluster_config=cluster_config,
+                          platform_config=platform_config)
+        for n in node_counts])
+
+
 def run_figure6_cluster(forecaster_factory=None, n_vessels: int = 1_000,
                         duration_s: float = 1_800.0, num_nodes: int = 2,
                         seed: int = 3, window_actors: int = 100,

@@ -90,6 +90,41 @@ class KeyValueStore:
                           for k, v in state["data"].items()}
             self._expiry = dict(state["expiry"])
 
+    def merge_state(self, state: dict[str, Any], now: float = 0.0) -> int:
+        """Fold another store's :meth:`snapshot_state` into this one.
+
+        Used when a node retires gracefully and a surviving peer absorbs
+        its durably written outputs: lists append, hash/zset members fill
+        in only where this store has no entry for the field (the absorber's
+        own rows are at least as new — post-migration writes land here),
+        and strings set only if absent. Runs through the public commands so
+        a bound journal stays coherent. Returns the number of keys merged.
+        """
+        merged = 0
+        for key, value in state["data"].items():
+            if isinstance(value, list):
+                if value:
+                    self.rpush(key, *value, now=now)
+                    merged += 1
+            elif isinstance(value, dict):
+                if not value:
+                    continue
+                with self._lock:
+                    current = self._typed(key, dict, create=True, now=now)
+                    fresh = {f: v for f, v in value.items()
+                             if f not in current}
+                if fresh:
+                    self.hmset(key, fresh, now=now)
+                    merged += 1
+            else:
+                with self._lock:
+                    self._purge_if_expired(key, now)
+                    absent = key not in self._data
+                if absent:
+                    self.set(key, value, now=now)
+                    merged += 1
+        return merged
+
     def save(self, path: str) -> None:
         """Write a standalone snapshot file (atomic rename)."""
         from repro.kvstore.persistence import FORMAT_VERSION, _atomic_write

@@ -76,21 +76,15 @@ def capture_node(platform: "DistributedPlatform") -> NodeCheckpoint:
                                 kv_state=platform.kvstore.snapshot_state())
     routers = {"vessel": wiring.vessel_router, "cell": wiring.cell_router,
                "collision": wiring.collision_router}
-    cells = platform.system._cells
     for entity in CHECKPOINTED_ENTITIES:
         router = routers[entity]
-        stashed_state = getattr(router, "stashed_state", None)
         for key in router.known_keys():
-            cell = cells.get(f"{entity}-{key}")
-            if cell is None or cell.stopped:
-                # Single-occupant collision cells live in the router's
-                # stash, not in a spawned actor; capture them all the same.
-                state = stashed_state(key) if stashed_state else None
-                if state is not None:
-                    checkpoint.entities.append((entity, key, state))
-                continue
-            checkpoint.entities.append(
-                (entity, key, cell.actor.export_state()))
+            # ShardRouter.export_state covers both spawned actors and
+            # single-occupant stashed collision cells — the same exporter
+            # the live-migration state transfer uses during handoff.
+            state = router.export_state(key)
+            if state is not None:
+                checkpoint.entities.append((entity, key, state))
     return checkpoint
 
 

@@ -135,6 +135,9 @@ class DistributedPlatform:
         self.ingestion: IngestionService | None = None
         if is_seed:
             self.ingestion = IngestionService(wiring)
+            # Feed the broker backlog into this node's LoadReports so the
+            # leader's rebalancer sees ingest pressure, not just actor load.
+            node.consumer_lag_fn = lambda: self.ingestion.lag
         self.api = MiddlewareAPI(self.kvstore, self.pubsub, self)
 
         self.telemetry: Telemetry | None = None
@@ -150,6 +153,10 @@ class DistributedPlatform:
 
         self._replay_generation = 0
         self._replays_done = 0
+        # Committed offsets captured at the first pending *no-loss* table
+        # change (rebalance/join/drain). None means any pending replay must
+        # use the bounded-depth path (a node died with unprocessed input).
+        self._suffix_offsets: dict[int, int] | None = None
         node.on_table_change.append(self._on_table_change)
         node.register_control("platform_stats",
                               lambda params: self.stats())
@@ -203,8 +210,26 @@ class DistributedPlatform:
         return total
 
     def _on_table_change(self, old, new) -> None:
-        if self.is_seed and old.assignment != new.assignment:
-            self._replay_generation += 1
+        if not self.is_seed or old.assignment == new.assignment:
+            return
+        removed = set(old.nodes) - set(new.nodes)
+        alive = set(self.node.membership.alive_ids())
+        if removed and not removed <= alive:
+            # A shard owner died: whatever it had accepted but not
+            # processed is gone, so only the bounded-depth replay can
+            # rebuild reassigned actors. Supersedes any pending suffix.
+            self._suffix_offsets = None
+        elif not self.replay_pending:
+            # No-loss reshuffle (rebalance, join, drain): migrated actors
+            # carried their state across, so replaying the suffix past the
+            # offsets committed *before* this change covers exactly the
+            # records that may have raced the handoff.
+            topic = self.config.ais_topic
+            self._suffix_offsets = {
+                partition: self.broker.committed("platform", topic,
+                                                 partition)
+                for partition in range(self.config.ais_partitions)}
+        self._replay_generation += 1
 
     @property
     def replay_pending(self) -> bool:
@@ -219,10 +244,19 @@ class DistributedPlatform:
         that never moved drop the duplicates as stale (the vessel actor's
         timestamp monotonicity check). Returns the number of replayed
         records dispatched.
+
+        When every pending change was *no-loss* (live rebalance, join,
+        drain — migrated actors carried their state across), only the
+        stream suffix past the offsets committed before the first change
+        is replayed instead of the fixed per-partition depth.
         """
         if not self.replay_pending:
             return 0
         self._replays_done = self._replay_generation
+        offsets, self._suffix_offsets = self._suffix_offsets, None
+        if offsets is not None:
+            return self._replay(f"replay-suffix-{self._replays_done}",
+                                depth=None, offsets=offsets)
         return self._replay(f"replay-{self._replays_done}",
                             depth=self.replay_records_per_partition)
 
@@ -237,6 +271,7 @@ class DistributedPlatform:
         """
         self._require_seed()
         self._replays_done = self._replay_generation
+        self._suffix_offsets = None
         return self._replay("replay-full", depth=None)
 
     def replay_from_offsets(self, offsets: dict[int, int],
@@ -338,6 +373,19 @@ class DistributedPlatform:
         writer-flush barrier."""
         service = self.wiring.forecast_service
         return {"flushed": service.flush() if service is not None else 0}
+
+    def export_outputs(self) -> dict:
+        """Snapshot this node's durably written KV outputs (event logs,
+        vessel state rows) for hand-off during a graceful scale-in. The
+        caller flushes writers and settles first so pending micro-batches
+        are included."""
+        return self.kvstore.snapshot_state()
+
+    def absorb_outputs(self, outputs: dict) -> int:
+        """Fold a retiring peer's :meth:`export_outputs` snapshot into
+        this node's KV store (lists append, newer local rows win — see
+        :meth:`KeyValueStore.merge_state`). Returns the merged key count."""
+        return self.kvstore.merge_state(outputs, now=self.system.now)
 
     def stats(self) -> dict:
         writer_pool = self.wiring.writer_ref
@@ -522,6 +570,76 @@ class LoopbackCluster:
         self.settle()
         return platform
 
+    # -- elastic scaling ---------------------------------------------------------------
+
+    def add_node(self, node_id: str | None = None) -> DistributedPlatform:
+        """Grow the cluster live: spawn a fresh worker and join it.
+
+        The coordinator reshuffles shards onto the newcomer with
+        state-preserving handoff; the seed then serves a suffix-only
+        replay for records that raced the migration.
+        """
+        if node_id is None:
+            used = {n.node_id for n in self.nodes}
+            i = len(self.nodes)
+            while f"node-{i:02d}" in used:
+                i += 1
+            node_id = f"node-{i:02d}"
+        return self.restart(node_id)
+
+    def drain(self, node_id: str) -> str:
+        """Gracefully retire a worker: announce ``Draining`` so the
+        coordinator evacuates its shards (live state transfer), serve the
+        suffix replay, then let the empty node leave. Returns the retired
+        node id."""
+        index = next((i for i, n in enumerate(self.nodes)
+                      if n.node_id == node_id), None)
+        if index is None:
+            raise ValueError(f"unknown node {node_id}")
+        if index == 0:
+            raise ValueError("the seed node cannot drain (it owns the "
+                             "broker and the ingestion service)")
+        node = self.nodes[index]
+        platform = self.platforms[index]
+        node.drain()
+        self.settle()
+        replayed = self.seed.replay_if_needed()
+        if replayed:
+            self.settle()
+        # A graceful scale-in must not lose what the node durably wrote
+        # (its event logs and last state rows live in its own KV): flush
+        # its writer pool, then fold the KV contents into the seed. The
+        # entity actors migrated out with their dedup state intact, so
+        # nothing will ever re-emit these events.
+        platform.flush_forecasts()
+        self.settle()
+        platform.flush_writers()
+        self.settle()
+        self.seed.absorb_outputs(platform.export_outputs())
+        node.leave()
+        self.settle()
+        self.nodes.pop(index)
+        platform = self.platforms.pop(index)
+        self.hub.disconnect(node.node_id)
+        platform.shutdown()
+        return node.node_id
+
+    def autoscale_step(self) -> dict | None:
+        """Execute the leader's pending autoscaling recommendation, if
+        any: ``add`` spawns a worker, ``drain`` retires the named one.
+        Returns the executed decision (with the affected node id) or
+        None."""
+        for node in self.nodes:
+            decision = node.rebalancer.autoscaler.take_decision()
+            if decision is None:
+                continue
+            if decision["action"] == "add":
+                decision["node_id"] = self.add_node().node.node_id
+            else:
+                self.drain(decision["node_id"])
+            return decision
+        return None
+
     # -- checkpointed recovery ---------------------------------------------------------
 
     def checkpoint(self, directory: str | None = None) -> ClusterCheckpoint:
@@ -559,6 +677,7 @@ class LoopbackCluster:
         platform = self.restart(node_id)
         # The checkpoint replaces the generic post-handoff replay.
         seed._replays_done = seed._replay_generation
+        seed._suffix_offsets = None
 
         node_checkpoint = checkpoint.node(node_id)
         if node_checkpoint is not None:

@@ -28,6 +28,11 @@ a :class:`~repro.sim.scenario.SimReport`; the pytest layer lives in
 
 from repro.sim.faults import FaultSpec
 from repro.sim.invariants import Violation
+from repro.sim.rebalance import (
+    RebalanceReport,
+    RebalanceScenario,
+    run_rebalance_scenario,
+)
 from repro.sim.recovery import (
     RecoveryReport,
     RecoveryScenario,
@@ -46,6 +51,8 @@ from repro.sim.workload import Workload, generate_workload
 __all__ = [
     "FaultSpec",
     "FaultStep",
+    "RebalanceReport",
+    "RebalanceScenario",
     "RecoveryReport",
     "RecoveryScenario",
     "Scenario",
@@ -55,6 +62,7 @@ __all__ = [
     "Violation",
     "Workload",
     "generate_workload",
+    "run_rebalance_scenario",
     "run_recovery_scenario",
     "run_scenario",
 ]

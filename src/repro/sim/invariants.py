@@ -123,3 +123,40 @@ def check_no_downed_delivery(hub) -> list[Violation]:
     """(d) The hub never handed a frame to a crashed node."""
     return [Violation("no-downed-delivery", detail)
             for detail in hub.violations]
+
+
+def check_exclusive_ownership(cluster, context: str = "final"
+                              ) -> list[Violation]:
+    """(e) No entity key is hosted by two live nodes at once, and every
+    node's shard table is internally sound (each shard exactly one owner).
+
+    Unlike the other checkers this one is safe to sample *during* a
+    campaign, at quiescent chunk boundaries: live migration releases a
+    key on the old owner before the new owner can spawn it, so even
+    mid-rebalance a key is hosted at most once (briefly nowhere while its
+    state transfer is in flight — that is allowed; double-hosting never
+    is). ``context`` labels the sampling point in the violation text.
+    """
+    violations = []
+    hosts: dict[tuple, list] = {}
+    for platform in cluster.platforms:
+        node_id = platform.node.node_id
+        wiring = platform.wiring
+        for entity, router in (("vessel", wiring.vessel_router),
+                               ("cell", wiring.cell_router),
+                               ("collision", wiring.collision_router)):
+            for key in router.known_keys():
+                hosts.setdefault((entity, key), []).append(node_id)
+    for (entity, key), node_ids in sorted(hosts.items(),
+                                          key=lambda kv: repr(kv[0])):
+        if len(node_ids) > 1:
+            violations.append(Violation(
+                "exclusive-ownership",
+                f"{context}: {entity} {key!r} hosted on {sorted(node_ids)} "
+                f"(want at most one node)"))
+    for node in cluster.nodes:
+        for problem in node.table.problems():
+            violations.append(Violation(
+                "exclusive-ownership",
+                f"{context}: {node.node_id} table unsound: {problem}"))
+    return violations

@@ -97,6 +97,18 @@ class Telemetry:
             self._entity_instruments[entity] = cached
         return cached
 
+    def processing_ms_total(self) -> float:
+        """Sampled actor processing time recorded so far across all entity
+        types, in milliseconds — the busy-time signal of the cluster's
+        :class:`~repro.cluster.protocol.LoadReport`. Histograms sample one
+        batch in ``dispatch_sample_every``, so this is a proportional load
+        measure, not an exact CPU total; load reports diff consecutive
+        readings into per-window deltas."""
+        total = 0.0
+        for _counter, histogram in self._entity_instruments.values():
+            total += histogram.sum
+        return total * 1000.0
+
     def snapshot(self) -> dict:
         """This node's full telemetry state, JSON-able."""
         return {

@@ -19,7 +19,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.ais.message import AISMessage, NavigationStatus
 from repro.cluster import codec
-from repro.cluster.protocol import Heartbeat, WireEnvelope
+from repro.cluster.protocol import Heartbeat, LoadReport, WireEnvelope
 from repro.geo.track import Position
 from repro.models.base import RouteForecast
 from repro.platform.messages import (
@@ -52,6 +52,19 @@ positions = st.builds(Position, t=finite, lat=finite, lon=finite,
 forecasts = st.builds(RouteForecast, mmsi=uint64,
                       positions=st.lists(positions, max_size=8).map(tuple))
 
+#: LoadReports ride the heartbeat cadence, so they must stay on the fast
+#: path too — gauges/counts are uint64s, shard ids uint32s on the wire.
+load_reports = st.builds(
+    LoadReport, node_id=wire_str,
+    mailbox_depth=uint64,
+    consumer_lag=uint64,
+    busy_ms=finite,
+    entities=uint64,
+    shard_messages=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                  uint64),
+        max_size=16).map(tuple))
+
 hot_payloads = st.one_of(
     st.none(),                                      # empty payload
     st.builds(PositionIngested, message=ais_messages),
@@ -61,7 +74,8 @@ hot_payloads = st.one_of(
     st.builds(ForecastSharedBatch,
               cells=st.lists(uint64, min_size=1, max_size=12).map(tuple),
               forecast=forecasts),
-    st.builds(Heartbeat, node_id=wire_str))
+    st.builds(Heartbeat, node_id=wire_str),
+    load_reports)
 
 envelopes = st.builds(
     WireEnvelope,

@@ -1,0 +1,195 @@
+"""Property-based tests for :func:`repro.cluster.rebalance.plan_rebalance`.
+
+The planner is the deterministic core of the live-rebalancing control
+loop: everything it decides must be a pure function of
+``(table, weights, assignable)``. Hypothesis drives cluster shapes,
+weight distributions and draining subsets; the properties mirror the
+module docstring's contract — minimal moves, strict spread shrinkage,
+no moves to non-assignable nodes, and composition with the shard
+table's override layer so the resulting table is always sound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.rebalance import ShardMove, plan_rebalance
+from repro.cluster.sharding import ShardTable
+
+NODE_POOL = tuple(f"node-{i:02d}" for i in range(6))
+
+node_lists = st.lists(st.sampled_from(NODE_POOL), min_size=1, max_size=6,
+                      unique=True).map(lambda ns: tuple(sorted(ns)))
+num_shards = st.integers(min_value=1, max_value=64)
+weight_maps = st.dictionaries(
+    st.integers(min_value=-4, max_value=80),
+    st.integers(min_value=-5, max_value=10_000),
+    max_size=48)
+
+
+@st.composite
+def planner_inputs(draw):
+    nodes = draw(node_lists)
+    shards = draw(num_shards)
+    table = ShardTable(epoch=draw(st.integers(1, 100)), nodes=nodes,
+                       num_shards=shards)
+    weights = draw(weight_maps)
+    # Assignable: any subset of the node list (draining nodes removed),
+    # possibly with a phantom id the table has never heard of.
+    assignable = [n for n in nodes
+                  if draw(st.booleans(), label=f"keep-{n}")]
+    if draw(st.booleans(), label="phantom"):
+        assignable.append("node-99")
+    return table, weights, assignable
+
+
+def loads(table, weights, assignment=None):
+    assignment = assignment if assignment is not None else table.assignment
+    out = {n: 0 for n in table.nodes}
+    for shard, owner in assignment.items():
+        out[owner] = out.get(owner, 0) + max(0, weights.get(shard, 0))
+    return out
+
+
+def apply_moves(table, moves):
+    assignment = dict(table.assignment)
+    for move in moves:
+        assignment[move.shard] = move.dst
+    return assignment
+
+
+@settings(deadline=None, max_examples=300)
+@given(inputs=planner_inputs())
+def test_plan_is_deterministic(inputs):
+    table, weights, assignable = inputs
+    first = plan_rebalance(table, weights, assignable)
+    second = plan_rebalance(table, dict(weights), list(assignable))
+    assert first == second
+
+
+@settings(deadline=None, max_examples=300)
+@given(inputs=planner_inputs())
+def test_plan_is_minimal_and_well_formed(inputs):
+    """No shard moves twice, every move leaves the current owner, every
+    move has positive planning weight, and the move count respects the
+    default ``max_moves`` bound."""
+    table, weights, assignable = inputs
+    moves = plan_rebalance(table, weights, assignable)
+    assert len(moves) <= 8
+    seen = set()
+    for move in moves:
+        assert isinstance(move, ShardMove)
+        assert move.shard not in seen   # a shard never moves twice
+        seen.add(move.shard)
+        assert move.weight > 0
+        assert move.src != move.dst
+
+
+@settings(deadline=None, max_examples=300)
+@given(inputs=planner_inputs())
+def test_plan_never_targets_non_assignable_nodes(inputs):
+    """Draining/dead nodes (absent from ``assignable``) neither receive
+    nor donate; phantom assignable ids outside the table are ignored."""
+    table, weights, assignable = inputs
+    moves = plan_rebalance(table, weights, assignable)
+    eligible = set(assignable) & set(table.nodes)
+    for move in moves:
+        assert move.dst in eligible
+        assert move.src in eligible
+        assert table.owner_of(move.shard) == move.src
+
+
+@settings(deadline=None, max_examples=300)
+@given(inputs=planner_inputs())
+def test_moves_shave_peaks_and_never_widen_the_spread(inputs):
+    """Replaying the plan move by move: every move leaves the currently
+    busiest eligible node for the least busy, fits inside half their gap
+    (so donor and recipient cannot swap roles — the no-oscillation
+    argument), and the global (max - min) gap never widens. With ties at
+    the extremes one move may leave the global gap unchanged, so strict
+    shrinkage is per donor/recipient pair, not global."""
+    table, weights, assignable = inputs
+    moves = plan_rebalance(table, weights, assignable)
+    eligible = sorted(set(assignable) & set(table.nodes))
+    if not moves:
+        return
+    load = {n: 0 for n in eligible}
+    for shard, owner in table.assignment.items():
+        if owner in load:
+            load[owner] += max(0, weights.get(shard, 0))
+    gap = max(load.values()) - min(load.values())
+    for move in moves:
+        assert load[move.src] == max(load.values())
+        assert load[move.dst] == min(load.values())
+        assert 2 * move.weight <= load[move.src] - load[move.dst]
+        load[move.src] -= move.weight
+        load[move.dst] += move.weight
+        new_gap = max(load.values()) - min(load.values())
+        assert new_gap <= gap, f"move {move} widened the spread"
+        gap = new_gap
+
+
+@settings(deadline=None, max_examples=200)
+@given(inputs=planner_inputs())
+def test_plan_composes_with_the_override_layer(inputs):
+    """Installing the plan as table overrides (exactly what
+    ``Rebalancer._execute`` broadcasts) yields a sound next-epoch table
+    that routes every moved shard to its new owner."""
+    table, weights, assignable = inputs
+    moves = plan_rebalance(table, weights, assignable)
+    overrides = dict(table.overrides)
+    for move in moves:
+        overrides[move.shard] = move.dst
+    new_table = ShardTable(epoch=table.epoch + 1, nodes=table.nodes,
+                           num_shards=table.num_shards,
+                           overrides=overrides)
+    assert new_table.problems() == []
+    for move in moves:
+        assert new_table.owner_of(move.shard) == move.dst
+    # Membership change after the plan: a table rebuilt without the
+    # moved-to node simply drops those overrides rather than routing to
+    # a ghost.
+    survivors = tuple(n for n in table.nodes
+                     if n not in {m.dst for m in moves})
+    if survivors:
+        shrunk = ShardTable(epoch=table.epoch + 2, nodes=survivors,
+                            num_shards=table.num_shards,
+                            overrides=overrides)
+        assert shrunk.problems() == []
+
+
+@settings(deadline=None, max_examples=200)
+@given(inputs=planner_inputs(),
+       threshold=st.integers(min_value=0, max_value=100_000))
+def test_min_messages_gate(inputs, threshold):
+    """Below the activity floor the planner always abstains."""
+    table, weights, assignable = inputs
+    total = sum(w for s, w in weights.items()
+                if 0 <= s < table.num_shards and w > 0)
+    moves = plan_rebalance(table, weights, assignable,
+                           min_messages=threshold)
+    if total < threshold:
+        assert moves == []
+
+
+def test_single_node_and_empty_cases():
+    table = ShardTable(epoch=1, nodes=("node-00",), num_shards=8)
+    assert plan_rebalance(table, {0: 1000}, ["node-00"]) == []
+    two = ShardTable(epoch=1, nodes=("node-00", "node-01"), num_shards=8)
+    assert plan_rebalance(two, {}, ["node-00", "node-01"]) == []
+    assert plan_rebalance(two, {0: 1000}, []) == []
+
+
+def test_skewed_two_node_cluster_moves_toward_balance():
+    """A concrete sanity anchor: all weight on one node's shards, split
+    across two shards — the planner moves one of them over."""
+    table = ShardTable(epoch=1, nodes=("node-00", "node-01"), num_shards=8)
+    donor = table.owner_of(0)
+    donor_shards = table.shards_of(donor)[:2]
+    weights = {donor_shards[0]: 500, donor_shards[1]: 400}
+    moves = plan_rebalance(table, weights, list(table.nodes))
+    assert moves, "an all-on-one-node skew must trigger a move"
+    assert all(m.src == donor for m in moves)

@@ -221,6 +221,73 @@ class TestKeyspace:
         assert kv.get("n") == "2000"
 
 
+class TestMergeState:
+    """Scale-in absorption semantics: a surviving node folds a retired
+    peer's snapshot into its own store without clobbering newer rows."""
+
+    def test_lists_append(self):
+        target, source = KeyValueStore(), KeyValueStore()
+        target.rpush("events:proximity", "a")
+        source.rpush("events:proximity", "b", "c")
+        source.rpush("events:collision", "x")
+        merged = target.merge_state(source.snapshot_state())
+        assert merged == 2
+        assert target.lrange("events:proximity", 0, -1) == ["a", "b", "c"]
+        assert target.lrange("events:collision", 0, -1) == ["x"]
+
+    def test_existing_hash_fields_win(self):
+        target, source = KeyValueStore(), KeyValueStore()
+        target.hmset("vessel:1", {"t": 200.0, "lat": 44.0})
+        source.hmset("vessel:1", {"t": 100.0, "lat": 43.0, "sog": 2.0})
+        source.hmset("vessel:2", {"t": 50.0})
+        target.merge_state(source.snapshot_state())
+        # The absorber's newer row keeps its fields; missing ones fill in.
+        assert target.hgetall("vessel:1") == {
+            "t": 200.0, "lat": 44.0, "sog": 2.0}
+        assert target.hgetall("vessel:2") == {"t": 50.0}
+
+    def test_zset_members_fill_in_only_where_absent(self):
+        target, source = KeyValueStore(), KeyValueStore()
+        target.zadd("vessels:last_seen", 300.0, "1")
+        source.zadd("vessels:last_seen", 100.0, "1")
+        source.zadd("vessels:last_seen", 150.0, "2")
+        target.merge_state(source.snapshot_state())
+        assert target.zscore("vessels:last_seen", "1") == 300.0
+        assert target.zscore("vessels:last_seen", "2") == 150.0
+
+    def test_strings_set_if_absent(self):
+        target, source = KeyValueStore(), KeyValueStore()
+        target.set("cursor", "9")
+        source.set("cursor", "5")
+        source.set("other", "1")
+        target.merge_state(source.snapshot_state())
+        assert target.get("cursor") == "9"
+        assert target.get("other") == "1"
+
+    def test_merge_into_empty_equals_restore_data(self):
+        source = KeyValueStore()
+        source.set("s", "v")
+        source.rpush("l", "a", "b")
+        source.hmset("h", {"f": 1})
+        source.zadd("z", 2.0, "m")
+        target = KeyValueStore()
+        target.merge_state(source.snapshot_state())
+        assert target.dump()["data"] == source.dump()["data"]
+
+    def test_merge_is_journaled(self, tmp_path):
+        from repro.kvstore.persistence import StorePersistence
+        source = KeyValueStore()
+        source.rpush("events:proximity", "e1")
+        source.set("k", "v")
+        target = KeyValueStore(
+            persistence=StorePersistence(str(tmp_path / "kv")))
+        target.merge_state(source.snapshot_state())
+        reborn = KeyValueStore(
+            persistence=StorePersistence(str(tmp_path / "kv")))
+        assert reborn.lrange("events:proximity", 0, -1) == ["e1"]
+        assert reborn.get("k") == "v"
+
+
 class TestPubSub:
     def test_publish_to_matching_subscriber(self):
         ps = PubSub()
