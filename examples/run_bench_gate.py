@@ -48,6 +48,15 @@ reach at least ``--scaling-min-speedup`` (default 1.7x) times the
 2-node figure. Its numbers land in ``BENCH_cluster.json`` under
 ``scaling_gate``.
 
+A seventh leg — ``warehouse_gate`` — gates the historical analytics
+warehouse: the recorded ``BENCH_warehouse.json`` workload (a seeded
+7-day traffic journal) is compacted into a fresh warehouse and the OLAP
+query surface timed. Compaction throughput must stay above
+``--warehouse-regression`` (default 50%) of the recorded rows/s, and
+every recorded query's p99 must stay under ``--warehouse-p99-factor``
+(default 4x) times its baseline (with a
+``--warehouse-min-ceiling-ms`` absolute lower bound on the ceiling).
+
 Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
 runs the two legs back-to-back (order alternating), each pair therefore
 shares the box's momentary mood, and the gate takes the minimum on/off
@@ -211,6 +220,88 @@ def run_scaling_leg(args) -> tuple[dict, list[str]]:
         failures.append(
             f"4-node critical-path throughput is only {speedup:.2f}x the "
             f"2-node figure (floor {args.scaling_min_speedup:.2f}x)")
+    return leg, failures
+
+
+def run_warehouse_leg(args) -> tuple[dict, list[str]]:
+    """The historical-warehouse gate: replay the recorded
+    ``BENCH_warehouse.json`` workload (journal -> compaction -> OLAP
+    queries) and enforce a compaction-throughput floor plus per-query p99
+    ceilings against the baseline. Under ``--smoke`` a reduced workload
+    runs with sanity checks only (a scaled-down run cannot be compared
+    against the full-size baseline)."""
+    from repro.evaluation.warehouse import run_warehouse_bench
+
+    gc.collect()
+    failures: list[str] = []
+    baseline_path = Path(args.warehouse_baseline)
+    baseline = json.loads(baseline_path.read_text()) \
+        if baseline_path.exists() else None
+
+    if args.smoke or baseline is None:
+        if baseline is None and not args.smoke:
+            print(f"WARNING: no warehouse baseline at "
+                  f"{args.warehouse_baseline}; sanity checks only "
+                  f"(run run_warehouse_bench.py --record-baseline)",
+                  file=sys.stderr)
+        result = run_warehouse_bench(vessels=30, days=7, fixes_per_day=48,
+                                     seed=args.seed, query_repeats=5)
+        leg = result.to_json()
+        rows_per_s = leg["compaction"]["rows_per_s"]
+        print(f"      warehouse gate (smoke): "
+              f"{leg['compaction']['rows']} rows at {rows_per_s:.0f} rows/s")
+        if leg["compaction"]["rows"] != (leg["position_rows"]
+                                         + leg["event_rows"]):
+            failures.append(
+                f"warehouse compacted {leg['compaction']['rows']} rows, "
+                f"journal carried {leg['position_rows']} fixes + "
+                f"{leg['event_rows']} events")
+        if rows_per_s < 500.0:
+            failures.append(f"warehouse compaction {rows_per_s:.0f} rows/s "
+                            f"below the 500 rows/s sanity floor")
+        return leg, failures
+
+    workload = baseline["workload"]
+    result = run_warehouse_bench(
+        vessels=workload["vessels"], days=workload["days"],
+        fixes_per_day=workload["fixes_per_day"], seed=workload["seed"],
+        resolution=workload["resolution"])
+    leg = result.to_json()
+
+    rows_per_s = leg["compaction"]["rows_per_s"]
+    recorded = baseline["compaction"]["rows_per_s"]
+    floor = recorded * (1.0 - args.warehouse_regression)
+    print(f"      warehouse gate: compaction {rows_per_s:.0f} rows/s vs "
+          f"floor {floor:.0f} (recorded {recorded:.0f} "
+          f"- {args.warehouse_regression * 100.0:.0f}%)")
+    if rows_per_s < floor:
+        failures.append(
+            f"warehouse compaction {rows_per_s:.0f} rows/s regressed below "
+            f"{floor:.0f} ({args.warehouse_regression * 100.0:.0f}% under "
+            f"the recorded {recorded:.0f})")
+    if leg["compaction"]["rows"] != (leg["position_rows"]
+                                     + leg["event_rows"]):
+        failures.append(
+            f"warehouse compacted {leg['compaction']['rows']} rows, "
+            f"journal carried {leg['position_rows']} fixes + "
+            f"{leg['event_rows']} events")
+
+    for name, recorded_stats in baseline["queries"].items():
+        if "p99_ms" not in recorded_stats:
+            continue
+        measured = leg["queries"][name]["p99_ms"]
+        # A multiplicative ceiling with an absolute lower bound: tiny
+        # recorded baselines must not turn box noise into a gate failure.
+        ceiling = max(recorded_stats["p99_ms"] * args.warehouse_p99_factor,
+                      args.warehouse_min_ceiling_ms)
+        print(f"      warehouse query {name}: p99 {measured:.1f} ms "
+              f"(ceiling {ceiling:.0f})")
+        if measured > ceiling:
+            failures.append(
+                f"warehouse query {name} p99 {measured:.1f} ms exceeds "
+                f"the ceiling {ceiling:.0f} ms (recorded "
+                f"{recorded_stats['p99_ms']:.1f} ms "
+                f"x {args.warehouse_p99_factor:.1f})")
     return leg, failures
 
 
@@ -392,6 +483,22 @@ def main() -> None:
     parser.add_argument("--serving-max-p99-ms", type=float, default=1_500.0,
                         help="client p99 push-latency ceiling (ms)")
     parser.add_argument("--serving-output", default="BENCH_serving.json")
+    parser.add_argument("--warehouse-baseline", default="BENCH_warehouse.json",
+                        help="recorded warehouse bench baseline "
+                             "(run_warehouse_bench.py --record-baseline)")
+    parser.add_argument("--warehouse-regression", type=float, default=0.5,
+                        help="tolerated compaction-throughput drop below "
+                             "the recorded baseline before failing")
+    parser.add_argument("--warehouse-p99-factor", type=float, default=4.0,
+                        help="query p99 ceiling as a multiple of the "
+                             "recorded baseline p99")
+    parser.add_argument("--warehouse-min-ceiling-ms", type=float,
+                        default=250.0,
+                        help="absolute lower bound on any query p99 "
+                             "ceiling (keeps tiny baselines from gating "
+                             "on box noise)")
+    parser.add_argument("--skip-warehouse", action="store_true",
+                        help="skip the warehouse compaction/query leg")
     parser.add_argument("--skip-serving", action="store_true",
                         help="skip the serving-tier leg")
     parser.add_argument("--baseline", default="BENCH_cluster.json",
@@ -474,6 +581,13 @@ def main() -> None:
 
     scaling_leg, scaling_failures = run_scaling_leg(args)
     failures.extend(scaling_failures)
+
+    warehouse_leg = None
+    if args.skip_warehouse:
+        print("      warehouse gate: skipped (--skip-warehouse)")
+    else:
+        warehouse_leg, warehouse_failures = run_warehouse_leg(args)
+        failures.extend(warehouse_failures)
     # The forecast and scaling gates' numbers live next to the recorded
     # baselines they are measured against.
     recorded["forecast_gate"] = forecast_leg
@@ -507,6 +621,7 @@ def main() -> None:
         "writer_gate": writer,
         "forecast_gate": forecast_leg,
         "scaling_gate": scaling_leg,
+        "warehouse_gate": warehouse_leg,
         "complete_traces": len(complete),
         "telemetry_snapshot": telemetry_snapshot,
         "failures": failures,

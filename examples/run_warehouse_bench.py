@@ -1,0 +1,72 @@
+"""Warehouse bench CLI: compaction throughput + OLAP query p50/p99.
+
+Synthesizes a seeded ≥7-day traffic journal through a journaled
+:class:`~repro.kvstore.KeyValueStore` (the writer pool's op shapes),
+compacts it into a fresh warehouse, and times the query surface — the
+workload the ``warehouse_gate`` leg of ``run_bench_gate.py`` replays and
+gates against the recorded baseline.
+
+Run:  python examples/run_warehouse_bench.py [--days 7] [--vessels 120]
+      python examples/run_warehouse_bench.py --record-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.evaluation.warehouse import run_warehouse_bench  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vessels", type=int, default=120)
+    parser.add_argument("--days", type=int, default=7,
+                        help="simulated days of traffic (the acceptance "
+                             "floor is 7)")
+    parser.add_argument("--fixes-per-day", type=int, default=288,
+                        help="kept fixes per vessel per day (288 = one "
+                             "per 5 minutes)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--resolution", type=int, default=6)
+    parser.add_argument("--query-repeats", type=int, default=30)
+    parser.add_argument("--output", default="BENCH_warehouse.json")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="stamp the report as the recorded baseline "
+                             "the CI gate compares against")
+    args = parser.parse_args()
+
+    result = run_warehouse_bench(
+        vessels=args.vessels, days=args.days,
+        fixes_per_day=args.fixes_per_day, seed=args.seed,
+        resolution=args.resolution, query_repeats=args.query_repeats)
+    report = result.to_json()
+    report["baseline"] = bool(args.record_baseline)
+
+    compaction = report["compaction"]
+    print(f"warehouse bench: {args.vessels} vessels x {args.days} days "
+          f"x {args.fixes_per_day} fixes/day "
+          f"({report['position_rows']} fixes, {report['event_rows']} events)")
+    print(f"  compaction: {compaction['rows']} rows in "
+          f"{compaction['seconds']:.2f}s = {compaction['rows_per_s']:.0f} "
+          f"rows/s across {compaction['segments_written']} segments "
+          f"({compaction['commits']} commits)")
+    for name, stats in report["queries"].items():
+        if "p50_ms" in stats:
+            print(f"  {name:18s} p50 {stats['p50_ms']:8.2f} ms   "
+                  f"p99 {stats['p99_ms']:8.2f} ms")
+    pruning = report["queries"]["pruning"]
+    print(f"  pruning: {pruning['partitions_scanned']} partitions scanned, "
+          f"{pruning['partitions_pruned']} pruned, "
+          f"{pruning['rows_scanned']} rows touched")
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@
 * :mod:`repro.evaluation.figure6` — processing time vs number of actors on
   the global stream (Figure 6),
 * :mod:`repro.evaluation.reporting` — plain-text table/series rendering so
-  benchmarks print the same rows the paper reports.
+  benchmarks print the same rows the paper reports,
+* :mod:`repro.evaluation.warehouse` — compaction throughput and OLAP query
+  latency over the historical warehouse (BENCH_warehouse.json).
 """
 
 from repro.evaluation.metrics import (
@@ -19,6 +21,11 @@ from repro.evaluation.metrics import (
 )
 from repro.evaluation.table1 import Table1Result, run_table1
 from repro.evaluation.table2 import Table2Result, Table2Row, run_table2
+from repro.evaluation.warehouse import (
+    WarehouseBenchResult,
+    generate_traffic_journal,
+    run_warehouse_bench,
+)
 from repro.evaluation.figure6 import (
     Figure6ClusterResult,
     Figure6Result,
@@ -40,13 +47,16 @@ __all__ = [
     "Table1Result",
     "Table2Result",
     "Table2Row",
+    "WarehouseBenchResult",
     "ade_per_horizon",
     "displacement_errors_m",
+    "generate_traffic_journal",
     "run_figure6",
     "run_figure6_cluster",
     "run_scaling_curve",
     "run_scaling_point",
     "run_table1",
     "run_table2",
+    "run_warehouse_bench",
     "seeded_svrf_forecaster",
 ]

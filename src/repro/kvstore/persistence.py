@@ -87,6 +87,13 @@ class OpJournal:
                     return  # torn tail frame from a mid-append crash
                 yield entry
 
+    def entries_after(self, seq: int) -> Iterator[tuple[int, str, tuple, dict]]:
+        """Entries strictly newer than ``seq`` (the warehouse compactor's
+        tailing API: pass the last sequence your manifest covers)."""
+        for entry in self.entries():
+            if entry[0] > seq:
+                yield entry
+
     def truncate(self) -> None:
         """Drop every entry (called after a snapshot made them redundant)."""
         self._fh.close()
@@ -166,6 +173,42 @@ class StorePersistence:
             self.journal.truncate()
             self._ops_since_compact = 0
             self.compactions += 1
+
+    # -- read path (analytics consumers) ----------------------------------------
+
+    def load_snapshot(self) -> dict[str, Any] | None:
+        """Decode the on-disk snapshot without a store (``None`` if absent).
+
+        Readers that bootstrap from a checkpoint — e.g. the warehouse
+        compactor after the journal was compacted away — get the snapshot
+        dict including its ``seq`` stamp, then tail
+        :meth:`iter_ops` from that stamp.
+        """
+        with self._lock:
+            if not os.path.exists(self.snapshot_path):
+                return None
+            with open(self.snapshot_path, "rb") as fh:
+                try:
+                    snapshot = pickle.load(fh)
+                except (pickle.UnpicklingError, EOFError) as exc:
+                    raise CorruptPersistenceError(
+                        f"unreadable snapshot {self.snapshot_path}") from exc
+            if snapshot.get("version") != FORMAT_VERSION:
+                raise CorruptPersistenceError(
+                    f"snapshot format {snapshot.get('version')!r} != "
+                    f"{FORMAT_VERSION}")
+            return snapshot
+
+    def iter_ops(self, after_seq: int = 0
+                 ) -> Iterator[tuple[int, str, tuple, dict]]:
+        """Journal entries with ``seq > after_seq``, oldest first.
+
+        This is the journal-iteration API downstream consumers tail; it
+        never mutates persistence state, so it is safe to call while the
+        store keeps journaling (entries appended after the iterator's
+        snapshot of the file simply appear on the next call).
+        """
+        return self.journal.entries_after(after_seq)
 
     # -- recovery ---------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.platform.messages import PruneTick
 from repro.platform.vessel_actor import VesselActor
 from repro.platform.writer_actor import WriterPool
 from repro.streams import Broker, PositionBlock, Producer, TopicConfig
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -93,6 +94,13 @@ class Platform:
         self.config = config or PlatformConfig()
         self.system = ActorSystem(name="maritime", mode=mode,
                                   record_metrics=self.config.record_metrics)
+        if self.config.record_telemetry:
+            # Same bundle the distributed node binds: counters from the
+            # writer pool, forecast service, and warehouse compaction all
+            # land in one registry. Virtual time keeps replays identical.
+            self.system.telemetry = Telemetry(
+                "local", clock=lambda: self.system.now,
+                trace_sample_every=self.config.trace_sample_every)
         self.broker = Broker()
         self.broker.create_topic(TopicConfig(
             self.config.ais_topic,
@@ -273,6 +281,31 @@ class Platform:
                             for cell, count in predicted.items()}
         self.pubsub.publish(REPL_FLOW_CHANNEL, {
             "t": self.system.now, "flow": flow, "heat": heat})
+
+    # -- warehouse compaction -----------------------------------------------------------
+
+    def compact_warehouse(self, compactor) -> dict:
+        """Fold everything journaled so far into ``compactor``'s warehouse.
+
+        The platform-side compaction hook: flushes the writer pool (so
+        every processed fix/event has reached the journal), settles the
+        actor system, then tails the store's persistence journal past the
+        warehouse cursor. Requires a persistence-bound kvstore. When the
+        platform records telemetry and the compactor has no registry yet,
+        the platform's registry is attached so warehouse counters land
+        beside the writer/forecast metrics.
+        """
+        persistence = self.kvstore.persistence
+        if persistence is None:
+            raise RuntimeError(
+                "compact_warehouse requires a kvstore with bound "
+                "persistence (KeyValueStore(persistence=...))")
+        self.wiring.writer_ref.flush()
+        self._settle()
+        telemetry = self.system.telemetry
+        if telemetry is not None and compactor._instruments is None:
+            compactor.bind_registry(telemetry.registry)
+        return compactor.compact_persistence(persistence)
 
     def shutdown(self) -> None:
         self.system.shutdown()

@@ -87,11 +87,15 @@ class ServingServer:
     def __init__(self, replica: ReadReplica,
                  config: ServingConfig | None = None,
                  registry: MetricsRegistry | None = None,
+                 warehouse=None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.replica = replica
         self.api = ReplicaQueryAPI(replica)
         self.config = config or ServingConfig()
         self.registry = registry or MetricsRegistry()
+        #: Optional :class:`~repro.warehouse.query.WarehouseQueries` for
+        #: the ``/warehouse/*`` historical-analytics routes (503 without).
+        self.warehouse = warehouse
         self._clock = clock
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -304,9 +308,68 @@ class ServingServer:
                         in api.traffic_flow(window).items()}
                 return json_response(200, {"window": window, "flow": flow,
                                            "heat": heat})
+            if path.startswith("/warehouse/"):
+                return self._route_warehouse(path, query)
             return json_response(404, {"error": f"no route for {path}"})
         except (ValueError, KeyError, IndexError) as exc:
             return json_response(400, {"error": str(exc)})
+
+    def _route_warehouse(self, path: str, query: dict) -> bytes:
+        """Historical-analytics routes over the attached warehouse."""
+        wq = self.warehouse
+        if wq is None:
+            return json_response(
+                503, {"error": "no warehouse attached to this server"})
+        t0 = float(query["t0"]) if "t0" in query else float("-inf")
+        t1 = float(query["t1"]) if "t1" in query else float("inf")
+        if path == "/warehouse/stats":
+            self._count_query("warehouse_stats")
+            return json_response(200, wq.warehouse.stats())
+        if path == "/warehouse/heatmap":
+            self._count_query("warehouse_heatmap")
+            by = query.get("by", "rows")
+            if "k" in query:
+                cells = wq.kring_heatmap(
+                    float(query["lat"]), float(query["lon"]),
+                    int(query["k"]), t0=t0, t1=t1, by=by)
+            else:
+                bbox = BoundingBox(
+                    lat_min=float(query["lat_min"]),
+                    lat_max=float(query["lat_max"]),
+                    lon_min=float(query["lon_min"]),
+                    lon_max=float(query["lon_max"]))
+                cells = wq.heatmap(bbox=bbox, t0=t0, t1=t1, by=by)
+            return json_response(200, {
+                "by": by,
+                "cells": {f"{cell:016x}": count
+                          for cell, count in cells.items()}})
+        if path == "/warehouse/timeseries":
+            self._count_query("warehouse_timeseries")
+            cells = [int(c, 16) for c in query["cells"].split(",") if c]
+            kinds = query["kinds"].split(",") if "kinds" in query else None
+            series = wq.cell_event_rate(
+                cells, t0, t1, float(query.get("bucket_s", "3600")),
+                kinds=kinds)
+            series["cells"] = {f"{cell:016x}": counts
+                               for cell, counts in series["cells"].items()}
+            return json_response(200, series)
+        if path == "/warehouse/congestion":
+            self._count_query("warehouse_congestion")
+            bbox = BoundingBox(
+                lat_min=float(query["lat_min"]),
+                lat_max=float(query["lat_max"]),
+                lon_min=float(query["lon_min"]),
+                lon_max=float(query["lon_max"]))
+            return json_response(200, wq.congestion_trend(
+                t0, t1, float(query.get("bucket_s", "3600")), bbox=bbox))
+        if path.startswith("/warehouse/vessel/"):
+            self._count_query("warehouse_vessel")
+            mmsi = int(path.split("/")[3])
+            history = wq.vessel_history(mmsi, t0=t0, t1=t1)
+            return json_response(200, {"mmsi": mmsi,
+                                       "fixes": len(history["t"]),
+                                       "history": history})
+        return json_response(404, {"error": f"no route for {path}"})
 
     def stats(self) -> dict:
         return {

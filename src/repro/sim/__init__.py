@@ -46,6 +46,11 @@ from repro.sim.scenario import (
     run_scenario,
 )
 from repro.sim.transport import SimHub
+from repro.sim.warehouse import (
+    WarehouseReport,
+    WarehouseScenario,
+    run_warehouse_scenario,
+)
 from repro.sim.workload import Workload, generate_workload
 
 __all__ = [
@@ -60,9 +65,12 @@ __all__ = [
     "SimHub",
     "SimReport",
     "Violation",
+    "WarehouseReport",
+    "WarehouseScenario",
     "Workload",
     "generate_workload",
     "run_rebalance_scenario",
     "run_recovery_scenario",
     "run_scenario",
+    "run_warehouse_scenario",
 ]

@@ -1,0 +1,54 @@
+"""Historical analytics warehouse over the kvstore journal (ROADMAP 5).
+
+``repro.warehouse`` compacts the durable journal / checkpoints and the
+live ``repl:flush`` feed into H3+day partitioned columnar segments, then
+answers OLAP queries (heatmaps, event-rate time series, congestion
+trends, vessel histories) with partition pruning. See WAREHOUSE.md.
+"""
+
+from repro.warehouse.compactor import (
+    WarehouseCompactor,
+    event_row,
+    pump_feed,
+)
+from repro.warehouse.query import WarehouseQueries, cell_may_intersect
+from repro.warehouse.segments import (
+    CorruptSegmentError,
+    EVENT_COLUMNS,
+    POSITION_COLUMNS,
+    empty_table,
+    read_segment,
+    sort_by_time,
+    table_rows,
+    write_segment,
+)
+from repro.warehouse.warehouse import (
+    DAY_S,
+    Warehouse,
+    day_of,
+    partition_key,
+    partition_of,
+    parse_partition_key,
+)
+
+__all__ = [
+    "CorruptSegmentError",
+    "DAY_S",
+    "EVENT_COLUMNS",
+    "POSITION_COLUMNS",
+    "Warehouse",
+    "WarehouseCompactor",
+    "WarehouseQueries",
+    "cell_may_intersect",
+    "day_of",
+    "empty_table",
+    "event_row",
+    "partition_key",
+    "partition_of",
+    "parse_partition_key",
+    "pump_feed",
+    "read_segment",
+    "sort_by_time",
+    "table_rows",
+    "write_segment",
+]

@@ -1,0 +1,339 @@
+"""The H3+day partitioned warehouse directory and its manifest.
+
+A :class:`Warehouse` owns one directory of columnar segment files (see
+``segments.py``) plus a ``manifest.json`` naming, for every partition
+``(cell at the warehouse resolution, UTC day)``, the segment file that
+currently holds its rows. The manifest also carries the **cursor**: the
+last kvstore journal sequence (and per-shard ``repl:flush`` sequence)
+whose rows the referenced segments cover.
+
+Idempotence contract (the compaction crash window):
+
+1. every touched partition's rows are rewritten to a *new generation*
+   file (``pos-<cell>-<day>.g<N>.seg``, atomic tmp + ``os.replace``);
+2. the manifest — new file names + advanced cursor — is replaced
+   atomically **after** all segment writes;
+3. superseded generation files are unlinked only after the manifest is
+   durable (a crash in between leaves orphans for :meth:`vacuum`).
+
+A crash anywhere inside a commit therefore leaves the manifest pointing
+at the *previous* generation with the *previous* cursor, and re-running
+compaction replays exactly the uncovered journal suffix into exactly the
+same logical state: warehouse contents are a pure function of the source
+journal, whatever crash schedule interrupted compaction — the property
+:meth:`fingerprint` lets the sim campaign assert byte-for-byte.
+
+Within a partition rows are kept stably sorted by ``t`` (ties keep
+journal order). Appending a journal-ordered batch and re-running a
+stable sort preserves (t, journal-position) order under *any* batch
+split, which is why the fingerprint is schedule-independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.hexgrid import latlng_to_cell
+from repro.warehouse.segments import (
+    EVENT_COLUMNS,
+    POSITION_COLUMNS,
+    concat_tables,
+    empty_table,
+    read_segment,
+    sort_by_time,
+    table_rows,
+    write_segment,
+)
+
+MANIFEST_FILE = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Seconds per warehouse day partition.
+DAY_S = 86_400.0
+
+#: Table names and their file prefixes / column schemas.
+TABLES: dict[str, tuple[str, tuple[tuple[str, str], ...]]] = {
+    "positions": ("pos", POSITION_COLUMNS),
+    "events": ("evt", EVENT_COLUMNS),
+}
+
+
+def day_of(t: float) -> int:
+    """UTC day index of a timestamp (floor, so negative t stays sane)."""
+    return int(np.floor(t / DAY_S))
+
+
+def partition_of(lat: float, lon: float, t: float, resolution: int
+                 ) -> tuple[int, int]:
+    """The ``(cell, day)`` partition a row belongs to."""
+    return latlng_to_cell(lat, lon, resolution), day_of(t)
+
+
+def partition_key(cell: int, day: int) -> str:
+    """Canonical manifest key of a partition."""
+    return f"{cell:016x}:{day}"
+
+
+def parse_partition_key(key: str) -> tuple[int, int]:
+    cell_hex, _, day = key.partition(":")
+    return int(cell_hex, 16), int(day)
+
+
+class Warehouse:
+    """One warehouse directory: partitioned segments + manifest + cursor."""
+
+    def __init__(self, directory: str, resolution: int = 6,
+                 registry=None) -> None:
+        if not 0 <= resolution <= 15:
+            raise ValueError(f"resolution must be in [0, 15], got {resolution}")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.manifest_path = os.path.join(directory, MANIFEST_FILE)
+        #: Test/simulation hook: called as ``failpoint(stage, detail)`` at
+        #: ``("segment", key)``, ``("manifest", None)`` and
+        #: ``("committed", None)``; raising simulates a crash there.
+        self.failpoint: Callable[[str, Any], None] | None = None
+        self._manifest = self._load_manifest(resolution)
+        if self._manifest["resolution"] != resolution:
+            raise ValueError(
+                f"warehouse at {directory} uses resolution "
+                f"{self._manifest['resolution']}, not {resolution}")
+        self.resolution = self._manifest["resolution"]
+        self._instruments = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry) -> None:
+        """Attach telemetry instruments (idempotent)."""
+        self._instruments = (
+            registry.counter("warehouse_commits_total"),
+            registry.counter("warehouse_segments_written_total"),
+            {name: registry.counter("warehouse_rows_compacted_total",
+                                    {"table": name}) for name in TABLES},
+            registry.histogram("warehouse_commit_rows"),
+            registry.histogram("warehouse_segment_bytes"),
+        )
+
+    # -- manifest ---------------------------------------------------------------
+
+    def _load_manifest(self, resolution: int) -> dict:
+        if os.path.exists(self.manifest_path):
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            if manifest.get("version") != MANIFEST_VERSION:
+                raise ValueError(
+                    f"manifest version {manifest.get('version')!r} != "
+                    f"{MANIFEST_VERSION}")
+            return manifest
+        return {
+            "version": MANIFEST_VERSION,
+            "resolution": resolution,
+            "cursor": {"journal_seq": 0, "snapshot_seq": 0, "repl": {}},
+            "kinds": [],
+            "positions": {},
+            "events": {},
+        }
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps(self._manifest, sort_keys=True,
+                             separators=(",", ":")).encode()
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, self.manifest_path)
+
+    @property
+    def journal_seq(self) -> int:
+        """Last kvstore journal sequence the segments cover."""
+        return self._manifest["cursor"]["journal_seq"]
+
+    @property
+    def snapshot_seq(self) -> int:
+        return self._manifest["cursor"]["snapshot_seq"]
+
+    def repl_seq(self, shard: int) -> int:
+        """Last applied ``repl:flush`` sequence of a writer shard."""
+        return self._manifest["cursor"]["repl"].get(str(shard), 0)
+
+    @property
+    def kinds(self) -> list[str]:
+        """The event-kind intern table (``kind_id`` indexes into this)."""
+        return list(self._manifest["kinds"])
+
+    def kind_id(self, kind: str) -> int:
+        """Intern an event kind; the id is durable from the next commit."""
+        kinds = self._manifest["kinds"]
+        try:
+            return kinds.index(kind)
+        except ValueError:
+            kinds.append(kind)
+            return len(kinds) - 1
+
+    # -- reads ------------------------------------------------------------------
+
+    def partitions(self, table: str = "positions"
+                   ) -> Iterator[tuple[int, int, dict]]:
+        """Yield ``(cell, day, meta)`` for every partition of ``table``."""
+        for key, meta in self._manifest[table].items():
+            cell, day = parse_partition_key(key)
+            yield cell, day, meta
+
+    def partition_count(self, table: str = "positions") -> int:
+        return len(self._manifest[table])
+
+    def total_rows(self, table: str = "positions") -> int:
+        return sum(meta["rows"] for meta in self._manifest[table].values())
+
+    def read_partition(self, table: str, cell: int, day: int
+                       ) -> dict[str, np.ndarray]:
+        """Load one partition's rows (empty table if absent)."""
+        meta = self._manifest[table].get(partition_key(cell, day))
+        if meta is None:
+            return empty_table(TABLES[table][1])
+        return read_segment(os.path.join(self.directory, meta["file"]))
+
+    def stats(self) -> dict:
+        return {
+            "resolution": self.resolution,
+            "journal_seq": self.journal_seq,
+            "positions_rows": self.total_rows("positions"),
+            "events_rows": self.total_rows("events"),
+            "positions_partitions": self.partition_count("positions"),
+            "events_partitions": self.partition_count("events"),
+            "kinds": self.kinds,
+        }
+
+    # -- commit -----------------------------------------------------------------
+
+    def _fail(self, stage: str, detail) -> None:
+        if self.failpoint is not None:
+            self.failpoint(stage, detail)
+
+    def commit(self, positions: dict[tuple[int, int], dict[str, np.ndarray]],
+               events: dict[tuple[int, int], dict[str, np.ndarray]],
+               cursor: dict | None = None) -> dict:
+        """Fold per-partition row batches in and advance the cursor.
+
+        ``positions``/``events`` map ``(cell, day)`` to column tables whose
+        rows are in source (journal/feed) order. Returns commit stats.
+        """
+        new_rows = 0
+        segments_written = 0
+        bytes_written = 0
+        doomed: list[str] = []
+        for table, batches in (("positions", positions), ("events", events)):
+            prefix, columns = TABLES[table]
+            entries = self._manifest[table]
+            for (cell, day), batch in sorted(batches.items()):
+                rows = table_rows(batch)
+                if rows == 0:
+                    continue
+                key = partition_key(cell, day)
+                meta = entries.get(key)
+                if meta is None:
+                    current = empty_table(columns)
+                    gen = 0
+                else:
+                    current = read_segment(
+                        os.path.join(self.directory, meta["file"]))
+                    gen = meta["gen"]
+                    doomed.append(meta["file"])
+                merged = sort_by_time(concat_tables([current, batch]))
+                filename = f"{prefix}-{cell:016x}-{day}.g{gen + 1}.seg"
+                bytes_written += write_segment(
+                    os.path.join(self.directory, filename), merged)
+                segments_written += 1
+                new_rows += rows
+                entries[key] = {
+                    "file": filename,
+                    "rows": table_rows(merged),
+                    "gen": gen + 1,
+                    "t_min": float(merged["t"][0]),
+                    "t_max": float(merged["t"][-1]),
+                }
+                if table == "positions":
+                    entries[key]["mmsi_min"] = int(merged["mmsi"].min())
+                    entries[key]["mmsi_max"] = int(merged["mmsi"].max())
+                self._record_rows(table, rows)
+                self._fail("segment", key)
+        if cursor:
+            cur = self._manifest["cursor"]
+            if "journal_seq" in cursor:
+                cur["journal_seq"] = max(cur["journal_seq"],
+                                         cursor["journal_seq"])
+            if "snapshot_seq" in cursor:
+                cur["snapshot_seq"] = max(cur["snapshot_seq"],
+                                          cursor["snapshot_seq"])
+            for shard, seq in cursor.get("repl", {}).items():
+                repl = cur["repl"]
+                shard = str(shard)
+                repl[shard] = max(repl.get(shard, 0), seq)
+        self._fail("manifest", None)
+        self._write_manifest()
+        # Only now are the previous generations garbage.
+        for filename in doomed:
+            try:
+                os.unlink(os.path.join(self.directory, filename))
+            except FileNotFoundError:
+                pass
+        self._fail("committed", None)
+        if self._instruments is not None:
+            commits, segs, rows_c, rows_h, bytes_h = self._instruments
+            commits.inc()
+            segs.inc(segments_written)
+            rows_h.observe(new_rows)
+            if bytes_written:
+                bytes_h.observe(bytes_written)
+        return {"rows": new_rows, "segments_written": segments_written,
+                "bytes_written": bytes_written}
+
+    def _record_rows(self, table: str, rows: int) -> None:
+        if self._instruments is not None:
+            self._instruments[2][table].inc(rows)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def vacuum(self) -> int:
+        """Delete files the manifest does not reference (crash leftovers:
+        orphaned generations and ``*.tmp``). Returns the number removed."""
+        referenced = {MANIFEST_FILE}
+        for table in TABLES:
+            for meta in self._manifest[table].values():
+                referenced.add(meta["file"])
+        removed = 0
+        for filename in os.listdir(self.directory):
+            if filename in referenced:
+                continue
+            if filename.endswith(".seg") or filename.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.directory, filename))
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def fingerprint(self) -> str:
+        """Digest of the warehouse's *logical* content: every partition's
+        key and column bytes, in sorted key order, plus the kind table.
+        Generation numbers and file names are excluded — two warehouses
+        built from the same journal through different crash schedules
+        fingerprint identically (the sim campaign's byte-equality check).
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps(self._manifest["kinds"]).encode())
+        for table in sorted(TABLES):
+            digest.update(table.encode())
+            for key in sorted(self._manifest[table]):
+                meta = self._manifest[table][key]
+                segment = read_segment(
+                    os.path.join(self.directory, meta["file"]))
+                digest.update(key.encode())
+                for name in sorted(segment):
+                    digest.update(name.encode())
+                    digest.update(segment[name].tobytes())
+        return digest.hexdigest()

@@ -27,6 +27,10 @@ import repro.serving.server as serving_server_mod
 import repro.telemetry as telemetry_mod
 import repro.telemetry.registry as tel_registry_mod
 import repro.telemetry.trace as tel_trace_mod
+import repro.warehouse.compactor as wh_compactor_mod
+import repro.warehouse.query as wh_query_mod
+import repro.warehouse.segments as wh_segments_mod
+import repro.warehouse.warehouse as wh_warehouse_mod
 from repro.cluster import (
     ClusterConfig,
     ClusterNode,
@@ -42,13 +46,18 @@ from repro.cluster.transport import BatchingTransport
 # take ``clock=time.monotonic`` defaults), so it is audited too. The
 # pooled forecast service lingers and stamps submissions on the actor
 # system's virtual clock — a wall-clock read there would detach batch
-# timing from deterministic replay.
+# timing from deterministic replay. The warehouse must produce
+# byte-identical segments for a given journal regardless of when
+# compaction runs, so its whole package is wall-clock-free except the
+# query layer's injectable ``clock=time.perf_counter`` latency default.
 AUDITED_MODULES = [membership_mod, transport_mod, node_mod,
                    forecast_service_mod,
                    telemetry_mod, tel_registry_mod, tel_trace_mod,
                    serving_bridge_mod, serving_fanout_mod,
                    serving_protocol_mod, serving_replica_mod,
-                   serving_server_mod]
+                   serving_server_mod,
+                   wh_segments_mod, wh_warehouse_mod, wh_compactor_mod,
+                   wh_query_mod]
 
 
 def _time_reads_outside_defaults(module) -> list[str]:

@@ -189,3 +189,53 @@ def test_snapshot_state_does_not_alias(tmp_path):
     state = store.snapshot_state()
     state["data"]["l"].append("mutated")
     assert store.lrange("l", 0, -1) == ["a"]
+
+
+def test_iter_ops_resumes_after_seq(tmp_path):
+    """The warehouse compactor's read path: ``iter_ops(after_seq)`` yields
+    exactly the journal suffix, in order, with monotone sequence numbers."""
+    d = str(tmp_path / "kv")
+    persistence = StorePersistence(d, compact_every_ops=0)
+    store = KeyValueStore(persistence)
+    for i in range(5):
+        store.set(f"k{i}", i, now=float(i))
+
+    entries = list(persistence.iter_ops())
+    assert [entry[0] for entry in entries] == [1, 2, 3, 4, 5]
+    assert all(entry[1] == "set" for entry in entries)
+
+    tail = list(persistence.iter_ops(after_seq=3))
+    assert [entry[0] for entry in tail] == [4, 5]
+    assert tail == entries[3:]
+    assert list(persistence.iter_ops(after_seq=5)) == []
+
+
+def test_load_snapshot_exposes_seq_and_state(tmp_path):
+    d = str(tmp_path / "kv")
+    persistence = StorePersistence(d, compact_every_ops=0)
+    store = KeyValueStore(persistence)
+    assert persistence.load_snapshot() is None  # nothing durable yet
+
+    store.set("a", 1)
+    store.compact()
+    snapshot = persistence.load_snapshot()
+    assert snapshot is not None
+    assert snapshot["seq"] == 1
+    assert snapshot["data"]["a"] == "1"
+    # Ops after the snapshot are journal-only.
+    store.set("b", 2)
+    assert persistence.load_snapshot()["seq"] == 1
+    assert [e[0] for e in persistence.iter_ops(after_seq=snapshot["seq"])] \
+        == [2]
+
+
+def test_load_snapshot_rejects_corruption(tmp_path):
+    d = str(tmp_path / "kv")
+    persistence = StorePersistence(d, compact_every_ops=0)
+    store = KeyValueStore(persistence)
+    store.set("a", 1)
+    store.compact()
+    with open(os.path.join(d, SNAPSHOT_FILE), "wb") as fh:
+        fh.write(b"\x00garbage")
+    with pytest.raises(CorruptPersistenceError):
+        persistence.load_snapshot()

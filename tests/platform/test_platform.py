@@ -179,3 +179,39 @@ class TestConfigValidation:
     def test_bad_neighbor_rings(self):
         with pytest.raises(ValueError):
             PlatformConfig(collision_neighbor_rings=9)
+
+
+class TestWarehouseCompactionHook:
+    def test_compact_warehouse_folds_journal(self, small_scenario, tmp_path):
+        from repro.kvstore import StorePersistence
+        from repro.warehouse import Warehouse, WarehouseCompactor
+
+        platform = Platform(forecaster=LinearKinematicModel(),
+                            config=PlatformConfig(record_telemetry=True))
+        persistence = StorePersistence(str(tmp_path / "kv"),
+                                       compact_every_ops=0)
+        platform.kvstore.bind_persistence(persistence)
+        platform.publish_messages(small_scenario.result.messages)
+        platform.process_available()
+
+        warehouse = Warehouse(str(tmp_path / "wh"))
+        compactor = WarehouseCompactor(warehouse)
+        stats = platform.compact_warehouse(compactor)
+        assert stats["rows"] > 0
+        assert warehouse.total_rows("positions") > 0
+        assert warehouse.journal_seq == persistence.seq
+        # The hook attached the platform registry: warehouse counters
+        # land beside the pipeline metrics.
+        snapshot = platform.system.telemetry.registry.snapshot()
+        assert snapshot["counters"]["warehouse_commits_total"] >= 1
+        # Idempotent when nothing new was journaled.
+        assert platform.compact_warehouse(compactor)["rows"] == 0
+        persistence.close()
+
+    def test_compact_warehouse_requires_persistence(self, tmp_path):
+        from repro.warehouse import Warehouse, WarehouseCompactor
+
+        platform = Platform(forecaster=LinearKinematicModel())
+        compactor = WarehouseCompactor(Warehouse(str(tmp_path / "wh")))
+        with pytest.raises(RuntimeError, match="persistence"):
+            platform.compact_warehouse(compactor)

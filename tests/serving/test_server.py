@@ -332,3 +332,94 @@ def test_non_ws_path_rejected_and_stats_counts_queries():
         finally:
             await server.stop()
     asyncio.run(scenario())
+
+
+def test_warehouse_routes_require_attachment():
+    async def scenario():
+        server = await _started_server()
+        try:
+            status, _, body = await _http_get(server.port,
+                                              "/warehouse/stats")
+            assert status == 503
+            assert "no warehouse" in json.loads(body)["error"]
+        finally:
+            await server.stop()
+    asyncio.run(scenario())
+
+
+def test_warehouse_routes_serve_historical_queries(tmp_path):
+    from repro.warehouse import (
+        Warehouse,
+        WarehouseCompactor,
+        WarehouseQueries,
+    )
+
+    warehouse = Warehouse(str(tmp_path / "wh"), resolution=6)
+    compactor = WarehouseCompactor(warehouse)
+    compactor.ingest_flush(_batch(
+        1,
+        states=[_state(111, 37.5, 24.5, t=60.0),
+                _state(111, 37.51, 24.51, t=120.0),
+                _state(222, 10.0, -40.0, t=60.0)],
+        events=[{"kind": "proximity", "t": 90.0,
+                 "payload": {"mmsi_a": 111, "mmsi_b": 222, "t": 90.0,
+                             "lat": 37.5, "lon": 24.5}}]))
+    compactor.flush_feed()
+
+    async def scenario():
+        replica = ReadReplica()
+        server = ServingServer(replica, config=ServingConfig(),
+                               warehouse=WarehouseQueries(warehouse))
+        await server.start()
+        try:
+            status, _, body = await _http_get(server.port,
+                                              "/warehouse/stats")
+            assert status == 200
+            stats = json.loads(body)
+            assert stats["positions_rows"] == 3
+            assert stats["events_rows"] == 1
+
+            target = ("/warehouse/heatmap?lat_min=37&lat_max=38"
+                      "&lon_min=24&lon_max=25")
+            status, _, body = await _http_get(server.port, target)
+            assert status == 200
+            heat = json.loads(body)
+            assert sum(heat["cells"].values()) == 2  # 222 is outside
+
+            status, _, body = await _http_get(
+                server.port, "/warehouse/heatmap?lat=37.5&lon=24.5&k=1"
+                             "&by=vessels")
+            assert status == 200
+            assert sum(json.loads(body)["cells"].values()) == 1
+
+            cells = ",".join(json.loads(body)["cells"])
+            status, _, body = await _http_get(
+                server.port, f"/warehouse/timeseries?cells={cells}"
+                             "&t0=0&t1=3600&bucket_s=3600")
+            assert status == 200
+            assert sum(json.loads(body)["total"]) == 1
+
+            status, _, body = await _http_get(
+                server.port, "/warehouse/congestion?lat_min=37&lat_max=38"
+                             "&lon_min=24&lon_max=25&t0=0&t1=3600"
+                             "&bucket_s=1800")
+            assert status == 200
+            assert json.loads(body)["vessels"] == [1, 0]
+
+            status, _, body = await _http_get(server.port,
+                                              "/warehouse/vessel/111")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["fixes"] == 2
+            assert payload["history"]["t"] == [60.0, 120.0]
+
+            status, _, _ = await _http_get(server.port,
+                                           "/warehouse/nope")
+            assert status == 404
+
+            status, _, _ = await _http_get(
+                server.port, "/warehouse/heatmap?lat=x&lon=y&k=1")
+            assert status == 400
+        finally:
+            await server.stop()
+    asyncio.run(scenario())

@@ -1,0 +1,221 @@
+"""Unit tests for warehouse + compactor: commits, cursors, idempotence,
+feed ingestion, snapshot bootstrap, telemetry."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.kvstore.persistence import StorePersistence
+from repro.kvstore.pubsub import PubSub
+from repro.kvstore.store import KeyValueStore
+from repro.telemetry import MetricsRegistry
+from repro.warehouse import (
+    Warehouse,
+    WarehouseCompactor,
+    day_of,
+    pump_feed,
+)
+
+
+@pytest.fixture
+def journaled_store(tmp_path):
+    persistence = StorePersistence(str(tmp_path / "kv"),
+                                   compact_every_ops=0)
+    store = KeyValueStore(persistence=persistence)
+    yield store, persistence
+    persistence.close()
+
+
+def write_fix(store, mmsi: int, t: float, lat: float = 37.5,
+              lon: float = 24.5) -> None:
+    store.hmset(f"vessel:{mmsi}", {"t": t, "lat": lat, "lon": lon,
+                                   "sog": 10.0, "cog": 90.0}, t)
+
+
+def test_compaction_covers_journal(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    for i in range(10):
+        write_fix(store, 200_000_001, float(i))
+    store.rpush("events:proximity",
+                {"mmsi_a": 200_000_001, "mmsi_b": 200_000_002,
+                 "t": 5.0, "lat": 37.5, "lon": 24.5}, now=5.0)
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    compactor = WarehouseCompactor(warehouse)
+    stats = compactor.compact_persistence(persistence)
+    assert stats["rows"] == 11
+    assert warehouse.total_rows("positions") == 10
+    assert warehouse.total_rows("events") == 1
+    assert warehouse.journal_seq == persistence.seq
+    assert warehouse.kinds == ["proximity"]
+
+
+def test_recompaction_is_idempotent(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    for i in range(5):
+        write_fix(store, 200_000_001, float(i))
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    compactor = WarehouseCompactor(warehouse)
+    compactor.compact_persistence(persistence)
+    fingerprint = warehouse.fingerprint()
+    again = compactor.compact_persistence(persistence)
+    assert again["rows"] == 0
+    assert warehouse.fingerprint() == fingerprint
+    # New journal tail compacts incrementally.
+    write_fix(store, 200_000_001, 99.0)
+    tail = compactor.compact_persistence(persistence)
+    assert tail["rows"] == 1
+    assert warehouse.total_rows("positions") == 6
+
+
+def test_reopened_warehouse_resumes_from_cursor(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    for i in range(4):
+        write_fix(store, 200_000_001, float(i))
+    directory = str(tmp_path / "wh")
+    WarehouseCompactor(Warehouse(directory)).compact_persistence(persistence)
+    write_fix(store, 200_000_001, 50.0)
+    reopened = Warehouse(directory)
+    stats = WarehouseCompactor(reopened).compact_persistence(persistence)
+    assert stats["rows"] == 1
+    assert reopened.total_rows("positions") == 5
+
+
+def test_rows_partition_by_cell_and_day(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    write_fix(store, 1, 10.0, lat=37.5, lon=24.5)
+    write_fix(store, 1, 10.0 + 86_400.0, lat=37.5, lon=24.5)  # next day
+    write_fix(store, 1, 20.0, lat=20.0, lon=-40.0)  # another cell
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    WarehouseCompactor(warehouse).compact_persistence(persistence)
+    partitions = {(cell, day) for cell, day, _ in
+                  warehouse.partitions("positions")}
+    assert len(partitions) == 3
+    assert {day for _, day in partitions} == {0, 1}
+
+
+def test_rows_within_partition_are_time_sorted(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+        write_fix(store, 200_000_001, t)
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    WarehouseCompactor(warehouse).compact_persistence(persistence)
+    [(cell, day, _)] = warehouse.partitions("positions")
+    loaded = warehouse.read_partition("positions", cell, day)
+    assert loaded["t"].tolist() == sorted(loaded["t"].tolist())
+
+
+def test_malformed_rows_are_skipped_and_counted(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    write_fix(store, 200_000_001, 1.0)
+    store.hmset("vessel:200000002", {"note": "no position"}, 2.0)
+    store.hmset("vessel:not-an-mmsi", {"t": 3.0, "lat": 1.0, "lon": 2.0,
+                                       "sog": 0.0, "cog": 0.0}, 3.0)
+    store.rpush("events:odd", {"no": "location"}, now=4.0)
+    store.set("unrelated", "value", now=5.0)
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    compactor = WarehouseCompactor(warehouse)
+    compactor.compact_persistence(persistence)
+    assert warehouse.total_rows("positions") == 1
+    assert warehouse.total_rows("events") == 0
+    assert compactor.rows_skipped == 3
+    # The cursor still covers everything scanned.
+    assert warehouse.journal_seq == persistence.seq
+
+
+def test_feed_ingestion_dedups_by_shard_seq(tmp_path):
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    compactor = WarehouseCompactor(warehouse)
+    batch = {"shard": 0, "seq": 1,
+             "states": [{"mmsi": 1, "t": 1.0, "lat": 37.0, "lon": 24.0,
+                         "sog": 5.0, "cog": 0.0}],
+             "events": [{"kind": "proximity", "t": 1.0,
+                         "payload": {"mmsi_a": 1, "mmsi_b": 2, "t": 1.0,
+                                     "lat": 37.0, "lon": 24.0}}]}
+    assert compactor.ingest_flush(batch) == 2
+    assert compactor.ingest_flush(batch) == 0  # duplicate delivery
+    assert compactor.feed_duplicates == 1
+    compactor.flush_feed()
+    assert warehouse.total_rows("positions") == 1
+    assert warehouse.total_rows("events") == 1
+    assert warehouse.repl_seq(0) == 1
+    # A replayed batch is still a duplicate after the commit.
+    assert compactor.ingest_flush(batch) == 0
+
+
+def test_pump_feed_drains_subscription(tmp_path):
+    pubsub = PubSub()
+    subscription = pubsub.subscribe("repl:*")
+    pubsub.publish("repl:flush", {
+        "shard": 0, "seq": 1,
+        "states": [{"mmsi": 1, "t": 1.0, "lat": 37.0, "lon": 24.0,
+                    "sog": 5.0, "cog": 0.0}],
+        "events": []})
+    pubsub.publish("repl:flow", {"t": 1.0})  # non-flush: ignored
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    compactor = WarehouseCompactor(warehouse)
+    buffered = list(pump_feed(compactor, subscription))
+    assert buffered == [1]
+    compactor.flush_feed()
+    assert warehouse.total_rows("positions") == 1
+
+
+def test_bootstrap_snapshot_jumps_cursor(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    write_fix(store, 200_000_001, 1.0)
+    write_fix(store, 200_000_002, 2.0)
+    store.compact()  # journal folded into the snapshot and truncated
+    write_fix(store, 200_000_003, 3.0)  # journal tail past the snapshot
+
+    warehouse = Warehouse(str(tmp_path / "wh"))
+    compactor = WarehouseCompactor(warehouse)
+    snapshot = persistence.load_snapshot()
+    assert snapshot is not None
+    compactor.bootstrap_snapshot(snapshot)
+    # The snapshot carries only the *latest* state per vessel.
+    assert warehouse.total_rows("positions") == 2
+    assert warehouse.snapshot_seq == snapshot["seq"]
+    # Tailing now picks up only the journal suffix.
+    compactor.compact_persistence(persistence)
+    assert warehouse.total_rows("positions") == 3
+
+
+def test_commit_binds_telemetry(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    for i in range(3):
+        write_fix(store, 200_000_001, float(i))
+    registry = MetricsRegistry()
+    warehouse = Warehouse(str(tmp_path / "wh"), registry=registry)
+    compactor = WarehouseCompactor(warehouse, registry=registry)
+    compactor.compact_persistence(persistence)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["warehouse_commits_total"] == 1
+    assert snapshot["counters"][
+        'warehouse_rows_compacted_total{table="positions"}'] == 3
+    assert snapshot["counters"]["warehouse_journal_ops_scanned_total"] == 3
+
+
+def test_vacuum_removes_only_unreferenced_files(tmp_path, journaled_store):
+    store, persistence = journaled_store
+    for i in range(3):
+        write_fix(store, 200_000_001, float(i))
+    directory = str(tmp_path / "wh")
+    warehouse = Warehouse(directory)
+    WarehouseCompactor(warehouse).compact_persistence(persistence)
+    orphan = os.path.join(directory, "pos-dead-0.g9.seg")
+    open(orphan, "wb").write(b"orphan")
+    open(os.path.join(directory, "pos-x.seg.tmp"), "wb").write(b"torn")
+    removed = warehouse.vacuum()
+    assert removed == 2
+    assert not os.path.exists(orphan)
+    # Referenced segments survived and still read back.
+    assert warehouse.total_rows("positions") == 3
+    [(cell, day, _)] = warehouse.partitions("positions")
+    assert len(warehouse.read_partition("positions", cell, day)["t"]) == 3
+
+
+def test_day_of_handles_negative_time():
+    assert day_of(-1.0) == -1
+    assert day_of(0.0) == 0
+    assert day_of(86_400.0) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for the columnar segment format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.warehouse.segments import (
+    EVENT_COLUMNS,
+    POSITION_COLUMNS,
+    CorruptSegmentError,
+    concat_tables,
+    empty_table,
+    read_segment,
+    sort_by_time,
+    table_rows,
+    write_segment,
+)
+
+
+def make_positions(n: int, seed: int = 0) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "mmsi": rng.integers(2e8, 2e8 + 50, n),
+        "t": rng.uniform(0.0, 86_400.0, n),
+        "lat": rng.uniform(35.0, 40.0, n),
+        "lon": rng.uniform(22.0, 27.0, n),
+        "sog": rng.uniform(0.0, 30.0, n),
+        "cog": rng.uniform(0.0, 360.0, n),
+    }
+
+
+def test_round_trip_preserves_rows_and_dtypes(tmp_path):
+    table = make_positions(500)
+    path = str(tmp_path / "seg.seg")
+    write_segment(path, table)
+    loaded = read_segment(path)
+    assert list(loaded) == list(table)
+    for name in table:
+        np.testing.assert_array_equal(loaded[name], table[name])
+        assert loaded[name].dtype == np.dtype(
+            dict(POSITION_COLUMNS)[name])
+
+
+def test_empty_table_round_trip(tmp_path):
+    path = str(tmp_path / "empty.seg")
+    write_segment(path, empty_table(EVENT_COLUMNS))
+    loaded = read_segment(path)
+    assert table_rows(loaded) == 0
+    assert list(loaded) == [name for name, _ in EVENT_COLUMNS]
+
+
+def test_serialization_is_byte_deterministic(tmp_path):
+    """The property BENCH fingerprints and the sim campaign depend on:
+    identical rows -> identical bytes, whenever they are written."""
+    table = make_positions(100)
+    a, b = str(tmp_path / "a.seg"), str(tmp_path / "b.seg")
+    write_segment(a, table)
+    write_segment(b, {name: column.copy() for name, column in table.items()})
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_sort_by_time_is_stable():
+    table = {
+        "t": np.array([2.0, 1.0, 2.0, 1.0]),
+        "mmsi": np.array([10, 11, 12, 13]),
+    }
+    out = sort_by_time(table)
+    np.testing.assert_array_equal(out["t"], [1.0, 1.0, 2.0, 2.0])
+    # Ties keep append order: 11 before 13, 10 before 12.
+    np.testing.assert_array_equal(out["mmsi"], [11, 13, 10, 12])
+
+
+def test_concat_preserves_order():
+    a = make_positions(10, seed=1)
+    b = make_positions(5, seed=2)
+    merged = concat_tables([a, b])
+    assert table_rows(merged) == 15
+    np.testing.assert_array_equal(merged["t"][:10], a["t"])
+    np.testing.assert_array_equal(merged["t"][10:], b["t"])
+
+
+def test_no_tmp_file_left_behind(tmp_path):
+    path = tmp_path / "seg.seg"
+    write_segment(str(path), make_positions(10))
+    assert [p.name for p in tmp_path.iterdir()] == ["seg.seg"]
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "bad.seg"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(CorruptSegmentError, match="bad magic"):
+        read_segment(str(path))
+
+
+def test_truncated_column_raises(tmp_path):
+    path = tmp_path / "torn.seg"
+    write_segment(str(path), make_positions(50))
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-16])
+    with pytest.raises(CorruptSegmentError, match="truncated"):
+        read_segment(str(path))
+
+
+def test_trailing_garbage_raises(tmp_path):
+    path = tmp_path / "fat.seg"
+    write_segment(str(path), make_positions(5))
+    path.write_bytes(path.read_bytes() + b"junk")
+    with pytest.raises(CorruptSegmentError, match="trailing"):
+        read_segment(str(path))
+
+
+def test_version_mismatch_raises(tmp_path):
+    import json
+
+    path = tmp_path / "old.seg"
+    write_segment(str(path), make_positions(3))
+    blob = bytearray(path.read_bytes())
+    header_len = int.from_bytes(blob[4:12], "little")
+    header = json.loads(bytes(blob[12:12 + header_len]))
+    header["version"] = 99
+    new_header = json.dumps(header, sort_keys=True,
+                            separators=(",", ":")).encode()
+    # Same length (99 vs 1 differs; re-frame the header instead).
+    rebuilt = blob[:4] + len(new_header).to_bytes(8, "little") \
+        + new_header + blob[12 + header_len:]
+    path.write_bytes(rebuilt)
+    with pytest.raises(CorruptSegmentError, match="version"):
+        read_segment(str(path))
