@@ -57,6 +57,18 @@ every recorded query's p99 must stay under ``--warehouse-p99-factor``
 (default 4x) times its baseline (with a
 ``--warehouse-min-ceiling-ms`` absolute lower bound on the ceiling).
 
+An eighth leg — ``voyage_gate`` — gates the voyage-optimization
+subsystem: ``run_voyage_bench.py --smoke`` re-runs the plan-vs-actual
+cadence sweep on one seed (deterministic: the planner and twin never
+read the wall clock, so the numbers are exact, not noisy). The 6 h
+cadence must beat the plan-once baseline by at least the recorded
+``BENCH_voyage.json`` margin scaled by ``--voyage-margin-tolerance``
+(default 50%), the sweep must cover at least four replanning cadences
+plus the 6h-vs-1h headline delta, and all three voyage event kinds
+(storm_avoidance, eta_breach, route_divergence) must flow through the
+platform's event routers. Its report is kept as
+``BENCH_voyage_gate.json``.
+
 Overhead is estimated as the *best adjacent-pair CPU ratio*: every repeat
 runs the two legs back-to-back (order alternating), each pair therefore
 shares the box's momentary mood, and the gate takes the minimum on/off
@@ -305,6 +317,72 @@ def run_warehouse_leg(args) -> tuple[dict, list[str]]:
     return leg, failures
 
 
+def run_voyage_leg(args) -> tuple[dict, list[str]]:
+    """The voyage-optimization gate: re-run the plan-vs-actual cadence
+    sweep smoke-scaled (one seed) as its own process and assert on the
+    report it writes. The sweep is deterministic — neither the planner
+    nor the twin ever reads the wall clock — so the margins are exact
+    reproductions, not box-mood samples."""
+    import subprocess
+
+    harness = Path(__file__).resolve().parent / "run_voyage_bench.py"
+    command = [sys.executable, str(harness), "--smoke",
+               "--output", args.voyage_output]
+    proc = subprocess.run(command, timeout=1_800)
+    if proc.returncode != 0:
+        return {}, [f"voyage bench exited with {proc.returncode}"]
+    report = json.loads(Path(args.voyage_output).read_text())
+
+    failures = []
+    deltas = report["deltas_pct"]
+    margin = deltas.get("6h_vs_none", 0.0)
+    cadences = [label for label, row in report["per_cadence"].items()
+                if row["cadence_s"] is not None]
+    baseline_path = Path(args.voyage_baseline)
+    recorded = json.loads(baseline_path.read_text()).get(
+        "deltas_pct", {}) if baseline_path.exists() else {}
+    floor = recorded.get("6h_vs_none", 0.0) \
+        * (1.0 - args.voyage_margin_tolerance)
+    events = report.get("platform_events", {})
+    print(f"      voyage gate: 6h saves {margin:+.2f}% fuel vs "
+          f"no-replanning (floor {floor:.2f}%), 6h vs 1h "
+          f"{deltas.get('6h_vs_1h', 0.0):+.2f}%, "
+          f"{len(cadences)} cadences, platform events {events}")
+
+    if len(cadences) < 4:
+        failures.append(
+            f"voyage sweep covered only {len(cadences)} replanning "
+            f"cadences (need >= 4)")
+    if "6h_vs_1h" not in deltas:
+        failures.append("voyage sweep recorded no 6h-vs-1h delta")
+    if margin <= 0.0:
+        failures.append(
+            f"6 h replanning saved no fuel over the plan-once baseline "
+            f"({margin:+.2f}%)")
+    elif margin < floor:
+        failures.append(
+            f"6 h replanning margin {margin:.2f}% fell below the floor "
+            f"{floor:.2f}% (recorded {recorded.get('6h_vs_none', 0.0):.2f}% "
+            f"- {args.voyage_margin_tolerance * 100.0:.0f}%)")
+    if not baseline_path.exists():
+        print(f"WARNING: no voyage baseline at {args.voyage_baseline}; "
+              f"margin floor not enforced "
+              f"(run run_voyage_bench.py --record-baseline)",
+              file=sys.stderr)
+    for kind in ("storm_avoidance", "eta_breach", "route_divergence"):
+        if events.get(kind, 0) < 1:
+            failures.append(
+                f"no {kind} event reached the platform's writer pool")
+    leg = {
+        "deltas_pct": deltas,
+        "cadences": len(cadences),
+        "margin_floor_pct": floor,
+        "platform_events": events,
+        "workload": report["workload"],
+    }
+    return leg, failures
+
+
 def run_once(args, telemetry: bool) -> dict:
     """One Figure 6 loopback run (2 nodes, batched transport)."""
     gc.collect()
@@ -499,6 +577,17 @@ def main() -> None:
                              "on box noise)")
     parser.add_argument("--skip-warehouse", action="store_true",
                         help="skip the warehouse compaction/query leg")
+    parser.add_argument("--voyage-baseline", default="BENCH_voyage.json",
+                        help="recorded voyage bench baseline "
+                             "(run_voyage_bench.py --record-baseline)")
+    parser.add_argument("--voyage-margin-tolerance", type=float,
+                        default=0.5,
+                        help="how far below the recorded 6h-vs-none fuel "
+                             "margin the smoke sweep may fall (fraction)")
+    parser.add_argument("--voyage-output",
+                        default="BENCH_voyage_gate.json")
+    parser.add_argument("--skip-voyage", action="store_true",
+                        help="skip the voyage-optimization cadence leg")
     parser.add_argument("--skip-serving", action="store_true",
                         help="skip the serving-tier leg")
     parser.add_argument("--baseline", default="BENCH_cluster.json",
@@ -588,6 +677,13 @@ def main() -> None:
     else:
         warehouse_leg, warehouse_failures = run_warehouse_leg(args)
         failures.extend(warehouse_failures)
+
+    voyage_leg = None
+    if args.skip_voyage:
+        print("      voyage gate: skipped (--skip-voyage)")
+    else:
+        voyage_leg, voyage_failures = run_voyage_leg(args)
+        failures.extend(voyage_failures)
     # The forecast and scaling gates' numbers live next to the recorded
     # baselines they are measured against.
     recorded["forecast_gate"] = forecast_leg
@@ -622,6 +718,7 @@ def main() -> None:
         "forecast_gate": forecast_leg,
         "scaling_gate": scaling_leg,
         "warehouse_gate": warehouse_leg,
+        "voyage_gate": voyage_leg,
         "complete_traces": len(complete),
         "telemetry_snapshot": telemetry_snapshot,
         "failures": failures,

@@ -11,7 +11,9 @@
 * :mod:`repro.evaluation.reporting` — plain-text table/series rendering so
   benchmarks print the same rows the paper reports,
 * :mod:`repro.evaluation.warehouse` — compaction throughput and OLAP query
-  latency over the historical warehouse (BENCH_warehouse.json).
+  latency over the historical warehouse (BENCH_warehouse.json),
+* :mod:`repro.evaluation.voyage` — plan-vs-actual fuel across replanning
+  cadences over the forecast-issuing weather field (BENCH_voyage.json).
 """
 
 from repro.evaluation.metrics import (
@@ -21,6 +23,10 @@ from repro.evaluation.metrics import (
 )
 from repro.evaluation.table1 import Table1Result, run_table1
 from repro.evaluation.table2 import Table2Result, Table2Row, run_table2
+from repro.evaluation.voyage import (
+    VoyageBenchResult,
+    run_voyage_bench,
+)
 from repro.evaluation.warehouse import (
     WarehouseBenchResult,
     generate_traffic_journal,
@@ -47,6 +53,7 @@ __all__ = [
     "Table1Result",
     "Table2Result",
     "Table2Row",
+    "VoyageBenchResult",
     "WarehouseBenchResult",
     "ade_per_horizon",
     "displacement_errors_m",
@@ -57,6 +64,7 @@ __all__ = [
     "run_scaling_point",
     "run_table1",
     "run_table2",
+    "run_voyage_bench",
     "run_warehouse_bench",
     "seeded_svrf_forecaster",
 ]

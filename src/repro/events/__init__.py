@@ -30,9 +30,19 @@ from repro.events.congestion import (
     PortCongestionMonitor,
 )
 from repro.events.avoidance import AvoidanceManeuver, plan_avoidance
+from repro.events.voyage import (
+    VOYAGE_EVENT_KINDS,
+    EtaBreachEvent,
+    RouteDivergenceEvent,
+    StormAvoidanceEvent,
+)
 
 __all__ = [
     "AvoidanceManeuver",
+    "EtaBreachEvent",
+    "RouteDivergenceEvent",
+    "StormAvoidanceEvent",
+    "VOYAGE_EVENT_KINDS",
     "CollisionForecast",
     "CollisionForecaster",
     "CongestionReport",

@@ -13,14 +13,30 @@
 """
 
 from repro.models.base import RouteForecast, RouteForecaster
+from repro.models.fuel import FuelModel
 from repro.models.kinematic import LinearKinematicModel
 from repro.models.svrf import SVRFConfig, SVRFModel, train_svrf
+from repro.models.voyage import (
+    PlanLeg,
+    VoyageOutcome,
+    VoyagePlan,
+    Waypoint,
+    plan_voyage,
+    simulate_voyage,
+)
 
 __all__ = [
+    "FuelModel",
     "LinearKinematicModel",
+    "PlanLeg",
     "RouteForecast",
     "RouteForecaster",
     "SVRFConfig",
     "SVRFModel",
+    "VoyageOutcome",
+    "VoyagePlan",
+    "Waypoint",
+    "plan_voyage",
+    "simulate_voyage",
     "train_svrf",
 ]

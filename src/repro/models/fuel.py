@@ -1,0 +1,110 @@
+"""Fuel-burn model: speed and heading against wind, current, and waves.
+
+A deliberately small resistance model in the spirit of the
+Voyage_Optimization exemplar: calm-water burn grows with the cube of the
+speed *through water*, and the weather adds three penalty terms —
+
+* added wave resistance, ``wave_coeff * stw * wave_height**2``,
+* head-wind drag, ``wind_coeff * stw * head * |head|`` (signed: a
+  tailwind gives relief, a headwind costs), and
+* crosswind leeway, ``cross_coeff * stw * cross**2`` (symmetric: a
+  starboard crosswind costs exactly what the mirrored port one does).
+
+The property suite pins the three structural facts the optimiser relies
+on: burn is strictly positive, strictly increasing in the head-wind
+component, and symmetric under mirrored crosswind. The coefficients are
+sized so the signed wind term can never drag the unclamped burn below the
+idle floor within the model's physical envelope (|wind| <= ~25 m/s,
+speed <= ~25 kn): the calm-water minimum of ``base + hull*stw^3 -
+wind_coeff*25^2*stw`` stays well above ``idle_floor_kg_h``, which keeps
+the clamp from ever flattening the monotonicity.
+
+All pure functions of their arguments — no RNG, no clock — so every
+planner decision replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.constants import KNOTS_TO_MPS
+from repro.weather.field import WeatherSample
+
+
+@dataclass(frozen=True)
+class FuelModel:
+    """Hourly fuel burn (kg/h) for a vessel moving through weather."""
+
+    base_kg_h: float = 40.0      #: hotel load + machinery at any speed
+    hull_coeff: float = 0.09     #: calm-water cubic drag, kg/h per kn^3
+    wave_coeff: float = 0.8      #: added wave resistance, per kn*m^2
+    wind_coeff: float = 0.01     #: signed head-wind drag, per kn*(m/s)^2
+    cross_coeff: float = 0.01    #: crosswind leeway, per kn*(m/s)^2
+    idle_floor_kg_h: float = 5.0  #: burn never reported below this
+
+    def __post_init__(self) -> None:
+        for name in ("base_kg_h", "hull_coeff", "wave_coeff",
+                     "wind_coeff", "cross_coeff", "idle_floor_kg_h"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # -- wind decomposition ----------------------------------------------------------
+
+    @staticmethod
+    def wind_components(heading_deg: float,
+                        weather: WeatherSample) -> tuple[float, float]:
+        """``(headwind, crosswind)`` in m/s for a vessel on
+        ``heading_deg``. Headwind is positive when the wind opposes the
+        motion; crosswind is signed (port/starboard) but only its square
+        ever enters the burn."""
+        heading = math.radians(heading_deg)
+        # Unit vector the bow points along (east, north) components.
+        ahead_e, ahead_n = math.sin(heading), math.cos(heading)
+        headwind = -(weather.wind_u_mps * ahead_e
+                     + weather.wind_v_mps * ahead_n)
+        crosswind = (weather.wind_u_mps * ahead_n
+                     - weather.wind_v_mps * ahead_e)
+        return headwind, crosswind
+
+    @staticmethod
+    def speed_through_water_kn(sog_kn: float, heading_deg: float,
+                               weather: WeatherSample) -> float:
+        """Speed through water: speed over ground minus the along-track
+        current, clamped at bare steerage so a following current never
+        reports a negative waterspeed."""
+        heading = math.radians(heading_deg)
+        ahead_e, ahead_n = math.sin(heading), math.cos(heading)
+        current_along_mps = (weather.current_u_mps * ahead_e
+                             + weather.current_v_mps * ahead_n)
+        stw = sog_kn - current_along_mps / KNOTS_TO_MPS
+        return max(stw, 0.5)
+
+    # -- burn ------------------------------------------------------------------------
+
+    def burn_rate_kg_h(self, sog_kn: float, heading_deg: float,
+                       weather: WeatherSample) -> float:
+        """Instantaneous burn for ``sog_kn`` over ground on
+        ``heading_deg`` through ``weather``."""
+        if sog_kn < 0:
+            raise ValueError("sog_kn must be non-negative")
+        stw = self.speed_through_water_kn(sog_kn, heading_deg, weather)
+        headwind, crosswind = self.wind_components(heading_deg, weather)
+        burn = (self.base_kg_h
+                + self.hull_coeff * stw ** 3
+                + self.wave_coeff * stw * weather.wave_height_m ** 2
+                + self.wind_coeff * stw * headwind * abs(headwind)
+                + self.cross_coeff * stw * crosswind ** 2)
+        return max(burn, self.idle_floor_kg_h)
+
+    def leg_fuel_kg(self, distance_m: float, sog_kn: float,
+                    heading_deg: float, weather: WeatherSample) -> float:
+        """Fuel for one constant-weather leg of ``distance_m`` metres."""
+        if distance_m < 0:
+            raise ValueError("distance_m must be non-negative")
+        if distance_m == 0.0:
+            return 0.0
+        if sog_kn <= 0:
+            raise ValueError("a finite leg needs sog_kn > 0")
+        hours = distance_m / (sog_kn * KNOTS_TO_MPS) / 3600.0
+        return self.burn_rate_kg_h(sog_kn, heading_deg, weather) * hours

@@ -1,0 +1,404 @@
+"""Weather-aware voyage planning and the plan-vs-actual twin.
+
+Pure functions over :class:`~repro.weather.forecast.ForecastingWeatherField`
+and :class:`~repro.models.fuel.FuelModel` — the deterministic core the
+:class:`~repro.platform.route_optimizer.RouteOptimizerService` pools and
+the voyage benchmark sweeps. Two halves:
+
+* :func:`plan_voyage` — the optimiser. Plans the remaining waypoints
+  against *forecasts* from the product issued at ``issue_time(sample_t)``:
+  per leg it considers the direct track plus storm-dodging dog-legs
+  (lateral offsets at the leg midpoint, only when the forecast along the
+  direct track looks rough) and a ladder of speed multipliers, integrates
+  forecast fuel along each candidate, and keeps the cheapest candidate
+  that still fits the leg's share of the remaining deadline budget.
+
+* :func:`simulate_voyage` — the twin. Sails the planned geometry at the
+  planned speeds through the *actual* weather field, accumulating the
+  fuel really burned, and replans the remaining waypoints every
+  ``cadence_s`` (``None`` = plan once and never look back — the
+  no-replanning baseline). The gap between a 1 h and a 12 h cadence is
+  exactly the staleness cost the exemplar's experiment B measures.
+
+Replan instants are *bucket-quantised* (a replan fires when stream time
+crosses a multiple of the cadence), so the sequence of plans a voyage sees
+is a pure function of ``(field seed, route, cadence)`` — independent of
+how the surrounding platform batches, crashes, or migrates shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+
+from repro.geo.constants import KNOTS_TO_MPS
+from repro.geo.geodesy import (
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    midpoint,
+)
+from repro.models.fuel import FuelModel
+from repro.weather.forecast import ForecastingWeatherField
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A (lat, lon) mark on the route."""
+
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class PlanLeg:
+    """One planned leg: the path to sail and the speed to sail it at.
+
+    ``path`` holds the start point, any dog-leg pivot, and the target
+    waypoint; a direct leg has exactly two points.
+    """
+
+    path: tuple[Waypoint, ...]
+    sog_kn: float
+    distance_m: float
+    duration_s: float
+    fuel_kg: float      #: forecast fuel for the leg
+    diverted: bool      #: True when a dog-leg beat the direct track
+
+
+@dataclass(frozen=True)
+class VoyagePlan:
+    """The optimiser's answer for the remaining waypoints."""
+
+    origin: Waypoint
+    legs: tuple[PlanLeg, ...]
+    planned_t: float      #: stream time the plan was computed at
+    issued_t: float       #: forecast product issue the plan used
+    depart_t: float
+    eta_t: float
+    deadline_t: float
+    fuel_kg: float        #: forecast fuel for the whole remaining route
+    diverted: bool        #: any leg dog-legged around forecast weather
+    feasible: bool        #: eta_t <= deadline_t
+
+    @property
+    def eta_slack_s(self) -> float:
+        """Seconds of margin before the deadline (negative = late)."""
+        return self.deadline_t - self.eta_t
+
+    def fingerprint(self) -> str:
+        """Stable digest of the planned geometry and speeds — equal
+        fingerprints mean bitwise-equal routing decisions, which is what
+        the fault-injection campaign compares across crash/migration."""
+        payload = {
+            "issued_t": round(self.issued_t, 6),
+            "eta_t": round(self.eta_t, 3),
+            "fuel_kg": round(self.fuel_kg, 6),
+            "legs": [
+                {
+                    "path": [(round(p.lat, 9), round(p.lon, 9)) for p in leg.path],
+                    "sog_kn": round(leg.sog_kn, 6),
+                }
+                for leg in self.legs
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class VoyageOutcome:
+    """What the twin measured sailing one voyage at one cadence."""
+
+    planned_fuel_kg: float   #: the departure plan's forecast fuel
+    actual_fuel_kg: float    #: fuel actually burned through the truth field
+    planned_eta_t: float
+    arrival_t: float
+    distance_m: float
+    replans: int
+    diversions: int          #: plans (initial or re-) that dog-legged
+
+
+# -- planning -----------------------------------------------------------------------
+
+
+def _leg_candidates(
+    field: ForecastingWeatherField,
+    start: Waypoint,
+    end: Waypoint,
+    sample_t: float,
+    eta_guess_t: float,
+    offset_fraction: float,
+) -> list[tuple[Waypoint, ...]]:
+    """Candidate geometries for one leg: direct, plus port/starboard
+    dog-legs when the forecast along the direct track looks rough."""
+    candidates: list[tuple[Waypoint, ...]] = [(start, end)]
+    if offset_fraction <= 0.0:
+        return candidates
+    distance = haversine_m(start.lat, start.lon, end.lat, end.lon)
+    if distance <= 0.0:
+        return candidates
+    mid_lat, mid_lon = midpoint(start.lat, start.lon, end.lat, end.lon)
+    rough = any(
+        field.forecast_at(lat, lon, sample_t, t).is_rough
+        for lat, lon, t in (
+            (start.lat, start.lon, sample_t),
+            (mid_lat, mid_lon, (sample_t + eta_guess_t) / 2.0),
+            (end.lat, end.lon, eta_guess_t),
+        )
+    )
+    if not rough:
+        return candidates
+    bearing = initial_bearing_deg(start.lat, start.lon, end.lat, end.lon)
+    offset_m = offset_fraction * distance
+    for side in (90.0, -90.0):
+        pivot_lat, pivot_lon = destination_point(mid_lat, mid_lon, bearing + side, offset_m)
+        candidates.append((start, Waypoint(pivot_lat, pivot_lon), end))
+    return candidates
+
+
+def _integrate_leg(
+    field: ForecastingWeatherField,
+    fuel_model: FuelModel,
+    path: tuple[Waypoint, ...],
+    sog_kn: float,
+    sample_t: float,
+    start_t: float,
+    sample_step_s: float,
+) -> tuple[float, float, float]:
+    """Forecast ``(fuel_kg, duration_s, distance_m)`` sailing ``path`` at
+    ``sog_kn``, sampling the forecast product every ``sample_step_s``."""
+    fuel = 0.0
+    t = start_t
+    total_distance = 0.0
+    sog_mps = sog_kn * KNOTS_TO_MPS
+    for seg_start, seg_end in zip(path, path[1:]):
+        seg_dist = haversine_m(seg_start.lat, seg_start.lon, seg_end.lat, seg_end.lon)
+        if seg_dist <= 0.0:
+            continue
+        heading = initial_bearing_deg(seg_start.lat, seg_start.lon, seg_end.lat, seg_end.lon)
+        travelled = 0.0
+        while travelled < seg_dist:
+            step_dist = min(sog_mps * sample_step_s, seg_dist - travelled)
+            dt = step_dist / sog_mps
+            mid_dist = travelled + step_dist / 2.0
+            lat, lon = destination_point(seg_start.lat, seg_start.lon, heading, mid_dist)
+            wx = field.forecast_at(lat, lon, sample_t, t + dt / 2.0)
+            fuel += fuel_model.burn_rate_kg_h(sog_kn, heading, wx) * (dt / 3600.0)
+            travelled += step_dist
+            t += dt
+        total_distance += seg_dist
+    return fuel, t - start_t, total_distance
+
+
+def plan_voyage(
+    field: ForecastingWeatherField,
+    fuel_model: FuelModel,
+    origin: Waypoint,
+    waypoints: tuple[Waypoint, ...],
+    sample_t: float,
+    depart_t: float,
+    deadline_t: float,
+    base_speed_kn: float = 12.0,
+    speed_candidates: tuple[float, ...] = (0.7, 0.85, 1.0, 1.15, 1.3),
+    offset_fraction: float = 0.25,
+    sample_step_s: float = 3600.0,
+) -> VoyagePlan:
+    """Plan the remaining ``waypoints`` from ``origin`` against the
+    forecast product issued at ``issue_time(sample_t)``.
+
+    Greedy per leg: each leg gets a share of the remaining deadline
+    budget proportional to its direct distance; among the candidate
+    (geometry, speed) pairs that fit the budget the cheapest forecast
+    fuel wins, with the fastest candidate as the infeasible fallback.
+    Pure and deterministic for fixed arguments.
+    """
+    if not waypoints:
+        raise ValueError("plan_voyage needs at least one waypoint")
+    if base_speed_kn <= 0:
+        raise ValueError("base_speed_kn must be positive")
+    direct = [
+        haversine_m(a.lat, a.lon, b.lat, b.lon)
+        for a, b in zip((origin,) + waypoints, waypoints)
+    ]
+    remaining_direct = sum(direct)
+    legs: list[PlanLeg] = []
+    here = origin
+    t = depart_t
+    total_fuel = 0.0
+    for target, leg_direct in zip(waypoints, direct):
+        budget = (
+            (deadline_t - t) * (leg_direct / remaining_direct)
+            if remaining_direct > 0.0
+            else deadline_t - t
+        )
+        eta_guess = t + (leg_direct / (base_speed_kn * KNOTS_TO_MPS) if leg_direct else 0.0)
+        geometries = _leg_candidates(field, here, target, sample_t, eta_guess, offset_fraction)
+        best: PlanLeg | None = None
+        fastest: PlanLeg | None = None
+        for path in geometries:
+            for multiplier in speed_candidates:
+                sog = base_speed_kn * multiplier
+                fuel, duration, distance = _integrate_leg(
+                    field, fuel_model, path, sog, sample_t, t, sample_step_s
+                )
+                leg = PlanLeg(
+                    path=path,
+                    sog_kn=sog,
+                    distance_m=distance,
+                    duration_s=duration,
+                    fuel_kg=fuel,
+                    diverted=len(path) > 2,
+                )
+                if fastest is None or leg.duration_s < fastest.duration_s:
+                    fastest = leg
+                if leg.duration_s <= budget and (best is None or leg.fuel_kg < best.fuel_kg):
+                    best = leg
+        chosen = best if best is not None else fastest
+        assert chosen is not None
+        legs.append(chosen)
+        total_fuel += chosen.fuel_kg
+        t += chosen.duration_s
+        here = target
+        remaining_direct -= leg_direct
+    return VoyagePlan(
+        origin=origin,
+        legs=tuple(legs),
+        planned_t=sample_t,
+        issued_t=field.issue_time(sample_t),
+        depart_t=depart_t,
+        eta_t=t,
+        deadline_t=deadline_t,
+        fuel_kg=total_fuel,
+        diverted=any(leg.diverted for leg in legs),
+        feasible=t <= deadline_t,
+    )
+
+
+# -- the plan-vs-actual twin --------------------------------------------------------
+
+
+def _crossed_bucket(last_t: float, t: float, cadence_s: float) -> bool:
+    """True when stream time crossed a replan boundary since ``last_t``."""
+    if last_t == -math.inf:
+        return True
+    return int(t // cadence_s) > int(last_t // cadence_s)
+
+
+def simulate_voyage(
+    field: ForecastingWeatherField,
+    fuel_model: FuelModel,
+    origin: Waypoint,
+    waypoints: tuple[Waypoint, ...],
+    depart_t: float,
+    deadline_t: float,
+    base_speed_kn: float = 12.0,
+    cadence_s: float | None = None,
+    speed_candidates: tuple[float, ...] = (0.7, 0.85, 1.0, 1.15, 1.3),
+    offset_fraction: float = 0.25,
+    sample_step_s: float = 3600.0,
+    max_steps: int = 200_000,
+) -> VoyageOutcome:
+    """Sail the route with rolling-horizon replanning every ``cadence_s``
+    (``None`` = plan once at departure), burning fuel through the
+    *actual* weather while every plan only ever saw forecasts."""
+
+    def make_plan(here: Waypoint, remaining: tuple[Waypoint, ...], t: float) -> VoyagePlan:
+        return plan_voyage(
+            field,
+            fuel_model,
+            here,
+            remaining,
+            sample_t=t,
+            depart_t=t,
+            deadline_t=deadline_t,
+            base_speed_kn=base_speed_kn,
+            speed_candidates=speed_candidates,
+            offset_fraction=offset_fraction,
+            sample_step_s=sample_step_s,
+        )
+
+    remaining = tuple(waypoints)
+    here = origin
+    t = depart_t
+    plan = make_plan(here, remaining, t)
+    planned_fuel = plan.fuel_kg
+    planned_eta = plan.eta_t
+    last_plan_t = t
+    replans = 0
+    diversions = 1 if plan.diverted else 0
+    actual_fuel = 0.0
+    distance = 0.0
+    steps = 0
+    while remaining:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError("simulate_voyage failed to converge")
+        leg = plan.legs[0]
+        sog_mps = leg.sog_kn * KNOTS_TO_MPS
+        replanned = False
+        for seg_start, seg_end in zip(leg.path, leg.path[1:]):
+            seg_dist = haversine_m(seg_start.lat, seg_start.lon, seg_end.lat, seg_end.lon)
+            if seg_dist <= 0.0:
+                continue
+            heading = initial_bearing_deg(
+                seg_start.lat, seg_start.lon, seg_end.lat, seg_end.lon
+            )
+            travelled = 0.0
+            while travelled < seg_dist:
+                step_dist = min(sog_mps * sample_step_s, seg_dist - travelled)
+                dt = step_dist / sog_mps
+                mid = travelled + step_dist / 2.0
+                lat, lon = destination_point(seg_start.lat, seg_start.lon, heading, mid)
+                wx = field.actual(lat, lon, t + dt / 2.0)
+                actual_fuel += fuel_model.burn_rate_kg_h(leg.sog_kn, heading, wx) * (
+                    dt / 3600.0
+                )
+                travelled += step_dist
+                distance += step_dist
+                t += dt
+                if (
+                    cadence_s is not None
+                    and _crossed_bucket(last_plan_t, t, cadence_s)
+                    and travelled < seg_dist
+                ):
+                    here = Waypoint(
+                        *destination_point(seg_start.lat, seg_start.lon, heading, travelled)
+                    )
+                    plan = make_plan(here, remaining, t)
+                    last_plan_t = t
+                    replans += 1
+                    if plan.diverted:
+                        diversions += 1
+                    replanned = True
+                    break
+            if replanned:
+                break
+        if not replanned:
+            here = remaining[0]
+            remaining = remaining[1:]
+            if remaining:
+                plan = VoyagePlan(
+                    origin=here,
+                    legs=plan.legs[1:],
+                    planned_t=plan.planned_t,
+                    issued_t=plan.issued_t,
+                    depart_t=t,
+                    eta_t=plan.eta_t,
+                    deadline_t=deadline_t,
+                    fuel_kg=sum(leg.fuel_kg for leg in plan.legs[1:]),
+                    diverted=any(leg.diverted for leg in plan.legs[1:]),
+                    feasible=plan.feasible,
+                )
+    return VoyageOutcome(
+        planned_fuel_kg=planned_fuel,
+        actual_fuel_kg=actual_fuel,
+        planned_eta_t=planned_eta,
+        arrival_t=t,
+        distance_m=distance,
+        replans=replans,
+        diversions=diversions,
+    )
+

@@ -98,6 +98,42 @@ class PlatformConfig:
     #: Bound on a replica feed subscription created via
     #: :meth:`Platform.subscribe_replication` (drop-oldest past this).
     serving_feed_maxlen: int = 10_000
+    #: Enable the voyage-optimization subsystem: a per-node weather field
+    #: issuing forecasts on an update cycle, a fuel model, and the pooled
+    #: :class:`~repro.platform.route_optimizer.RouteOptimizerService`
+    #: replanning assigned voyages on a rolling horizon (see VOYAGE.md).
+    voyage_optimization: bool = False
+    #: Seed of the node's :class:`ForecastingWeatherField` (truth +
+    #: climatology). Identical on every node by construction.
+    weather_seed: int = 0
+    #: Forecast product update cycle (the exemplar's 6-hourly wind).
+    weather_update_cycle_s: float = 21_600.0
+    #: e-folding time of forecast degradation toward climatology.
+    weather_degradation_tau_s: float = 43_200.0
+    #: Peak wind the synthetic truth/climatology fields can produce.
+    weather_max_wind_mps: float = 18.0
+    #: Replan an assigned voyage when stream time crosses a multiple of
+    #: this cadence (bucket-quantised, so the plan sequence is independent
+    #: of batching, crashes and migrations).
+    voyage_replan_cadence_s: float = 21_600.0
+    #: Execute the pending pooled planning batch at this many vessels.
+    voyage_batch_max: int = 64
+    #: Execute a partial planning batch after this much virtual time.
+    voyage_linger_s: float = 0.5
+    #: Default commanded speed for assigned voyages, knots.
+    voyage_base_speed_kn: float = 12.0
+    #: Speed multipliers the planner may choose per leg.
+    voyage_speed_candidates: tuple[float, ...] = (0.7, 0.85, 1.0, 1.15, 1.3)
+    #: Dog-leg pivot offset as a fraction of the leg length (0 disables
+    #: storm-dodging geometry).
+    voyage_offset_fraction: float = 0.25
+    #: Integration step when sampling weather along candidate legs.
+    voyage_sample_step_s: float = 3_600.0
+    #: Emit ``eta_breach`` when a plan's deadline slack falls below this.
+    voyage_eta_breach_s: float = 1_800.0
+    #: Emit ``route_divergence`` when a fix sits further than this from
+    #: the planned track.
+    voyage_divergence_m: float = 5_000.0
 
     def __post_init__(self) -> None:
         if self.downsample_s < 0:
@@ -122,3 +158,25 @@ class PlatformConfig:
             raise ValueError("event_dedup_max must be >= 1")
         if self.serving_feed_maxlen < 1:
             raise ValueError("serving_feed_maxlen must be >= 1")
+        if self.weather_update_cycle_s <= 0:
+            raise ValueError("weather_update_cycle_s must be positive")
+        if self.weather_degradation_tau_s <= 0:
+            raise ValueError("weather_degradation_tau_s must be positive")
+        if self.voyage_replan_cadence_s <= 0:
+            raise ValueError("voyage_replan_cadence_s must be positive")
+        if self.voyage_batch_max < 1:
+            raise ValueError("voyage_batch_max must be >= 1")
+        if self.voyage_linger_s < 0:
+            raise ValueError("voyage_linger_s must be non-negative")
+        if self.voyage_base_speed_kn <= 0:
+            raise ValueError("voyage_base_speed_kn must be positive")
+        if not self.voyage_speed_candidates or any(
+                m <= 0 for m in self.voyage_speed_candidates):
+            raise ValueError(
+                "voyage_speed_candidates must be non-empty and positive")
+        if self.voyage_offset_fraction < 0:
+            raise ValueError("voyage_offset_fraction must be non-negative")
+        if self.voyage_sample_step_s <= 0:
+            raise ValueError("voyage_sample_step_s must be positive")
+        if self.voyage_divergence_m <= 0:
+            raise ValueError("voyage_divergence_m must be positive")

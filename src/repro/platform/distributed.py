@@ -60,7 +60,11 @@ from repro.platform.messages import (
     PruneTick,
     RestoreState,
 )
-from repro.platform.pipeline import PlatformWiring, build_forecast_service
+from repro.platform.pipeline import (
+    PlatformWiring,
+    build_forecast_service,
+    build_route_optimizer,
+)
 from repro.platform.vessel_actor import VesselActor
 from repro.platform.writer_actor import WriterPool
 from repro.streams import (
@@ -131,6 +135,7 @@ class DistributedPlatform:
         wiring.flow_ref = self.system.spawn(
             lambda: FlowActor(wiring), "vtff")
         wiring.forecast_service = build_forecast_service(wiring)
+        wiring.route_optimizer = build_route_optimizer(wiring)
 
         self.ingestion: IngestionService | None = None
         if is_seed:
@@ -170,6 +175,8 @@ class DistributedPlatform:
                               lambda params: self.flush_writers())
         node.register_control("flush_forecasts",
                               lambda params: self.flush_forecasts())
+        node.register_control("flush_plans",
+                              lambda params: self.flush_plans())
 
     # -- publishing (seed only) ------------------------------------------------------
 
@@ -374,6 +381,28 @@ class DistributedPlatform:
         service = self.wiring.forecast_service
         return {"flushed": service.flush() if service is not None else 0}
 
+    def flush_plans(self) -> dict:
+        """Execute this node's pending pooled planning batch (the
+        ``flush_plans`` control op). Flushed and settled *before* the
+        writers, like forecasts: PlanReady replies can emit voyage
+        events that must make the same writer-flush barrier."""
+        service = self.wiring.route_optimizer
+        return {"flushed": service.flush() if service is not None else 0}
+
+    def assign_voyage(self, mmsi: int, waypoints, deadline_t: float,
+                      base_speed_kn: float | None = None) -> None:
+        """Route a voyage assignment to wherever the vessel's twin is
+        sharded (async; pump the cluster afterwards)."""
+        if not self.config.voyage_optimization:
+            raise RuntimeError(
+                "voyage_optimization is disabled in this PlatformConfig")
+        from repro.platform.messages import VoyageAssigned
+        self.wiring.vessel_router.tell(mmsi, VoyageAssigned(
+            mmsi=mmsi,
+            waypoints=tuple((float(lat), float(lon))
+                            for lat, lon in waypoints),
+            deadline_t=deadline_t, base_speed_kn=base_speed_kn))
+
     def export_outputs(self) -> dict:
         """Snapshot this node's durably written KV outputs (event logs,
         vessel state rows) for hand-off during a graceful scale-in. The
@@ -520,7 +549,18 @@ class LoopbackCluster:
             platform.flush_forecasts()
         self.settle()
         for platform in self.platforms:
+            platform.flush_plans()
+        self.settle()
+        for platform in self.platforms:
             platform.flush_writers()
+        self.settle()
+
+    def assign_voyage(self, mmsi: int, waypoints, deadline_t: float,
+                      base_speed_kn: float | None = None) -> None:
+        """Assign a voyage through the seed's sharded router and settle,
+        so the twin holds the assignment wherever it lives."""
+        self.seed.assign_voyage(mmsi, waypoints, deadline_t,
+                                base_speed_kn=base_speed_kn)
         self.settle()
 
     def tick(self, dt_s: float) -> None:
@@ -612,6 +652,8 @@ class LoopbackCluster:
         # entity actors migrated out with their dedup state intact, so
         # nothing will ever re-emit these events.
         platform.flush_forecasts()
+        self.settle()
+        platform.flush_plans()
         self.settle()
         platform.flush_writers()
         self.settle()

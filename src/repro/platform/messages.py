@@ -119,6 +119,39 @@ class EventRecord:
 
 
 @dataclass(frozen=True)
+class VoyageAssigned:
+    """Operator -> vessel actor: sail these waypoints by this deadline.
+
+    Waypoints travel as plain ``(lat, lon)`` tuples so the assignment
+    crosses node boundaries without dragging model types over the wire.
+    """
+
+    mmsi: int
+    waypoints: tuple[tuple[float, float], ...]
+    deadline_t: float
+    base_speed_kn: float | None = None   #: None: the config default
+
+
+@dataclass(frozen=True)
+class PlanReady:
+    """Route optimizer -> vessel actor: the pooled planning batch holding
+    this vessel's replan request was executed; adopt the plan and emit
+    whatever voyage events it implies."""
+
+    plan: Any                  #: a :class:`repro.models.voyage.VoyagePlan`
+    t_submitted: float = 0.0   #: virtual time the request was pooled at
+
+
+@dataclass(frozen=True)
+class PlanFlush:
+    """Linger timer -> plan flush actor: execute the pending planning
+    batch. Same staleness scheme as :class:`ForecastFlush`."""
+
+    reason: str = "explicit"   #: "linger" | "max_batch" | "explicit"
+    seq: int | None = None
+
+
+@dataclass(frozen=True)
 class PruneTick:
     """Scheduler -> stateful actors: periodic memory housekeeping."""
 

@@ -29,9 +29,10 @@ from repro.platform.cell_actor import (
     FlowActor,
     ProximityCellActor,
 )
+from repro.events.voyage import VOYAGE_EVENT_KINDS
 from repro.platform.config import PlatformConfig
 from repro.platform.ingestion import IngestionService
-from repro.platform.messages import PruneTick
+from repro.platform.messages import PruneTick, VoyageAssigned
 from repro.platform.vessel_actor import VesselActor
 from repro.platform.writer_actor import WriterPool
 from repro.streams import Broker, PositionBlock, Producer, TopicConfig
@@ -63,6 +64,12 @@ class PlatformWiring:
     #: Pooled batched-inference service (None: synchronous per-vessel
     #: forecasts, either by configuration or a batch-less forecaster).
     forecast_service: object = field(init=False, default=None)
+    #: Voyage-optimization trio (None unless ``voyage_optimization``):
+    #: the node's ForecastingWeatherField, its FuelModel, and the pooled
+    #: RouteOptimizerService replanning assigned voyages.
+    weather: object = field(init=False, default=None)
+    fuel_model: object = field(init=False, default=None)
+    route_optimizer: object = field(init=False, default=None)
 
 
 def build_forecast_service(wiring: PlatformWiring):
@@ -82,6 +89,35 @@ def build_forecast_service(wiring: PlatformWiring):
     service = ForecastService(wiring)
     service.flush_ref = wiring.system.spawn(
         lambda: ForecastFlushActor(service), "forecast-flush")
+    return service
+
+
+def build_route_optimizer(wiring: PlatformWiring):
+    """Wire the voyage-optimization subsystem when enabled.
+
+    Builds the node's forecast-issuing weather field and fuel model
+    (pure functions of the config, hence identical on every node) and
+    the pooled :class:`RouteOptimizerService` with its linger-timer
+    flush actor. Returns the service or None when disabled.
+    """
+    config = wiring.config
+    if not config.voyage_optimization:
+        return None
+    from repro.models.fuel import FuelModel
+    from repro.platform.route_optimizer import (
+        PlanFlushActor,
+        RouteOptimizerService,
+    )
+    from repro.weather.forecast import ForecastingWeatherField
+    wiring.weather = ForecastingWeatherField(
+        seed=config.weather_seed,
+        update_cycle_s=config.weather_update_cycle_s,
+        degradation_tau_s=config.weather_degradation_tau_s,
+        max_wind_mps=config.weather_max_wind_mps)
+    wiring.fuel_model = FuelModel()
+    service = RouteOptimizerService(wiring)
+    service.flush_ref = wiring.system.spawn(
+        lambda: PlanFlushActor(service), "plan-flush")
     return service
 
 
@@ -108,7 +144,10 @@ class Platform:
         if self.config.output_topics:
             self.broker.create_topic(TopicConfig(
                 self.config.output_state_topic, num_partitions=4))
-            for kind in ("proximity", "collision", "switchoff"):
+            kinds = ("proximity", "collision", "switchoff")
+            if self.config.voyage_optimization:
+                kinds += VOYAGE_EVENT_KINDS
+            for kind in kinds:
                 self.broker.create_topic(TopicConfig(
                     f"{self.config.output_event_topic_prefix}.{kind}",
                     num_partitions=1))
@@ -144,6 +183,7 @@ class Platform:
         wiring.flow_ref = self.system.spawn(
             lambda: FlowActor(wiring), "vtff")
         wiring.forecast_service = build_forecast_service(wiring)
+        wiring.route_optimizer = build_route_optimizer(wiring)
 
         self.ingestion = IngestionService(wiring)
         self.api = MiddlewareAPI(self.kvstore, self.pubsub, self)
@@ -208,6 +248,11 @@ class Platform:
         if self.wiring.forecast_service is not None:
             self.wiring.forecast_service.flush()
             self._settle()
+        if self.wiring.route_optimizer is not None:
+            # Plan replies can emit voyage events, so they must land
+            # before the writer flush for the same reason.
+            self.wiring.route_optimizer.flush()
+            self._settle()
         self.wiring.writer_ref.flush()
         self._settle()
         return total
@@ -217,6 +262,25 @@ class Platform:
             self.system.run_until_idle()
         else:
             self.system.await_idle()
+
+    def assign_voyage(self, mmsi: int,
+                      waypoints: Sequence[tuple[float, float]],
+                      deadline_t: float,
+                      base_speed_kn: float | None = None) -> None:
+        """Assign a voyage to a vessel's twin: sail ``waypoints`` (as
+        ``(lat, lon)`` pairs) by ``deadline_t``. Requires
+        ``voyage_optimization=True``; the twin replans on the configured
+        cadence from then on and emits voyage events through the writer
+        pool."""
+        if self.wiring.route_optimizer is None:
+            raise RuntimeError(
+                "voyage_optimization is disabled in this PlatformConfig")
+        self.wiring.vessel_router.tell(mmsi, VoyageAssigned(
+            mmsi=mmsi,
+            waypoints=tuple((float(lat), float(lon))
+                            for lat, lon in waypoints),
+            deadline_t=deadline_t, base_speed_kn=base_speed_kn))
+        self._settle()
 
     def housekeeping(self) -> None:
         """Broadcast a prune tick to all spatial actors (memory bound)."""

@@ -37,12 +37,15 @@ from repro.platform.history import HistoryRing
 from repro.platform.messages import (
     CellObservation,
     CollisionAlert,
+    EventRecord,
     ForecastReady,
     ForecastShared,
+    PlanReady,
     PositionIngested,
     ProximityAlert,
     RestoreState,
     VesselStateUpdate,
+    VoyageAssigned,
 )
 
 if TYPE_CHECKING:
@@ -106,12 +109,25 @@ class VesselActor(Actor):
         #: state update deferred until the ForecastReady reply.
         self.pending_forecast = False
         self.event_flags: deque[str] = deque(maxlen=8)
+        #: Voyage-optimization state (None until a VoyageAssigned lands):
+        #: the assignment, the freshest plan, the bucket-quantised replan
+        #: cursor, the in-flight-replan marker, and per-kind emission
+        #: marks bounding event re-emission after replays.
+        self.voyage: dict | None = None
+        self.voyage_plan = None
+        self.last_replan_t = float("-inf")
+        self.pending_plan = False
+        self.voyage_event_marks: dict[str, float] = {}
 
     def receive(self, message, ctx: ActorContext) -> None:
         if isinstance(message, PositionIngested):
             self._on_position(message, ctx)
         elif isinstance(message, ForecastReady):
             self._on_forecast_ready(message, ctx)
+        elif isinstance(message, VoyageAssigned):
+            self._on_voyage_assigned(message)
+        elif isinstance(message, PlanReady):
+            self._on_plan_ready(message, ctx)
         elif isinstance(message, ProximityAlert):
             self.event_flags.append(f"proximity@{message.event.t:.0f}")
         elif isinstance(message, CollisionAlert):
@@ -136,6 +152,14 @@ class VesselActor(Actor):
             "latest_forecast": self.latest_forecast,
             "pending_forecast": self.pending_forecast,
             "event_flags": list(self.event_flags),
+            # Voyage assignment and plan state ride the same snapshot:
+            # assignments are not in the AIS stream, so replay alone can
+            # never rebuild them — recovery MUST carry them across.
+            "voyage": self.voyage,
+            "voyage_plan": self.voyage_plan,
+            "last_replan_t": self.last_replan_t,
+            "pending_plan": self.pending_plan,
+            "voyage_event_marks": dict(self.voyage_event_marks),
         }
 
     def restore_state(self, state: dict,
@@ -153,10 +177,23 @@ class VesselActor(Actor):
         self.latest_forecast = state["latest_forecast"]
         self.event_flags = deque(state["event_flags"], maxlen=8)
         self.pending_forecast = False
+        self.voyage = state.get("voyage")
+        self.voyage_plan = state.get("voyage_plan")
+        self.last_replan_t = state.get("last_replan_t", float("-inf"))
+        self.voyage_event_marks = dict(state.get("voyage_event_marks", {}))
+        self.pending_plan = False
         if state.get("pending_forecast") and ctx is not None:
             # The snapshot caught a request in flight inside the (now gone)
             # node's forecast service: re-pool it from the restored window.
             self._request_forecast(ctx)
+        if (state.get("pending_plan") and ctx is not None
+                and self.voyage is not None
+                and self.last_message is not None):
+            # Same for a replan caught inside the dead node's route
+            # optimizer: re-pool it from the restored last fix. The replan
+            # anchor is the fix's stream time, so the reissued plan is
+            # identical to the one the crash swallowed.
+            self._request_plan(self.last_message, ctx)
 
     # -- handlers -----------------------------------------------------------------
 
@@ -179,6 +216,10 @@ class VesselActor(Actor):
         wiring.cell_router.tell(prox_cell, CellObservation(
             cell=prox_cell, mmsi=self.mmsi, t=report.t,
             lat=report.lat, lon=report.lon), sender=ctx.self_ref)
+
+        # Voyage optimization: divergence watch + rolling-horizon replan.
+        if self.voyage is not None:
+            self._on_voyage_fix(report, ctx)
 
         # Forecasting: run the shared model once enough history exists —
         # the full window normally, or a padded short window when the
@@ -214,6 +255,116 @@ class VesselActor(Actor):
             mmsi=self.mmsi, t=t, lat=report.lat, lon=report.lon,
             sog=report.sog, cog=report.cog, forecast=self.latest_forecast,
             event_flags=tuple(self.event_flags)), sender=ctx.self_ref)
+
+    # -- voyage optimization --------------------------------------------------------
+
+    def _on_voyage_assigned(self, msg: VoyageAssigned) -> None:
+        speed = (msg.base_speed_kn if msg.base_speed_kn is not None
+                 else self.wiring.config.voyage_base_speed_kn)
+        self.voyage = {
+            "waypoints": msg.waypoints,
+            "deadline_t": msg.deadline_t,
+            "base_speed_kn": speed,
+        }
+        self.voyage_plan = None
+        self.last_replan_t = float("-inf")
+        self.pending_plan = False
+
+    def _on_voyage_fix(self, report, ctx: ActorContext) -> None:
+        config = self.wiring.config
+        plan = self.voyage_plan
+        if plan is not None:
+            off_track = self._cross_track_m(report.lat, report.lon, plan)
+            if off_track > config.voyage_divergence_m:
+                from repro.events.voyage import RouteDivergenceEvent
+                self._emit_voyage_event(
+                    "route_divergence",
+                    RouteDivergenceEvent(
+                        mmsi=self.mmsi, t=report.t,
+                        cross_track_m=off_track,
+                        threshold_m=config.voyage_divergence_m),
+                    report.t, ctx)
+        # Bucket-quantised trigger: replan when stream time crosses a
+        # multiple of the cadence — a pure function of the fix stream, so
+        # the plan sequence survives crashes and migrations unchanged.
+        cadence = config.voyage_replan_cadence_s
+        crossed = (self.last_replan_t == float("-inf")
+                   or int(report.t // cadence)
+                   > int(self.last_replan_t // cadence))
+        if crossed and not self.pending_plan:
+            self._request_plan(report, ctx)
+
+    def _request_plan(self, report, ctx: ActorContext) -> None:
+        from repro.models.voyage import Waypoint
+        voyage = self.voyage
+        self.pending_plan = True
+        self.last_replan_t = report.t
+        self.wiring.route_optimizer.submit(
+            self.mmsi, Waypoint(report.lat, report.lon),
+            tuple(Waypoint(lat, lon) for lat, lon in voyage["waypoints"]),
+            voyage["deadline_t"], voyage["base_speed_kn"],
+            sample_t=report.t, ctx=ctx)
+
+    def _on_plan_ready(self, msg: PlanReady, ctx: ActorContext) -> None:
+        self.pending_plan = False
+        plan = msg.plan
+        if plan is None:
+            return
+        self.voyage_plan = plan
+        config = self.wiring.config
+        if plan.diverted:
+            from repro.events.voyage import StormAvoidanceEvent
+            self._emit_voyage_event(
+                "storm_avoidance",
+                StormAvoidanceEvent(
+                    mmsi=self.mmsi, t=plan.planned_t,
+                    issued_t=plan.issued_t,
+                    legs_diverted=sum(
+                        1 for leg in plan.legs if leg.diverted),
+                    planned_fuel_kg=plan.fuel_kg),
+                plan.planned_t, ctx)
+        if plan.eta_slack_s < config.voyage_eta_breach_s:
+            from repro.events.voyage import EtaBreachEvent
+            self._emit_voyage_event(
+                "eta_breach",
+                EtaBreachEvent(
+                    mmsi=self.mmsi, t=plan.planned_t, eta_t=plan.eta_t,
+                    deadline_t=plan.deadline_t,
+                    slack_s=plan.eta_slack_s),
+                plan.planned_t, ctx)
+
+    def _emit_voyage_event(self, kind: str, payload, t: float,
+                           ctx: ActorContext) -> None:
+        """Route one voyage event to the writer pool, at most once per
+        stream instant per kind — the mark rides the checkpoint, so a
+        recovered twin only re-emits events the snapshot had not covered
+        (the campaign's set-based parity absorbs those replays)."""
+        if t <= self.voyage_event_marks.get(kind, float("-inf")):
+            return
+        self.voyage_event_marks[kind] = t
+        self.event_flags.append(f"{kind}@{t:.0f}")
+        self.wiring.writer_ref.tell(
+            EventRecord(kind=kind, t=t, payload=payload),
+            sender=ctx.self_ref)
+
+    @staticmethod
+    def _cross_track_m(lat: float, lon: float, plan) -> float:
+        """Lower bound on the distance from a fix to the planned track:
+        the minimum over segments of min(|cross-track|, distance to
+        either endpoint). A lower bound can only *under*-report
+        divergence — never a false alarm from the great-circle extension
+        of a short segment passing near the fix."""
+        from repro.geo.geodesy import cross_track_distance_m, haversine_m
+        best = float("inf")
+        for leg in plan.legs:
+            for a, b in zip(leg.path, leg.path[1:]):
+                d = abs(cross_track_distance_m(
+                    lat, lon, a.lat, a.lon, b.lat, b.lon))
+                d = min(d, haversine_m(lat, lon, a.lat, a.lon),
+                        haversine_m(lat, lon, b.lat, b.lon))
+                if d < best:
+                    best = d
+        return best
 
     # -- forecasting ---------------------------------------------------------------
 

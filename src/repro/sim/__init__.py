@@ -46,6 +46,11 @@ from repro.sim.scenario import (
     run_scenario,
 )
 from repro.sim.transport import SimHub
+from repro.sim.voyage import (
+    VoyageReport,
+    VoyageScenario,
+    run_voyage_scenario,
+)
 from repro.sim.warehouse import (
     WarehouseReport,
     WarehouseScenario,
@@ -65,6 +70,8 @@ __all__ = [
     "SimHub",
     "SimReport",
     "Violation",
+    "VoyageReport",
+    "VoyageScenario",
     "WarehouseReport",
     "WarehouseScenario",
     "Workload",
@@ -72,5 +79,6 @@ __all__ = [
     "run_rebalance_scenario",
     "run_recovery_scenario",
     "run_scenario",
+    "run_voyage_scenario",
     "run_warehouse_scenario",
 ]

@@ -10,11 +10,15 @@ the paper's outlook.
 """
 
 from repro.weather.field import WeatherField, WeatherSample
-from repro.weather.enrichment import CellWeather, enrich_cells
+from repro.weather.enrichment import CellWeather, enrich_cells, enrich_cells_forecast
+from repro.weather.forecast import ForecastSample, ForecastingWeatherField
 
 __all__ = [
     "CellWeather",
+    "ForecastSample",
+    "ForecastingWeatherField",
     "WeatherField",
     "WeatherSample",
     "enrich_cells",
+    "enrich_cells_forecast",
 ]

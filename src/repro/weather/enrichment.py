@@ -42,3 +42,21 @@ def enrich_cells(field: WeatherField, cells: list[int], t: float
         out[cell] = CellWeather(cell=cell, t=t,
                                 sample=field.sample(lat, lon, t))
     return out
+
+
+def enrich_cells_forecast(field, cells: list[int], sample_t: float,
+                          target_t: float) -> dict[int, CellWeather]:
+    """Forecast-based enrichment: the *predicted* weather at each cell
+    centre for ``target_t``, as issued by the product current at
+    ``sample_t`` (a :class:`~repro.weather.forecast.ForecastingWeatherField`).
+
+    Same join keys as :func:`enrich_cells`; the samples carry their
+    issue/target times so consumers can reason about staleness.
+    """
+    out = {}
+    for cell in cells:
+        lat, lon = cell_to_latlng(cell)
+        out[cell] = CellWeather(
+            cell=cell, t=target_t,
+            sample=field.forecast_at(lat, lon, sample_t, target_t))
+    return out

@@ -1,0 +1,136 @@
+"""Forecast-issuing weather fields with update cycles and staleness.
+
+The static :class:`~repro.weather.field.WeatherField` answers "what is the
+weather" — a perfect-prog oracle. Real voyage optimisation plans against
+*numerical weather prediction products*, which are issued on a fixed update
+cycle (wind every 6 h in the exemplar repo) and degrade with lead time.
+:class:`ForecastingWeatherField` models exactly that split, keyed on the
+exemplar's two time dimensions:
+
+* ``sample_t`` — when the forecast was requested; it is quantised down to
+  the product's *issue time* (``issue_time(sample_t)``), so every request
+  inside one update cycle sees the same frozen product,
+* ``target_t`` — the future instant the forecast is *for*.
+
+The forecast for horizon ``h = target_t - issue`` blends the truth field
+toward a fixed climatology field, component by component::
+
+    forecast_c = (1 - w(h)) * actual_c(target_t) + w(h) * climatology_c
+    w(h)       = 1 - exp(-h / degradation_tau_s)
+
+so the per-component forecast error is exactly
+``w(h) * |climatology_c - actual_c|`` — zero at horizon 0 (actuals equal
+zero-horizon forecasts, bit for bit) and monotonically non-decreasing in
+the horizon for a fixed target, which the Hypothesis property suite pins.
+Each of the five components (wind u/v, current u/v, wave height) is
+blended independently, like separate NWP products each with its own error
+growth; the blended wave height is therefore *not* re-derived from the
+blended wind.
+
+Everything is a pure function of ``(seed, sample_t, target_t, lat, lon)``
+— no RNG at query time, no wall clock — so the optimiser-vs-twin split
+("plan against forecasts, sail through actuals") replays deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.weather.field import WeatherField, WeatherSample
+
+#: Seed perturbation separating the climatology field from the truth field
+#: (same seed must not make the forecast error identically zero).
+_CLIMATOLOGY_SEED_SALT = 0x5EA_FA11
+
+
+@dataclass(frozen=True)
+class ForecastSample(WeatherSample):
+    """One forecast product value, carrying its two time dimensions."""
+
+    issued_t: float = 0.0    #: issue time of the product (cycle-quantised)
+    target_t: float = 0.0    #: the instant this forecast is for
+    horizon_s: float = 0.0   #: ``target_t - issued_t`` (the staleness)
+
+
+class ForecastingWeatherField:
+    """Actual-vs-forecast weather on a configurable update cycle."""
+
+    def __init__(self, seed: int = 0, update_cycle_s: float = 6 * 3600.0,
+                 degradation_tau_s: float = 36 * 3600.0,
+                 **field_kwargs) -> None:
+        if update_cycle_s <= 0:
+            raise ValueError("update_cycle_s must be positive")
+        if degradation_tau_s <= 0:
+            raise ValueError("degradation_tau_s must be positive")
+        self.seed = seed
+        self.update_cycle_s = update_cycle_s
+        self.degradation_tau_s = degradation_tau_s
+        #: The truth: what the twin actually sails through.
+        self.truth = WeatherField(seed=seed, **field_kwargs)
+        #: The long-run prior forecasts decay toward. A second seeded field
+        #: *frozen at t=0*: spatially plausible, time-invariant — the
+        #: "climatology" a real product relaxes to at long lead times.
+        self._climatology = WeatherField(
+            seed=seed ^ _CLIMATOLOGY_SEED_SALT, **field_kwargs)
+
+    # -- the two time dimensions -----------------------------------------------------
+
+    def issue_time(self, sample_t: float) -> float:
+        """The newest product issue at or before ``sample_t``."""
+        return math.floor(sample_t / self.update_cycle_s) \
+            * self.update_cycle_s
+
+    def staleness_weight(self, horizon_s: float) -> float:
+        """``w(h) = 1 - exp(-h / tau)``: 0 at horizon 0, -> 1 as the
+        forecast ages toward pure climatology."""
+        return 1.0 - math.exp(-max(horizon_s, 0.0)
+                              / self.degradation_tau_s)
+
+    # -- sampling --------------------------------------------------------------------
+
+    def actual(self, lat: float, lon: float, t: float) -> WeatherSample:
+        """The weather that actually happens at ``(lat, lon, t)``."""
+        return self.truth.sample(lat, lon, t)
+
+    def climatology(self, lat: float, lon: float) -> WeatherSample:
+        """The time-invariant prior at ``(lat, lon)``."""
+        return self._climatology.sample(lat, lon, 0.0)
+
+    def forecast_at(self, lat: float, lon: float, sample_t: float,
+                    target_t: float) -> ForecastSample:
+        """The forecast for ``target_t`` from the product issued at
+        ``issue_time(sample_t)``.
+
+        Deterministic: the same ``(seed, sample_t, target_t, lat, lon)``
+        always yields the identical sample.
+        """
+        issued = self.issue_time(sample_t)
+        horizon = max(target_t - issued, 0.0)
+        w = self.staleness_weight(horizon)
+        actual = self.truth.sample(lat, lon, target_t)
+        prior = self.climatology(lat, lon)
+        blend = (lambda a, c: (1.0 - w) * a + w * c)
+        return ForecastSample(
+            wind_u_mps=blend(actual.wind_u_mps, prior.wind_u_mps),
+            wind_v_mps=blend(actual.wind_v_mps, prior.wind_v_mps),
+            current_u_mps=blend(actual.current_u_mps, prior.current_u_mps),
+            current_v_mps=blend(actual.current_v_mps, prior.current_v_mps),
+            wave_height_m=blend(actual.wave_height_m, prior.wave_height_m),
+            issued_t=issued, target_t=target_t, horizon_s=horizon)
+
+    def forecast_error(self, lat: float, lon: float, sample_t: float,
+                       target_t: float) -> float:
+        """Mean absolute per-component error of the forecast vs the
+        actual weather at ``target_t`` (the staleness observable the
+        property suite asserts is monotone in the horizon)."""
+        forecast = self.forecast_at(lat, lon, sample_t, target_t)
+        actual = self.truth.sample(lat, lon, target_t)
+        components = (
+            (forecast.wind_u_mps, actual.wind_u_mps),
+            (forecast.wind_v_mps, actual.wind_v_mps),
+            (forecast.current_u_mps, actual.current_u_mps),
+            (forecast.current_v_mps, actual.current_v_mps),
+            (forecast.wave_height_m, actual.wave_height_m),
+        )
+        return sum(abs(f - a) for f, a in components) / len(components)

@@ -18,12 +18,17 @@ import pytest
 import repro.cluster.membership as membership_mod
 import repro.cluster.node as node_mod
 import repro.cluster.transport as transport_mod
+import repro.evaluation.voyage as eval_voyage_mod
+import repro.models.fuel as fuel_mod
+import repro.models.voyage as voyage_mod
 import repro.platform.forecast_service as forecast_service_mod
+import repro.platform.route_optimizer as route_optimizer_mod
 import repro.serving.bridge as serving_bridge_mod
 import repro.serving.fanout as serving_fanout_mod
 import repro.serving.protocol as serving_protocol_mod
 import repro.serving.replica as serving_replica_mod
 import repro.serving.server as serving_server_mod
+import repro.sim.voyage as sim_voyage_mod
 import repro.telemetry as telemetry_mod
 import repro.telemetry.registry as tel_registry_mod
 import repro.telemetry.trace as tel_trace_mod
@@ -31,6 +36,9 @@ import repro.warehouse.compactor as wh_compactor_mod
 import repro.warehouse.query as wh_query_mod
 import repro.warehouse.segments as wh_segments_mod
 import repro.warehouse.warehouse as wh_warehouse_mod
+import repro.weather.enrichment as weather_enrichment_mod
+import repro.weather.field as weather_field_mod
+import repro.weather.forecast as weather_forecast_mod
 from repro.cluster import (
     ClusterConfig,
     ClusterNode,
@@ -50,20 +58,33 @@ from repro.cluster.transport import BatchingTransport
 # byte-identical segments for a given journal regardless of when
 # compaction runs, so its whole package is wall-clock-free except the
 # query layer's injectable ``clock=time.perf_counter`` latency default.
+# The voyage-optimization subsystem plans must be pure functions of
+# (seed, route, stream time) so plan fingerprints compare across crash
+# recovery and live migration — a wall-clock read anywhere in the
+# weather fields, the fuel model, the planner, the pooled optimizer, the
+# bench sweep, or the sim campaign would break that bit-for-bit.
 AUDITED_MODULES = [membership_mod, transport_mod, node_mod,
-                   forecast_service_mod,
+                   forecast_service_mod, route_optimizer_mod,
                    telemetry_mod, tel_registry_mod, tel_trace_mod,
                    serving_bridge_mod, serving_fanout_mod,
                    serving_protocol_mod, serving_replica_mod,
-                   serving_server_mod,
+                   serving_server_mod, sim_voyage_mod,
                    wh_segments_mod, wh_warehouse_mod, wh_compactor_mod,
-                   wh_query_mod]
+                   wh_query_mod,
+                   weather_field_mod, weather_forecast_mod,
+                   weather_enrichment_mod,
+                   fuel_mod, voyage_mod, eval_voyage_mod]
 
 
 def _time_reads_outside_defaults(module) -> list[str]:
     """Every ``time.*`` attribute access in ``module``'s source that is
     not a function-signature default (the sanctioned injection point)."""
-    source = pathlib.Path(module.__file__).read_text()
+    return _time_reads_in_file(pathlib.Path(module.__file__),
+                               module.__name__)
+
+
+def _time_reads_in_file(path: pathlib.Path, label: str) -> list[str]:
+    source = path.read_text()
     tree = ast.parse(source)
     default_nodes: set[int] = set()
     for node in ast.walk(tree):
@@ -78,8 +99,7 @@ def _time_reads_outside_defaults(module) -> list[str]:
                 and isinstance(node.value, ast.Name)
                 and node.value.id == "time"
                 and id(node) not in default_nodes):
-            offenders.append(
-                f"{module.__name__}:{node.lineno} time.{node.attr}")
+            offenders.append(f"{label}:{node.lineno} time.{node.attr}")
     return offenders
 
 
@@ -90,6 +110,17 @@ def test_no_wall_clock_reads_outside_defaults(module):
     assert not offenders, (
         "wall-clock reads outside injectable defaults (route these "
         "through the clock parameter): " + ", ".join(offenders))
+
+
+def test_voyage_bench_example_is_wall_clock_free():
+    """The voyage bench CLI drives the platform leg on the virtual
+    clock; it is not importable as a module, so audit it by path."""
+    path = (pathlib.Path(__file__).resolve().parents[2] / "examples"
+            / "run_voyage_bench.py")
+    offenders = _time_reads_in_file(path, "examples/run_voyage_bench.py")
+    assert not offenders, (
+        "wall-clock reads outside injectable defaults: "
+        + ", ".join(offenders))
 
 
 def test_membership_detector_runs_on_injected_clock():

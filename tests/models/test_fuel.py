@@ -1,0 +1,181 @@
+"""Property suite for the fuel-burn model.
+
+The three structural facts the route optimizer relies on, pinned with
+Hypothesis across the model's physical envelope (|wind| <= 25 m/s,
+|current| <= 2 m/s, waves <= 9 m, speed <= 25 kn):
+
+1. burn is strictly positive,
+2. burn is strictly increasing in the head-wind component,
+3. burn is symmetric under mirrored crosswind.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.constants import KNOTS_TO_MPS
+from repro.models import FuelModel
+from repro.weather.field import WeatherSample
+
+WINDS = st.floats(min_value=-25.0, max_value=25.0)
+CURRENTS = st.floats(min_value=-2.0, max_value=2.0)
+WAVES = st.floats(min_value=0.0, max_value=9.0)
+SPEEDS = st.floats(min_value=0.0, max_value=25.0)
+HEADINGS = st.floats(min_value=0.0, max_value=360.0)
+
+
+def _sample(wind_u=0.0, wind_v=0.0, current_u=0.0, current_v=0.0,
+            wave=0.0) -> WeatherSample:
+    return WeatherSample(wind_u_mps=wind_u, wind_v_mps=wind_v,
+                         current_u_mps=current_u, current_v_mps=current_v,
+                         wave_height_m=wave)
+
+
+def _wind_for(heading_deg: float, headwind: float,
+              crosswind: float) -> WeatherSample:
+    """The (u, v) wind that decomposes to exactly this headwind and
+    crosswind on ``heading_deg`` (inverse of wind_components)."""
+    h = math.radians(heading_deg)
+    ahead_e, ahead_n = math.sin(h), math.cos(h)
+    return _sample(wind_u=-headwind * ahead_e + crosswind * ahead_n,
+                   wind_v=-headwind * ahead_n - crosswind * ahead_e)
+
+
+class TestBurnProperties:
+    @given(sog=SPEEDS, heading=HEADINGS, wind_u=WINDS, wind_v=WINDS,
+           current_u=CURRENTS, current_v=CURRENTS, wave=WAVES)
+    @settings(max_examples=120)
+    def test_burn_strictly_positive(self, sog, heading, wind_u, wind_v,
+                                    current_u, current_v, wave):
+        wx = _sample(wind_u, wind_v, current_u, current_v, wave)
+        burn = FuelModel().burn_rate_kg_h(sog, heading, wx)
+        assert burn > 0.0
+        assert burn >= FuelModel().idle_floor_kg_h
+
+    @given(sog=st.floats(min_value=0.5, max_value=25.0),
+           heading=HEADINGS, wave=WAVES,
+           head_lo=st.floats(min_value=-25.0, max_value=24.0),
+           gap=st.floats(min_value=0.5, max_value=10.0),
+           cross=WINDS)
+    @settings(max_examples=120)
+    def test_burn_strictly_monotone_in_headwind(self, sog, heading, wave,
+                                                head_lo, gap, cross):
+        """More wind on the nose always costs more fuel — strictly,
+        because the envelope keeps the idle-floor clamp from ever
+        flattening the signed wind term."""
+        head_hi = min(head_lo + gap, 25.0)
+        model = FuelModel()
+        wx_lo = _wind_for(heading, head_lo, cross)
+        wx_hi = _wind_for(heading, head_hi, cross)
+        wx_lo = _sample(wx_lo.wind_u_mps, wx_lo.wind_v_mps, wave=wave)
+        wx_hi = _sample(wx_hi.wind_u_mps, wx_hi.wind_v_mps, wave=wave)
+        lo = model.burn_rate_kg_h(sog, heading, wx_lo)
+        hi = model.burn_rate_kg_h(sog, heading, wx_hi)
+        assert hi > lo
+
+    @given(sog=SPEEDS, heading=HEADINGS, head=WINDS,
+           cross=st.floats(min_value=0.1, max_value=25.0), wave=WAVES)
+    @settings(max_examples=120)
+    def test_burn_symmetric_under_mirrored_crosswind(self, sog, heading,
+                                                     head, cross, wave):
+        """A starboard crosswind costs exactly what the mirrored port
+        one does: only the square of the crosswind enters the burn."""
+        model = FuelModel()
+        stb = _wind_for(heading, head, cross)
+        port = _wind_for(heading, head, -cross)
+        stb = _sample(stb.wind_u_mps, stb.wind_v_mps, wave=wave)
+        port = _sample(port.wind_u_mps, port.wind_v_mps, wave=wave)
+        a = model.burn_rate_kg_h(sog, heading, stb)
+        b = model.burn_rate_kg_h(sog, heading, port)
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+    def test_crosswind_symmetry_exact_on_cardinal_heading(self):
+        """On a cardinal heading the mirror needs no trig, so the two
+        burns are bit-identical, not just approximately equal."""
+        model = FuelModel()
+        a = model.burn_rate_kg_h(12.0, 0.0, _sample(wind_u=7.0,
+                                                    wind_v=-3.0))
+        b = model.burn_rate_kg_h(12.0, 0.0, _sample(wind_u=-7.0,
+                                                    wind_v=-3.0))
+        assert a == b
+
+    @given(sog=st.floats(min_value=1.0, max_value=25.0),
+           heading=HEADINGS, head=st.floats(min_value=0.1,
+                                            max_value=25.0))
+    @settings(max_examples=60)
+    def test_tailwind_gives_relief(self, sog, heading, head):
+        """The wind term is signed: the same wind astern burns less than
+        calm, which burns less than the same wind on the nose."""
+        model = FuelModel()
+        calm = model.burn_rate_kg_h(sog, heading, _sample())
+        on_nose = model.burn_rate_kg_h(sog, heading,
+                                       _wind_for(heading, head, 0.0))
+        astern = model.burn_rate_kg_h(sog, heading,
+                                      _wind_for(heading, -head, 0.0))
+        assert astern < calm < on_nose
+
+
+class TestDecomposition:
+    def test_wind_components_convention(self):
+        """Northbound vessel: a wind blowing *from* the north opposes it
+        (positive headwind); a wind blowing eastward is a starboard-side
+        crosswind (positive)."""
+        from_north = _sample(wind_v=-10.0)
+        head, cross = FuelModel.wind_components(0.0, from_north)
+        assert head == pytest.approx(10.0)
+        assert cross == pytest.approx(0.0)
+        eastward = _sample(wind_u=4.0)
+        head, cross = FuelModel.wind_components(0.0, eastward)
+        assert head == pytest.approx(0.0)
+        assert cross == pytest.approx(4.0)
+
+    @given(heading=HEADINGS, wind_u=WINDS, wind_v=WINDS)
+    @settings(max_examples=60)
+    def test_decomposition_preserves_wind_energy(self, heading, wind_u,
+                                                 wind_v):
+        wx = _sample(wind_u=wind_u, wind_v=wind_v)
+        head, cross = FuelModel.wind_components(heading, wx)
+        assert head**2 + cross**2 == pytest.approx(
+            wind_u**2 + wind_v**2, rel=1e-9, abs=1e-9)
+
+    def test_speed_through_water_subtracts_along_track_current(self):
+        following = _sample(current_v=KNOTS_TO_MPS * 2.0)  # 2 kn astern
+        stw = FuelModel.speed_through_water_kn(12.0, 0.0, following)
+        assert stw == pytest.approx(10.0)
+        opposing = _sample(current_v=-KNOTS_TO_MPS * 2.0)
+        assert FuelModel.speed_through_water_kn(
+            12.0, 0.0, opposing) == pytest.approx(14.0)
+
+    def test_speed_through_water_clamped_at_steerage(self):
+        strong_following = _sample(current_v=KNOTS_TO_MPS * 30.0)
+        assert FuelModel.speed_through_water_kn(
+            1.0, 0.0, strong_following) == 0.5
+
+
+class TestLegFuelAndValidation:
+    def test_leg_fuel_is_rate_times_hours(self):
+        model = FuelModel()
+        wx = _sample(wind_u=5.0, wave=2.0)
+        hours = 10_000.0 / (10.0 * KNOTS_TO_MPS) / 3600.0
+        assert model.leg_fuel_kg(10_000.0, 10.0, 90.0, wx) == \
+            pytest.approx(model.burn_rate_kg_h(10.0, 90.0, wx) * hours)
+
+    def test_zero_leg_burns_nothing(self):
+        assert FuelModel().leg_fuel_kg(0.0, 0.0, 0.0, _sample()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sog_kn"):
+            FuelModel().burn_rate_kg_h(-1.0, 0.0, _sample())
+        with pytest.raises(ValueError, match="distance_m"):
+            FuelModel().leg_fuel_kg(-1.0, 10.0, 0.0, _sample())
+        with pytest.raises(ValueError, match="sog_kn > 0"):
+            FuelModel().leg_fuel_kg(1_000.0, 0.0, 0.0, _sample())
+        with pytest.raises(ValueError, match="non-negative"):
+            FuelModel(hull_coeff=-0.1)
+
+    def test_burn_deterministic(self):
+        wx = _sample(3.0, -4.0, 0.5, -0.2, 1.5)
+        assert FuelModel().burn_rate_kg_h(12.0, 37.0, wx) == \
+            FuelModel().burn_rate_kg_h(12.0, 37.0, wx)

@@ -1,0 +1,177 @@
+"""Unit tests for the voyage planner and its plan-vs-actual twin."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.geo.constants import KNOTS_TO_MPS
+from repro.geo.geodesy import haversine_m
+from repro.models import FuelModel, Waypoint, plan_voyage, simulate_voyage
+from repro.models.voyage import _crossed_bucket
+from repro.weather import ForecastingWeatherField
+
+CALM = dict(seed=0, max_wind_mps=0.1)   # nothing is ever rough
+ROUGH = dict(seed=2, max_wind_mps=26.0)
+
+ORIGIN = Waypoint(36.0, 10.0)
+DEST = (Waypoint(36.0, 14.0),)          # ~360 km due east
+DAY = 86_400.0
+
+
+def _plan(field_kwargs, deadline_t=4 * DAY, **kwargs):
+    field = ForecastingWeatherField(**field_kwargs)
+    return plan_voyage(field, FuelModel(), ORIGIN, DEST, sample_t=0.0,
+                       depart_t=0.0, deadline_t=deadline_t, **kwargs)
+
+
+class TestPlanVoyage:
+    def test_deterministic_and_fingerprint_stable(self):
+        a = _plan(CALM)
+        b = _plan(CALM)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sees_routing_decisions(self):
+        relaxed = _plan(CALM, deadline_t=4 * DAY)
+        tight = _plan(CALM, deadline_t=16 * 3600.0)  # forces full speed
+        assert relaxed.fingerprint() != tight.fingerprint()
+        assert tight.legs[0].sog_kn > relaxed.legs[0].sog_kn
+
+    def test_calm_plan_is_direct_and_feasible(self):
+        plan = _plan(CALM)
+        assert not plan.diverted
+        assert plan.feasible
+        assert len(plan.legs) == 1
+        assert len(plan.legs[0].path) == 2
+        assert plan.eta_slack_s > 0.0
+        # The slow-steaming candidate wins on fuel with this much slack.
+        assert plan.legs[0].sog_kn == pytest.approx(12.0 * 0.7)
+
+    def test_impossible_deadline_falls_back_to_fastest(self):
+        """A deadline already passed yields the fastest candidate as an
+        infeasible plan rather than raising."""
+        plan = _plan(CALM, deadline_t=-100.0)
+        assert not plan.feasible
+        assert plan.eta_slack_s < 0.0
+        assert plan.legs[0].sog_kn == pytest.approx(12.0 * 1.3)
+
+    def test_eta_consistent_with_distance_and_speed(self):
+        plan = _plan(CALM)
+        leg = plan.legs[0]
+        direct = haversine_m(ORIGIN.lat, ORIGIN.lon, DEST[0].lat,
+                             DEST[0].lon)
+        assert leg.distance_m == pytest.approx(direct)
+        assert leg.duration_s == pytest.approx(
+            direct / (leg.sog_kn * KNOTS_TO_MPS))
+        assert plan.eta_t == pytest.approx(plan.depart_t
+                                           + leg.duration_s)
+
+    def test_plan_records_forecast_issue(self):
+        field = ForecastingWeatherField(update_cycle_s=6 * 3600.0,
+                                        **CALM)
+        plan = plan_voyage(field, FuelModel(), ORIGIN, DEST,
+                           sample_t=7 * 3600.0, depart_t=7 * 3600.0,
+                           deadline_t=4 * DAY)
+        assert plan.issued_t == 6 * 3600.0
+        assert plan.planned_t == 7 * 3600.0
+
+    def test_multi_waypoint_route_chains_legs(self):
+        field = ForecastingWeatherField(**CALM)
+        waypoints = (Waypoint(36.0, 12.0), Waypoint(37.0, 14.0))
+        plan = plan_voyage(field, FuelModel(), ORIGIN, waypoints,
+                           sample_t=0.0, depart_t=0.0,
+                           deadline_t=4 * DAY)
+        assert len(plan.legs) == 2
+        assert plan.legs[0].path[-1] == waypoints[0]
+        assert plan.legs[1].path[0] == waypoints[0]
+        assert plan.fuel_kg == pytest.approx(
+            sum(leg.fuel_kg for leg in plan.legs))
+
+    def test_validation(self):
+        field = ForecastingWeatherField(**CALM)
+        with pytest.raises(ValueError, match="waypoint"):
+            plan_voyage(field, FuelModel(), ORIGIN, (), sample_t=0.0,
+                        depart_t=0.0, deadline_t=DAY)
+        with pytest.raises(ValueError, match="base_speed_kn"):
+            plan_voyage(field, FuelModel(), ORIGIN, DEST, sample_t=0.0,
+                        depart_t=0.0, deadline_t=DAY, base_speed_kn=0.0)
+
+    def test_storm_route_dog_legs(self):
+        """Through seed 2's storm track the planner pays extra distance
+        to dodge the forecast weather (the bench's storm-avoidance
+        voyage)."""
+        field = ForecastingWeatherField(**ROUGH)
+        plan = plan_voyage(field, FuelModel(), Waypoint(36.0, 8.0),
+                           (Waypoint(39.0, 3.0),), sample_t=0.0,
+                           depart_t=0.0, deadline_t=9 * DAY)
+        assert plan.diverted
+        assert plan.feasible
+        leg = plan.legs[0]
+        assert len(leg.path) == 3
+        direct = haversine_m(36.0, 8.0, 39.0, 3.0)
+        assert leg.distance_m > direct
+
+
+class TestSimulateVoyage:
+    def test_no_replanning_baseline(self):
+        field = ForecastingWeatherField(**CALM)
+        outcome = simulate_voyage(field, FuelModel(), ORIGIN, DEST,
+                                  depart_t=0.0, deadline_t=4 * DAY,
+                                  cadence_s=None)
+        assert outcome.replans == 0
+        assert outcome.actual_fuel_kg > 0.0
+        direct = haversine_m(ORIGIN.lat, ORIGIN.lon, DEST[0].lat,
+                             DEST[0].lon)
+        assert outcome.distance_m == pytest.approx(direct)
+
+    def test_calm_actuals_match_plan(self):
+        """With a near-zero horizon error (tiny tau never matters in a
+        calm field: the forecast *is* the actual at horizon 0 and the
+        field barely varies) the twin burns what the plan promised."""
+        field = ForecastingWeatherField(**CALM)
+        outcome = simulate_voyage(field, FuelModel(), ORIGIN, DEST,
+                                  depart_t=0.0, deadline_t=4 * DAY,
+                                  cadence_s=None)
+        assert outcome.actual_fuel_kg == pytest.approx(
+            outcome.planned_fuel_kg, rel=0.1)
+        assert outcome.arrival_t == pytest.approx(outcome.planned_eta_t,
+                                                  rel=0.01)
+
+    def test_replanning_is_bucket_quantised(self):
+        """An hourly cadence replans roughly once per sailed hour —
+        gated by bucket crossings, not by call sites."""
+        field = ForecastingWeatherField(**CALM)
+        outcome = simulate_voyage(field, FuelModel(), ORIGIN, DEST,
+                                  depart_t=0.0, deadline_t=4 * DAY,
+                                  cadence_s=3600.0)
+        sailed_hours = outcome.arrival_t / 3600.0
+        assert 0 < outcome.replans <= math.ceil(sailed_hours)
+        assert outcome.replans >= int(sailed_hours) - 2
+
+    def test_deterministic_outcome(self):
+        field_kwargs = dict(seed=2, max_wind_mps=26.0)
+        runs = [
+            simulate_voyage(ForecastingWeatherField(**field_kwargs),
+                            FuelModel(), Waypoint(36.0, 8.0),
+                            (Waypoint(39.0, 3.0),), depart_t=0.0,
+                            deadline_t=9 * DAY, cadence_s=6 * 3600.0)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_outcome_is_frozen_record(self):
+        field = ForecastingWeatherField(**CALM)
+        outcome = simulate_voyage(field, FuelModel(), ORIGIN, DEST,
+                                  depart_t=0.0, deadline_t=4 * DAY)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            outcome.replans = 99
+
+
+class TestBucketQuantisation:
+    def test_crossed_bucket(self):
+        assert _crossed_bucket(-math.inf, 0.0, 3600.0)
+        assert not _crossed_bucket(100.0, 3599.0, 3600.0)
+        assert _crossed_bucket(3599.0, 3600.0, 3600.0)
+        assert _crossed_bucket(3600.0, 7200.5, 3600.0)
+        assert not _crossed_bucket(3600.0, 7199.9, 3600.0)

@@ -1,0 +1,188 @@
+"""Property suite for the forecast-issuing weather field.
+
+Three structural facts the voyage optimizer leans on, pinned with
+Hypothesis over the field's whole operating envelope:
+
+1. determinism — the same seed and the same ``(sample_hour,
+   forecast_hour)`` always yield the bit-identical sample,
+2. staleness — the forecast error is monotone (non-decreasing) in the
+   horizon for a fixed target instant,
+3. the zero-horizon anchor — actuals equal zero-horizon forecasts,
+   component for component, bit for bit.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.weather import ForecastingWeatherField, ForecastSample
+
+LATS = st.floats(min_value=-70.0, max_value=70.0)
+LONS = st.floats(min_value=-179.0, max_value=179.0)
+HOURS = st.floats(min_value=0.0, max_value=7 * 24.0)
+SEEDS = st.integers(min_value=0, max_value=2**31)
+
+CYCLE_S = 6 * 3600.0
+
+
+def _field(seed: int, **kwargs) -> ForecastingWeatherField:
+    return ForecastingWeatherField(seed=seed, update_cycle_s=CYCLE_S,
+                                   **kwargs)
+
+
+def _components(sample):
+    return (sample.wind_u_mps, sample.wind_v_mps, sample.current_u_mps,
+            sample.current_v_mps, sample.wave_height_m)
+
+
+class TestDeterminism:
+    @given(seed=SEEDS, lat=LATS, lon=LONS, sample_hour=HOURS,
+           forecast_hour=HOURS)
+    @settings(max_examples=60)
+    def test_same_seed_same_hours_identical_sample(
+            self, seed, lat, lon, sample_hour, forecast_hour):
+        """Two independently constructed fields with the same seed agree
+        on every forecast — no RNG at query time, no hidden state."""
+        sample_t = sample_hour * 3600.0
+        target_t = sample_t + forecast_hour * 3600.0
+        a = _field(seed).forecast_at(lat, lon, sample_t, target_t)
+        b = _field(seed).forecast_at(lat, lon, sample_t, target_t)
+        assert a == b
+        assert _components(a) == _components(b)
+
+    def test_different_seeds_differ(self):
+        a = _field(1).forecast_at(38.0, 24.0, 0.0, 86_400.0)
+        b = _field(2).forecast_at(38.0, 24.0, 0.0, 86_400.0)
+        assert a != b
+
+    @given(lat=LATS, lon=LONS, sample_hour=HOURS)
+    @settings(max_examples=40)
+    def test_requests_within_one_cycle_see_same_product(
+            self, lat, lon, sample_hour):
+        """Every request inside one update cycle is answered from the
+        same frozen product: nudging ``sample_t`` within the cycle never
+        changes the forecast."""
+        field = _field(0)
+        sample_t = sample_hour * 3600.0
+        issued = field.issue_time(sample_t)
+        target_t = issued + 2 * CYCLE_S
+        later_same_cycle = min(sample_t + 0.4 * CYCLE_S,
+                               issued + CYCLE_S - 1e-3)
+        a = field.forecast_at(lat, lon, sample_t, target_t)
+        b = field.forecast_at(lat, lon, later_same_cycle, target_t)
+        assert a == b
+        assert a.issued_t == b.issued_t == issued
+
+
+class TestStaleness:
+    @given(lat=LATS, lon=LONS, target_hour=st.floats(min_value=48.0,
+                                                     max_value=7 * 24.0),
+           early_hour=st.floats(min_value=0.0, max_value=24.0),
+           gap_hours=st.floats(min_value=0.0, max_value=24.0))
+    @settings(max_examples=60)
+    def test_error_monotone_in_horizon(self, lat, lon, target_hour,
+                                       early_hour, gap_hours):
+        """For a fixed target, a *fresher* product (issued later, so a
+        shorter horizon) is never worse than a staler one. Exact: each
+        component's error is ``w(h) * |clim - actual|`` with ``w``
+        non-decreasing in ``h``."""
+        field = _field(0)
+        target_t = target_hour * 3600.0
+        stale_t = early_hour * 3600.0
+        fresh_t = stale_t + gap_hours * 3600.0
+        stale_err = field.forecast_error(lat, lon, stale_t, target_t)
+        fresh_err = field.forecast_error(lat, lon, fresh_t, target_t)
+        assert fresh_err <= stale_err + 1e-12
+
+    @given(lat=LATS, lon=LONS, horizon_hours=HOURS)
+    @settings(max_examples=40)
+    def test_error_bounded_by_climatology_gap(self, lat, lon,
+                                              horizon_hours):
+        """The error can never exceed the full climatology-vs-actual
+        gap: the blend interpolates, it does not extrapolate."""
+        field = _field(0)
+        target_t = CYCLE_S + horizon_hours * 3600.0
+        err = field.forecast_error(lat, lon, CYCLE_S, target_t)
+        actual = field.actual(lat, lon, target_t)
+        prior = field.climatology(lat, lon)
+        gap = sum(abs(c - a) for c, a in zip(_components(prior),
+                                             _components(actual))) / 5.0
+        assert err <= gap + 1e-9
+
+    def test_staleness_weight_shape(self):
+        field = _field(0, degradation_tau_s=3600.0)
+        assert field.staleness_weight(0.0) == 0.0
+        assert field.staleness_weight(-10.0) == 0.0  # clamped
+        assert field.staleness_weight(3600.0) == pytest.approx(
+            1.0 - math.exp(-1.0))
+        assert field.staleness_weight(50 * 3600.0) == pytest.approx(1.0)
+
+
+class TestZeroHorizonAnchor:
+    @given(lat=LATS, lon=LONS,
+           cycle_index=st.integers(min_value=0, max_value=27))
+    @settings(max_examples=60)
+    def test_actuals_equal_zero_horizon_forecasts(self, lat, lon,
+                                                  cycle_index):
+        """A forecast *for* its own issue instant has horizon 0, weight
+        0 — so it reproduces the actual weather bit for bit."""
+        field = _field(0)
+        issue_t = cycle_index * CYCLE_S
+        fc = field.forecast_at(lat, lon, issue_t, issue_t)
+        actual = field.actual(lat, lon, issue_t)
+        assert fc.horizon_s == 0.0
+        assert _components(fc) == _components(actual)
+
+    @given(lat=LATS, lon=LONS, sample_hour=HOURS)
+    @settings(max_examples=40)
+    def test_past_targets_clamp_to_zero_horizon(self, lat, lon,
+                                                sample_hour):
+        """A target before the issue time clamps the horizon at 0 and
+        therefore also reproduces the actuals exactly."""
+        field = _field(0)
+        sample_t = sample_hour * 3600.0
+        issued = field.issue_time(sample_t)
+        target_t = max(issued - 1800.0, 0.0)
+        fc = field.forecast_at(lat, lon, sample_t, target_t)
+        assert fc.horizon_s == 0.0
+        assert _components(fc) == _components(
+            field.actual(lat, lon, target_t))
+
+
+class TestIssueTimeAndSampleShape:
+    def test_issue_time_quantises_down(self):
+        field = _field(0)
+        assert field.issue_time(0.0) == 0.0
+        assert field.issue_time(CYCLE_S - 1.0) == 0.0
+        assert field.issue_time(CYCLE_S) == CYCLE_S
+        assert field.issue_time(2.7 * CYCLE_S) == 2 * CYCLE_S
+
+    def test_sample_carries_time_dimensions(self):
+        field = _field(3)
+        fc = field.forecast_at(38.0, 24.0, 1.5 * CYCLE_S, 4 * CYCLE_S)
+        assert isinstance(fc, ForecastSample)
+        assert fc.issued_t == CYCLE_S
+        assert fc.target_t == 4 * CYCLE_S
+        assert fc.horizon_s == 3 * CYCLE_S
+
+    def test_climatology_is_time_invariant_but_spatial(self):
+        field = _field(0)
+        assert field.climatology(38.0, 24.0) == field.climatology(38.0,
+                                                                  24.0)
+        assert field.climatology(38.0, 24.0) != field.climatology(45.0,
+                                                                  5.0)
+
+    def test_init_validation(self):
+        with pytest.raises(ValueError, match="update_cycle_s"):
+            ForecastingWeatherField(update_cycle_s=0.0)
+        with pytest.raises(ValueError, match="degradation_tau_s"):
+            ForecastingWeatherField(degradation_tau_s=-1.0)
+
+    def test_field_kwargs_reach_both_fields(self):
+        """``max_wind_mps`` caps the truth and the climatology alike, so
+        blends can never exceed it either."""
+        field = ForecastingWeatherField(seed=0, max_wind_mps=0.5)
+        fc = field.forecast_at(38.0, 24.0, 0.0, 86_400.0)
+        assert fc.wind_speed_mps <= 0.5

@@ -6,8 +6,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hexgrid import latlng_to_cell
-from repro.weather import WeatherField, enrich_cells
+from repro.hexgrid import cell_to_latlng, latlng_to_cell
+from repro.weather import (
+    ForecastingWeatherField,
+    WeatherField,
+    enrich_cells,
+    enrich_cells_forecast,
+)
 
 LATS = st.floats(min_value=-70.0, max_value=70.0)
 LONS = st.floats(min_value=-179.0, max_value=179.0)
@@ -94,3 +99,61 @@ class TestEnrichment:
         base = enriched[cell].sample.wind_u_mps
         for nbr in neighbors(cell):
             assert abs(enriched[nbr].sample.wind_u_mps - base) < 3.0
+
+    def test_feature_vector_contents_match_sample(self):
+        """The five features are the sample's components, in the order
+        downstream models were trained against."""
+        field = WeatherField(seed=1)
+        cell = latlng_to_cell(38.0, 24.0, 6)
+        cw = enrich_cells(field, [cell], t=500.0)[cell]
+        s = cw.sample
+        assert cw.feature_vector() == [s.wind_u_mps, s.wind_v_mps,
+                                       s.current_u_mps, s.current_v_mps,
+                                       s.wave_height_m]
+
+    def test_samples_taken_at_cell_centres(self):
+        """The join key *is* the semantics: the attached weather is the
+        field sampled at the id's cell centre."""
+        field = WeatherField(seed=2)
+        cell = latlng_to_cell(38.0, 24.0, 6)
+        cw = enrich_cells(field, [cell], t=250.0)[cell]
+        lat, lon = cell_to_latlng(cell)
+        assert cw.sample == field.sample(lat, lon, 250.0)
+
+    def test_enrichment_deterministic(self):
+        cells = [latlng_to_cell(38.0, 24.0, 6),
+                 latlng_to_cell(40.0, 20.0, 6)]
+        a = enrich_cells(WeatherField(seed=7), cells, t=900.0)
+        b = enrich_cells(WeatherField(seed=7), cells, t=900.0)
+        assert a == b
+
+    def test_forecast_enrichment_joins_on_same_keys(self):
+        """Forecast-based enrichment keeps the cell-id join contract and
+        stamps each sample with its issue/target times."""
+        field = ForecastingWeatherField(seed=1,
+                                        update_cycle_s=6 * 3600.0)
+        cells = [latlng_to_cell(38.0, 24.0, 6),
+                 latlng_to_cell(39.0, 25.0, 6)]
+        sample_t, target_t = 7_200.0, 43_200.0
+        enriched = enrich_cells_forecast(field, cells, sample_t,
+                                         target_t)
+        assert set(enriched) == set(cells)
+        for cell, cw in enriched.items():
+            lat, lon = cell_to_latlng(cell)
+            assert cw.t == target_t
+            assert cw.sample == field.forecast_at(lat, lon, sample_t,
+                                                  target_t)
+            assert cw.sample.issued_t == field.issue_time(sample_t)
+            assert cw.sample.target_t == target_t
+
+    def test_forecast_enrichment_zero_horizon_matches_actuals(self):
+        """At issue time the two enrichment paths agree feature for
+        feature — the forecast path anchors on the actuals."""
+        field = ForecastingWeatherField(seed=3,
+                                        update_cycle_s=6 * 3600.0)
+        cell = latlng_to_cell(38.0, 24.0, 6)
+        issue_t = 6 * 3600.0
+        forecast = enrich_cells_forecast(field, [cell], issue_t,
+                                         issue_t)[cell]
+        actual = enrich_cells(field.truth, [cell], t=issue_t)[cell]
+        assert forecast.feature_vector() == actual.feature_vector()
